@@ -1,0 +1,126 @@
+"""Ablation: loop fusion helps GPUs and hurts CPUs (§4.8's tension).
+
+"The initial port was slow due to kernel launch overheads because
+ParaDyn contains many small loops.  To improve performance, we merged
+many loops ... Unfortunately, these optimizations, in particular, the
+merged loops, significantly decreased CPU performance.  The existing
+small loops operate on a subset of the data that remains cache resident
+across loops."
+
+Sweep the fusion group size over the ParaDyn kernel and price each
+variant on both sides:
+
+- **GPU**: launch overhead x loops + DRAM traffic under per-loop
+  register scoping (fusion removes launches and intermediate traffic).
+- **CPU**: segmented execution keeps the active subset LLC-resident
+  across *separate* loops (cross-loop reuse at cache bandwidth); a
+  fully fused mega-loop exceeds the register budget, spilling
+  intermediates back to memory traffic.
+
+The crossing of the two curves is the reason the team went to the
+compiler (SLNSP) instead of source-level fusion.
+"""
+
+import pytest
+
+from repro.core.machine import get_machine
+from repro.paradyn.counters import count_memory_ops
+from repro.paradyn.ir import Program
+from repro.paradyn.kernels import paradyn_kernel
+from repro.paradyn.passes import merge_loops, slnsp
+from repro.util.tables import Table
+
+N = 5_000_000
+SIERRA = get_machine("sierra")
+#: effective LLC bandwidth multiplier for segment-resident CPU loops
+CPU_CACHE_MULT = 4.0
+#: statements a fused loop can hold before intermediates spill
+REGISTER_BUDGET_STATEMENTS = 4
+
+
+def gpu_time(prog: Program) -> float:
+    ops = count_memory_ops(prog)
+    nbytes = 8.0 * ops.total * prog.n
+    gpu = SIERRA.gpu
+    return nbytes / (gpu.mem_bw * 0.7) + prog.n_loops * gpu.launch_overhead
+
+
+def cpu_time(prog: Program) -> float:
+    """Segmented CPU execution with cache-resident cross-loop reuse.
+
+    Separate loops: traffic counted with cross-loop reuse (the subset
+    stays in LLC) at cache bandwidth.  Loops fused beyond the register
+    budget lose the reuse for their overflow statements and stream at
+    DRAM bandwidth.
+    """
+    reuse_ops = count_memory_ops(slnsp(prog))
+    plain_ops = count_memory_ops(prog)
+    dram_bw = SIERRA.cpu_mem_bw * 0.8
+    cache_bw = dram_bw * CPU_CACHE_MULT
+    t = 0.0
+    for loop in prog.loops:
+        frac = len(loop.body) / prog.n_statements
+        if len(loop.body) <= REGISTER_BUDGET_STATEMENTS:
+            # within-register-budget loop: reuse holds, cache-resident
+            t += frac * 8.0 * reuse_ops.total * prog.n / cache_bw
+        else:
+            # spilled mega-loop: every statement's traffic hits DRAM
+            t += frac * 8.0 * plain_ops.total * prog.n / dram_bw
+    return t
+
+
+def sweep():
+    base = paradyn_kernel(n=N)
+    rows = []
+    for group in (1, 2, 4, 11):
+        prog = merge_loops(base, group_size=group) if group > 1 else base
+        rows.append({
+            "group": group,
+            "loops": prog.n_loops,
+            "gpu": gpu_time(prog),
+            "cpu": cpu_time(prog),
+        })
+    return rows
+
+
+def make_table(rows) -> Table:
+    t = Table(
+        ["fusion group", "loops", "GPU time (ms)", "CPU time (ms)"],
+        title="Loop-fusion ablation: GPUs want fusion, CPUs do not (§4.8)",
+    )
+    for r in rows:
+        t.add_row(r["group"], r["loops"], round(1e3 * r["gpu"], 3),
+                  round(1e3 * r["cpu"], 3))
+    return t
+
+
+def test_fusion_sweep_kernel(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_group = {r["group"]: r for r in rows}
+    # GPU: full fusion is fastest; unfused slowest
+    assert by_group[11]["gpu"] < by_group[1]["gpu"]
+    # CPU: unfused (cache-resident) beats full fusion (spilled)
+    assert by_group[1]["cpu"] < by_group[11]["cpu"]
+
+
+def test_merged_results_identical(benchmark):
+    import numpy as np
+
+    small = paradyn_kernel(n=64)
+    rng = np.random.default_rng(0)
+    inputs = {k: rng.random(64)
+              for k, v in small.array_kinds.items() if v == "input"}
+    ref = small.run(inputs)
+
+    def check():
+        for group in (2, 4, 11):
+            out = merge_loops(small, group_size=group).run(inputs)
+            for k in ref:
+                np.testing.assert_array_equal(out[k], ref[k])
+        return True
+
+    assert benchmark(check)
+
+
+if __name__ == "__main__":
+    print(make_table(sweep()))

@@ -1,0 +1,91 @@
+"""§4.1: Cardioid reaction-kernel DSL and the placement decision.
+
+Three results: the DSL's rational-polynomial kernels match the math
+library within tolerance while removing every transcendental call
+(benchmarked for real); baking coefficients as compile-time constants
+beats runtime tables; and the data-placement analysis shows computing
+diffusion on the GPU beats shipping the field to the CPU each step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cardioid.dsl import ReactionKernelGenerator
+from repro.cardioid.ionmodels import RATE_FUNCTIONS, V_RANGE, reference_rates
+from repro.cardioid.simulation import placement_decision
+from repro.core.machine import get_machine
+from repro.util.tables import Table
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return ReactionKernelGenerator(RATE_FUNCTIONS, V_RANGE, tolerance=1e-6)
+
+
+def make_tables():
+    gen = ReactionKernelGenerator(RATE_FUNCTIONS, V_RANGE, tolerance=1e-6)
+    t1 = Table(["rate", "max rel error", "num degree", "den degree"],
+               title="Cardioid DSL: rational-polynomial fits of the "
+                     "membrane rate functions")
+    for name, fit in gen.fits.items():
+        t1.add_row(name, f"{fit.max_rel_error:.2e}", fit.num_degree,
+                   fit.den_degree)
+    import timeit
+
+    v = np.linspace(*V_RANGE, 20000)
+    ref = lambda: reference_rates(v)
+    baked = gen.generate_baked()
+    runtime = gen.generate_runtime()
+    t2 = Table(["kernel", "time per call (ms)", "transcendental calls"],
+               title="Reaction-kernel variants (real numpy timing)")
+    for label, fn, trans in (
+        ("math library", ref, "6 exp per cell"),
+        ("DSL runtime coeffs", lambda: runtime(v), "0"),
+        ("DSL baked constants", lambda: baked(v), "0"),
+    ):
+        t = timeit.timeit(fn, number=20) / 20
+        t2.add_row(label, round(t * 1e3, 3), trans)
+
+    t3 = Table(["placement", "per-step time (model, ms)"],
+               title="Diffusion placement on sierra (50M points); "
+                     "paper: keep everything on the GPU")
+    pd = placement_decision(get_machine("sierra"), 50_000_000)
+    t3.add_row("all on GPU", round(1e3 * pd["all_gpu_per_step"], 3))
+    t3.add_row("diffusion on CPU (2 transfers/step)",
+               round(1e3 * pd["cpu_diffusion_per_step"], 3))
+    t3.add_row("winner", pd["winner"])
+    return t1, t2, t3
+
+
+def test_baked_kernel(benchmark, generator):
+    """Time the real DSL-generated (baked) rate kernel."""
+    baked = generator.generate_baked()
+    v = np.linspace(*V_RANGE, 20000)
+    out = benchmark(baked, v)
+    assert set(out) == set(RATE_FUNCTIONS)
+
+
+def test_reference_kernel(benchmark):
+    """Time the math-library rate kernel for comparison."""
+    v = np.linspace(*V_RANGE, 20000)
+    out = benchmark(reference_rates, v)
+    assert set(out) == set(RATE_FUNCTIONS)
+
+
+def test_dsl_shape(benchmark, generator):
+    v = np.linspace(*V_RANGE, 5000)
+    baked = generator.generate_baked()
+    out = benchmark(baked, v)
+    ref = reference_rates(v)
+    for name in ref:
+        rel = np.max(np.abs(out[name] - ref[name])
+                     / np.maximum(np.abs(ref[name]), 1e-12))
+        assert rel < 1e-5
+    pd = placement_decision(get_machine("sierra"), 50_000_000)
+    assert pd["winner"] == "all_gpu"
+
+
+if __name__ == "__main__":
+    for t in make_tables():
+        print(t)
+        print()

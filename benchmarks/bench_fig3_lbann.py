@@ -1,0 +1,70 @@
+"""Fig 3: LBANN performance on up to 2048 GPUs.
+
+Regenerates the weak-scaling throughput lines (one per GPUs-per-sample
+configuration) and the strong-scaling speedups, and benchmarks the real
+NN substrate's training step (the per-GPU work the model abstracts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dtrain.lbann import LbannScalingModel
+from repro.dtrain.nn import MLP
+from repro.util.tables import Table
+
+GPU_COUNTS = (16, 64, 256, 1024, 2048)
+PAPER_STRONG = {4: "near-perfect (~1.9X)", 8: "2.8X", 16: "3.4X"}
+
+
+def run_fig3():
+    model = LbannScalingModel()
+    weak = {
+        g: model.weak_scaling_curve(g, GPU_COUNTS)
+        for g in (2, 4, 8, 16)
+    }
+    strong = {g: model.strong_scaling_speedup(g) for g in (4, 8, 16)}
+    return weak, strong
+
+
+def make_tables(weak, strong):
+    t1 = Table(
+        ["GPUs/sample"] + [f"{n} GPUs" for n in GPU_COUNTS],
+        title="Fig 3 (solid lines): weak-scaling throughput (samples/s, modeled)",
+    )
+    for g, curve in weak.items():
+        by_total = dict(curve)
+        t1.add_row(g, *[round(by_total.get(n, float("nan")), 2)
+                        for n in GPU_COUNTS])
+    t2 = Table(
+        ["GPUs/sample", "speedup vs 2 (model)", "paper"],
+        title="Fig 3 (dotted lines): strong scaling per sample",
+    )
+    for g, s in strong.items():
+        t2.add_row(g, f"{s:.2f}X", PAPER_STRONG[g])
+    return t1, t2
+
+
+def test_training_step_kernel(benchmark):
+    """Time one real forward+backward pass of the NN substrate."""
+    rng = np.random.default_rng(0)
+    model = MLP(256, 16, hidden=(256, 128), seed=0)
+    x = rng.random((64, 256))
+    y = rng.integers(0, 16, 64)
+    loss, grad = benchmark(model.gradient, x, y)
+    assert np.isfinite(loss)
+
+
+def test_fig3_shape(benchmark):
+    weak, strong = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    assert strong[8] == pytest.approx(2.8, rel=0.05)
+    assert strong[16] == pytest.approx(3.4, rel=0.05)
+    for g, curve in weak.items():
+        thr = [v for _, v in curve]
+        assert all(b > a for a, b in zip(thr, thr[1:]))
+
+
+if __name__ == "__main__":
+    t1, t2 = make_tables(*run_fig3())
+    print(t1)
+    print()
+    print(t2)

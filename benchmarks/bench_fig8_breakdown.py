@@ -1,0 +1,107 @@
+"""Fig 8: timing breakdown of the nonlinear diffusion problem.
+
+The paper breaks the run into linear-system formulation (SUNDIALS),
+preconditioner setup, and solve (MFEM + hypre), comparing one P8 CPU
+thread against one P100.  We run the real problem (small mesh), record
+both the *measured* phase breakdown on this machine and the *modeled*
+CPU(P8, 1 thread)-vs-GPU(P100) phase times from the captured kernel
+trace scaled to the paper's 1M DoF.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.forall import ExecutionContext
+from repro.core.kernels import KernelTrace
+from repro.core.machine import get_machine
+from repro.core.roofline import RooflineModel
+from repro.fem.mesh import TensorMesh2D
+from repro.fem.nonlinear import NonlinearDiffusion
+from repro.util.tables import Table
+
+EA = get_machine("ea-minsky")  # P8 + P100, the Fig 8 hardware
+TARGET_DOFS = 1.0e6
+
+
+def run_problem(order=4, nel=5):
+    ctx = ExecutionContext()
+    mesh = TensorMesh2D(nel, nel, order=order)
+    prob = NonlinearDiffusion(mesh, k0=1.0, k1=0.5, ctx=ctx)
+    gx, gy = mesh.node_coords()
+    u0 = (np.sin(np.pi * gx) * np.sin(np.pi * gy)).ravel()
+    prob.integrate(u0, t_end=2e-3, rtol=1e-4, atol=1e-7)
+    return prob, ctx.trace, mesh.n_dofs
+
+
+def modeled_breakdown():
+    prob, trace, n_small = run_problem()
+    factor = TARGET_DOFS / n_small
+    model = RooflineModel(EA)
+    # bucket kernels into Fig 8's phases by name
+    phases = {"formulation": [], "preconditioner+solve": []}
+    for k in trace.kernels:
+        scaled = k.scaled(factor)
+        if k.name.startswith(("pa-", )):
+            phases["formulation"].append(scaled)
+        else:
+            phases["preconditioner+solve"].append(scaled)
+    out = {}
+    for phase, kernels in phases.items():
+        tr = KernelTrace()
+        for k in kernels:
+            tr.record_kernel(k)
+        out[phase] = {
+            "cpu": model.run_on_cpu(tr, cores=1).total,
+            "gpu": model.run_on_gpu(tr, gpus=1).total,
+        }
+    measured = prob.timers.as_dict()
+    return out, measured
+
+
+def make_table(modeled, measured) -> Table:
+    t = Table(
+        ["Phase", "P8 1-thread (model, s)", "P100 (model, s)", "speedup"],
+        title="Fig 8: nonlinear diffusion timing breakdown "
+              "(1M DoF, modeled from the real run's trace)",
+    )
+    for phase, v in modeled.items():
+        t.add_row(phase, round(v["cpu"], 3), round(v["gpu"], 4),
+                  f"{v['cpu'] / v['gpu']:.1f}X")
+    t2 = Table(
+        ["Phase", "measured seconds (this machine)"],
+        title="Measured laptop-scale phase breakdown (real run)",
+    )
+    for phase, sec in measured.items():
+        t2.add_row(phase, round(sec, 4))
+    return t, t2
+
+
+def test_bdf_step_kernel(benchmark):
+    """Time the real integrate-one-interval pipeline (small mesh)."""
+    def run():
+        mesh = TensorMesh2D(4, 4, order=2)
+        prob = NonlinearDiffusion(mesh, k0=1.0, k1=0.5)
+        gx, gy = mesh.node_coords()
+        u0 = (np.sin(np.pi * gx) * np.sin(np.pi * gy)).ravel()
+        return prob.integrate(u0, t_end=1e-3, rtol=1e-4, atol=1e-7)
+
+    times, states, integ = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert integ.stats.n_steps > 0
+
+
+def test_fig8_shape(benchmark):
+    modeled, measured = benchmark.pedantic(modeled_breakdown, rounds=1,
+                                           iterations=1)
+    for phase, v in modeled.items():
+        # every phase benefits on the GPU at 1M DoF vs 1 CPU thread
+        assert v["cpu"] / v["gpu"] > 3, phase
+    # the measured laptop run populates all Fig 8 phases
+    for phase in ("formulation", "preconditioner", "solve"):
+        assert measured.get(phase, 0) > 0
+
+
+if __name__ == "__main__":
+    t1, t2 = make_table(*modeled_breakdown())
+    print(t1)
+    print()
+    print(t2)

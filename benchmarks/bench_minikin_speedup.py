@@ -1,0 +1,75 @@
+"""§4.3: minikin GPU-vs-CPU node throughput by atomic-model size.
+
+Regenerates the Cretin headline numbers — 5.75X for the second-largest
+model, much more for the largest (where memory pressure idles ~60% of
+CPU cores) — and benchmarks the real zone population solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import get_machine
+from repro.kinetics.atomicmodel import MODEL_SIZES, make_model
+from repro.kinetics.minikin import (
+    Minikin,
+    Zone,
+    gpu_speedup,
+    node_throughput,
+    zone_memory_bytes,
+)
+from repro.util.tables import Table
+
+SIERRA = get_machine("sierra")
+
+
+def compute_rows():
+    rows = []
+    for size in MODEL_SIZES:
+        model = make_model(size)
+        cpu = node_throughput(SIERRA, model, "cpu")
+        gpu = node_throughput(SIERRA, model, "gpu")
+        rows.append({
+            "size": size,
+            "levels": model.n_levels,
+            "zone_gb": zone_memory_bytes(model) / 2**30,
+            "cpu_threads": cpu["threads"],
+            "idle": cpu["idle_fraction"],
+            "speedup": gpu["throughput"] / cpu["throughput"],
+        })
+    return rows
+
+
+def make_table(rows) -> Table:
+    t = Table(
+        ["Model", "Levels", "Zone WS (GiB)", "CPU threads", "idle %",
+         "GPU/CPU (model)", "paper"],
+        title="minikin node throughput: GPU vs CPU threading strategies",
+    )
+    paper = {"small": "-", "medium": "-", "large": "5.75X",
+             "xlarge": "much higher (60% cores idle)"}
+    for r in rows:
+        t.add_row(
+            r["size"], r["levels"], round(r["zone_gb"], 2),
+            int(r["cpu_threads"]), f"{100 * r['idle']:.0f}%",
+            f"{r['speedup']:.2f}X", paper[r["size"]],
+        )
+    return t
+
+
+def test_zone_solve_kernel(benchmark):
+    """Time the real rate-matrix assembly + direct population solve."""
+    mk = Minikin(make_model("medium"))
+    pops = benchmark(mk.solve_zone, Zone(0.4, 1.0))
+    assert pops.sum() == pytest.approx(1.0)
+
+
+def test_minikin_shape(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    by_size = {r["size"]: r for r in rows}
+    assert 4.5 < by_size["large"]["speedup"] < 7.0      # ~5.75X
+    assert 0.45 < by_size["xlarge"]["idle"] < 0.7       # ~60% idle
+    assert by_size["xlarge"]["speedup"] > 1.5 * by_size["large"]["speedup"]
+
+
+if __name__ == "__main__":
+    print(make_table(compute_rows()))

@@ -1,0 +1,78 @@
+"""§4.7: job-scheduler policy study for the Opt workflow.
+
+Regenerates both of the paper's conclusions — throttle distribution
+arrivals below capacity; use SJF-with-quota for batches — and
+benchmarks the real event-driven simulator.
+"""
+
+import pytest
+
+from repro.sched.policies import Fcfs, Sjf, SjfWithQuota
+from repro.sched.simulator import ClusterSimulator
+from repro.sched.workloads import batch_workload, offered_load, poisson_workload
+from repro.util.tables import Table
+
+N_GPUS = 16
+
+
+def batch_study():
+    jobs = batch_workload(n_jobs=300, long_fraction=0.1, seed=0)
+    sim = ClusterSimulator(N_GPUS)
+    return {
+        "FCFS": sim.run(jobs, Fcfs()),
+        "SJF": sim.run(jobs, Sjf()),
+        "SJF+quota": sim.run(jobs, SjfWithQuota(N_GPUS, 0.25)),
+    }
+
+
+def throttle_study():
+    sim = ClusterSimulator(N_GPUS)
+    out = {}
+    for label, rate in (("unthrottled", 2.7), ("throttled", 0.85)):
+        jobs = poisson_workload(n_jobs=400, arrival_rate=rate,
+                                mean_service=10.0, seed=1)
+        out[label] = (offered_load(jobs, N_GPUS), sim.run(jobs, Fcfs()))
+    return out
+
+
+def make_tables():
+    t1 = Table(
+        ["Policy", "utilization", "makespan", "mean wait", "max wait"],
+        title="Batch arrivals: policy comparison (paper: use SJF+quota)",
+    )
+    for label, r in batch_study().items():
+        t1.add_row(label, round(r.utilization, 3), round(r.makespan, 1),
+                   round(r.mean_wait, 1), round(r.max_wait, 1))
+    t2 = Table(
+        ["Arrivals", "offered load", "peak queue", "mean wait"],
+        title="Distribution arrivals: throttling (paper: keep load < capacity)",
+    )
+    for label, (load, r) in throttle_study().items():
+        t2.add_row(label, round(load, 2), r.peak_queue,
+                   round(r.mean_wait, 1))
+    return t1, t2
+
+
+def test_simulator_kernel(benchmark):
+    """Time the real event-driven simulation of a 400-job batch."""
+    jobs = batch_workload(n_jobs=300, seed=0)
+    sim = ClusterSimulator(N_GPUS)
+    result = benchmark(sim.run, jobs, SjfWithQuota(N_GPUS, 0.25))
+    assert result.completed == 300
+
+
+def test_policy_shape(benchmark):
+    results = benchmark.pedantic(batch_study, rounds=1, iterations=1)
+    assert results["SJF+quota"].utilization > results["SJF"].utilization
+    assert results["SJF"].mean_wait < results["FCFS"].mean_wait
+    thr = throttle_study()
+    assert thr["unthrottled"][1].peak_queue > (
+        3 * thr["throttled"][1].peak_queue
+    )
+
+
+if __name__ == "__main__":
+    t1, t2 = make_tables()
+    print(t1)
+    print()
+    print(t2)

@@ -1,0 +1,63 @@
+"""Table 2: historically best graph scale and GTEPS per machine.
+
+Regenerates every row of Table 2 from the storage-tier traversal model
+(modeled GTEPS vs the paper's measured values) and benchmarks the real
+BFS kernel the model is calibrated against.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.bfs import bfs_csr, build_csr
+from repro.graphs.rmat import rmat_edges
+from repro.graphs.scaling import TABLE2, table2_row
+from repro.util.tables import Table
+
+
+def make_table() -> Table:
+    t = Table(
+        ["Machine", "Year", "Nodes", "Scale", "GTEPS (paper)",
+         "GTEPS (model)", "ratio"],
+        title="Table 2: historically best graph scale and performance",
+    )
+    for name in TABLE2:
+        r = table2_row(name)
+        t.add_row(
+            name, int(r["year"]), int(r["nodes"]), int(r["scale"]),
+            r["paper_gteps"], round(r["modeled_gteps"], 3),
+            f"{r['ratio']:.2f}X",
+        )
+    return t
+
+
+@pytest.fixture(scope="module")
+def graph():
+    edges = rmat_edges(14, seed=0)
+    return build_csr(edges, 1 << 14)
+
+
+def test_bfs_kernel(benchmark, graph):
+    """Time the real level-synchronous BFS at scale 14."""
+    degrees = np.diff(graph.indptr)
+    src = int(degrees.argmax())
+    parents, levels, traversed = benchmark(bfs_csr, graph, src)
+    assert traversed > 0
+    if benchmark.stats:  # absent under --benchmark-disable
+        benchmark.extra_info["edges_traversed"] = traversed
+        benchmark.extra_info["local_mteps"] = round(
+            traversed / benchmark.stats["mean"] / 1e6, 1
+        )
+
+
+def test_table2_shape(benchmark):
+    rows = benchmark(lambda: [table2_row(n) for n in TABLE2])
+    # the headline: 2018 system beats every 2011 machine by >100X
+    final = next(r for r in rows if r["nodes"] == 2048)
+    kraken = rows[0]
+    assert final["modeled_gteps"] / kraken["modeled_gteps"] > 100
+    for r in rows:
+        assert 0.6 < r["ratio"] < 1.4
+
+
+if __name__ == "__main__":
+    print(make_table())

@@ -1,0 +1,76 @@
+"""§4.11: GPUDirect vs cudaMemcpy crossover and the transpose study.
+
+Regenerates the transfer-path crossover table (H2D crossover at a few
+KB, D2H at a few hundred bytes, UM = 64 KiB blocks) and benchmarks the
+real tiled transpose.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.forall import ExecutionContext
+from repro.core.machine import get_machine
+from repro.core.roofline import RooflineModel
+from repro.vbl.transfer import TransferPath, crossover_size, transfer_time
+from repro.vbl.transpose import transpose_cuda_style, transpose_raja_style
+from repro.util.tables import Table
+
+SIZES = [64, 512, 4096, 65536, 1 << 20]
+
+
+def make_tables():
+    t1 = Table(
+        ["bytes", "GPUDirect H2D (us)", "memcpy H2D (us)",
+         "GPUDirect D2H (us)", "memcpy D2H (us)", "UM (us)"],
+        title="Transfer-path times (model); paper: memcpy overtakes "
+              "GPUDirect at ~KBs H2D, ~100s B D2H; UM = 64 KiB blocks",
+    )
+    for n in SIZES:
+        t1.add_row(
+            n,
+            round(1e6 * transfer_time(TransferPath.GPUDIRECT, n, "h2d"), 2),
+            round(1e6 * transfer_time(TransferPath.MEMCPY, n, "h2d"), 2),
+            round(1e6 * transfer_time(TransferPath.GPUDIRECT, n, "d2h"), 2),
+            round(1e6 * transfer_time(TransferPath.MEMCPY, n, "d2h"), 2),
+            round(1e6 * transfer_time(TransferPath.UNIFIED, n, "h2d"), 2),
+        )
+    t2 = Table(["direction", "crossover (bytes)", "paper"],
+               title="cudaMemcpy-overtakes-GPUDirect crossover")
+    t2.add_row("h2d", round(crossover_size("h2d")), "a few kilobytes")
+    t2.add_row("d2h", round(crossover_size("d2h")), "a few hundred bytes")
+
+    model = RooflineModel(get_machine("sierra"))
+    a = np.zeros((2048, 2048))
+    ctx_r, ctx_c = ExecutionContext(), ExecutionContext()
+    transpose_raja_style(a, ctx_r)
+    transpose_cuda_style(a, ctx_c)
+    tr = model.run_on_gpu(ctx_r.trace).kernel_time
+    tc = model.run_on_gpu(ctx_c.trace).kernel_time
+    t3 = Table(["variant", "kernel time (model, ms)", "vs CUDA"],
+               title="Tiled transpose: RAJA vs hand CUDA (paper: CUDA "
+                     "'significantly outperformed' RAJA)")
+    t3.add_row("RAJA", round(tr * 1e3, 3), f"{tr / tc:.1f}X")
+    t3.add_row("CUDA", round(tc * 1e3, 3), "1.0X")
+    return t1, t2, t3
+
+
+def test_transpose_kernel(benchmark):
+    """Time the real tiled transpose at 1024^2 complex."""
+    a = (np.arange(1024 * 1024, dtype=np.complex128)
+         .reshape(1024, 1024))
+    out = benchmark(transpose_cuda_style, a)
+    assert out[3, 5] == a[5, 3]
+
+
+def test_crossover_shape(benchmark):
+    c_h2d, c_d2h = benchmark(
+        lambda: (crossover_size("h2d"), crossover_size("d2h"))
+    )
+    assert 1e3 < c_h2d < 10e3
+    assert 100 < c_d2h < 1e3
+
+
+if __name__ == "__main__":
+    for t in make_tables():
+        print(t)
+        print()

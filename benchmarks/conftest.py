@@ -1,0 +1,10 @@
+"""Shared benchmark configuration.
+
+Every bench module doubles as a script: ``python benchmarks/<file>.py``
+prints the regenerated table/figure series next to the paper's values
+(the same text EXPERIMENTS.md records).  Under
+``pytest benchmarks/ --benchmark-only`` the ``test_*`` functions also
+time the real computational kernels behind each experiment.
+"""
+
+import pytest

@@ -1,0 +1,77 @@
+"""Topology optimization of a drone-arm bracket (§4.7, Fig 5).
+
+Runs the real SIMP optimizer (matrix-free CG displacement solves,
+sensitivity filtering, optimality-criteria updates) on a tip-loaded
+cantilever — the structural problem class behind the paper's drone —
+prints the evolving design as ASCII art, and reports the texture-cache
+ablation that made CUDA necessary on the EA system but not on Sierra.
+
+Run:  python examples/drone_design.py
+"""
+
+import numpy as np
+
+from repro.core.machine import get_machine
+from repro.topopt.fe2d import Cantilever2D
+from repro.topopt.simp import SimpOptimizer
+from repro.topopt.texture import texture_ablation
+from repro.util.tables import Table
+
+SHADES = " .:*#@"
+
+
+def ascii_design(density: np.ndarray) -> str:
+    rows = []
+    for j in range(density.shape[1]):
+        rows.append("".join(
+            SHADES[min(int(density[i, j] * (len(SHADES) - 1) + 0.5),
+                       len(SHADES) - 1)]
+            for i in range(density.shape[0])
+        ))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    print("Optimizing a 60x20 cantilever bracket (40% material budget,")
+    print("tip load, matrix-free CG solves)...\n")
+    domain = Cantilever2D(60, 20, load="tip")
+    opt = SimpOptimizer(domain, volume_fraction=0.4, filter_radius=1.8)
+
+    frames = []
+
+    def watch(x, c):
+        frames.append((x.copy(), c))
+
+    result = opt.optimize(n_iters=25, callback=watch)
+
+    for it in (0, 5, len(frames) - 1):
+        x, c = frames[it]
+        print(f"iteration {it:2d}  compliance {c:9.2f}")
+    print()
+    print("Final design (clamped at the left edge, load at bottom right):\n")
+    print(ascii_design(result.density))
+    print()
+    t = Table(["metric", "value"], title="Design summary")
+    t.add_row("final compliance", round(result.compliance, 2))
+    t.add_row("compliance reduction",
+              f"{result.compliance_history[0] / result.compliance:.1f}X")
+    t.add_row("volume fraction", round(result.volume_fraction, 3))
+    t.add_row("total CG iterations", result.cg_iterations)
+    print(t)
+    print()
+
+    # the §4.7 hindsight: texture cache mattered on the EA system only
+    t2 = Table(["machine", "plain loads (ms)", "texture loads (ms)",
+                "texture benefit", "portable RAJA sufficient?"],
+               title="Matrix-free gather kernel: texture-cache ablation")
+    for name in ("ea-minsky", "sierra"):
+        r = texture_ablation(get_machine(name))
+        t2.add_row(name, round(1e3 * r["plain_time"], 2),
+                   round(1e3 * r["texture_time"], 2),
+                   f"{r['texture_benefit']:.1f}X",
+                   "no" if r["needs_texture_path"] else "yes")
+    print(t2)
+
+
+if __name__ == "__main__":
+    main()

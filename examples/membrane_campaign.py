@@ -1,0 +1,66 @@
+"""Martini membrane MD + the MuMMI multiscale campaign (§4.6, Fig 4).
+
+Part 1 runs a real coarse-grained bilayer simulation with the ddcMD
+proxy (thermostat, bonds, angles, Martini-style shifted LJ) and shows
+the bilayer holding together.  Part 2 runs the MuMMI-lite campaign —
+macro model proposing patches, micro MD jobs farmed onto a simulated
+GPU cluster — and compares campaign throughput with ddcMD vs the
+GROMACS baseline.
+
+Run:  python examples/membrane_campaign.py
+"""
+
+import numpy as np
+
+from repro.md.ddcmd import DdcMD, make_martini_membrane
+from repro.md.integrators import LangevinThermostat
+from repro.util.tables import Table
+from repro.workflow.mummi import MummiCampaign
+
+
+def main() -> None:
+    # --- part 1: a real membrane simulation ----------------------------
+    print("Equilibrating a 3-bead-lipid bilayer (Martini-style)...")
+    system, proc, bonds, angles = make_martini_membrane(
+        n_lipids_per_leaflet=16, n_water=64, seed=0
+    )
+    sim = DdcMD(
+        system, proc, dt=0.002, bonds=bonds, angles=angles,
+        thermostat=LangevinThermostat(temperature=0.8, friction=5.0, seed=1),
+    )
+    z_mid = system.box.lengths[2] / 2
+    for block in range(4):
+        sim.run(150)
+        z = system.x[:, 2]
+        heads = np.abs(z[system.types == 0] - z_mid)
+        tails = np.abs(z[system.types == 1] - z_mid)
+        print(f"  t={sim.steps_taken * 0.002:6.2f}  T={system.temperature():.2f}  "
+              f"head|z-mid|={np.median(heads):.2f}  "
+              f"tail|z-mid|={np.median(tails):.2f}  "
+              f"(bilayer intact: {np.median(heads) > np.median(tails)})")
+    print()
+
+    # --- part 2: the MuMMI campaign -------------------------------------
+    print("Running MuMMI-lite campaigns (macro model -> micro MD jobs")
+    print("on a 16-GPU simulated cluster; in-situ feedback)...\n")
+    t = Table(
+        ["MD engine", "sims completed", "GPU hours", "sims/hour",
+         "composition coverage"],
+        title="Campaign throughput: the per-step MD advantage compounds",
+    )
+    rates = {}
+    for code in ("ddcmd", "gromacs"):
+        camp = MummiCampaign(n_gpus=16, md_code=code, jobs_per_cycle=24,
+                             seed=0)
+        camp.run(4)
+        rates[code] = camp.simulations_per_hour
+        t.add_row(code, len(camp.results), round(camp.gpu_hours, 2),
+                  round(camp.simulations_per_hour, 1),
+                  f"{100 * camp.coverage():.0f}%")
+    print(t)
+    print(f"\nddcMD advantage inside MuMMI: "
+          f"{rates['ddcmd'] / rates['gromacs']:.1f}X (paper: 2.3X)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` on this machine (offline, no wheel module) falls back
+to `setup.py develop`, which setuptools provides natively.  All project
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

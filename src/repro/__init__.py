@@ -1,0 +1,20 @@
+"""repro — reproduction of the SC '19 iCoE workload-preparation paper.
+
+The package implements, in pure Python/NumPy, the diverse workload that
+"Preparation and Optimization of a Diverse Workload for a Large-Scale
+Heterogeneous System" (Karlin et al., SC '19) prepared for Sierra:
+proxy applications for every activity in the paper's Table 1, the
+portability substrates they used (mini-RAJA, mini-Umpire, JIT codegen),
+and a calibrated analytic performance model of the machines involved.
+
+Start with :mod:`repro.core` for the machine/performance substrate and
+:mod:`repro.workload` for the queryable activity inventory; each
+activity lives in its own subpackage (see DESIGN.md for the map from
+paper section to module).
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, util
+
+__all__ = ["core", "util", "__version__"]

@@ -1,0 +1,43 @@
+"""SAMRAI / CleverLeaf proxy: structured AMR hydrodynamics (§4.10.5).
+
+SAMRAI provides patch-based structured adaptive mesh refinement; the
+iCoE assessed its GPU port with the CleverLeaf mini-app, "which solves
+the Euler equations" (Table 5: ~7X full node, ~15X P9-vs-V100).
+
+- :mod:`repro.amr.patch` — patches (a Box plus ghosted field storage,
+  allocated through the mini-Umpire pool, §4.10.5's allocation
+  amortization).
+- :mod:`repro.amr.hierarchy` — patch levels, ghost exchange, gradient
+  tagging, box clustering, refine/coarsen transfers with conservative
+  averaging.
+- :mod:`repro.amr.euler` — the CleverLeaf core: 2D compressible Euler
+  with HLL fluxes and dimensionally-split updates, plus an exact
+  Riemann solver for validation (Sod problem).
+- :mod:`repro.amr.cleverleaf` — the assembled mini-app: runs the Euler
+  solver over a (optionally two-level) patch hierarchy with kernel
+  tracing for the Table 5 performance model.
+"""
+
+from repro.amr.patch import Patch
+from repro.amr.hierarchy import PatchLevel, cluster_tags, exchange_ghosts
+from repro.amr.euler import (
+    EulerState2D,
+    conserved_totals,
+    exact_riemann,
+    hll_step_2d,
+    sod_initial_condition,
+)
+from repro.amr.cleverleaf import CleverLeaf
+
+__all__ = [
+    "Patch",
+    "PatchLevel",
+    "cluster_tags",
+    "exchange_ghosts",
+    "EulerState2D",
+    "hll_step_2d",
+    "exact_riemann",
+    "sod_initial_condition",
+    "conserved_totals",
+    "CleverLeaf",
+]

@@ -1,0 +1,319 @@
+"""2D compressible Euler: HLL finite-volume kernels and exact Riemann.
+
+The CleverLeaf computational core.  State is conserved variables
+``(rho, rho*u, rho*v, E)`` on a cell-centered grid with two ghost
+layers.  The update is dimensionally split (Strang-like x-y sweep per
+step) with HLL interface fluxes and Davis wave-speed estimates — a
+robust, positivity-friendly classic.
+
+:func:`exact_riemann` implements the ideal-gas exact Riemann solution
+(Toro's iterative pressure solve) used to validate the numerical
+scheme on the Sod shock tube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+GAMMA = 1.4
+GHOST = 2
+
+
+@dataclass
+class EulerState2D:
+    """Conserved state on an (nx+4, ny+4) ghosted grid."""
+
+    rho: np.ndarray
+    mx: np.ndarray
+    my: np.ndarray
+    e: np.ndarray
+
+    @staticmethod
+    def zeros(nx: int, ny: int) -> "EulerState2D":
+        shape = (nx + 2 * GHOST, ny + 2 * GHOST)
+        return EulerState2D(*(np.zeros(shape) for _ in range(4)))
+
+    @property
+    def interior(self) -> Tuple[slice, slice]:
+        return (slice(GHOST, -GHOST), slice(GHOST, -GHOST))
+
+    def fields(self) -> Tuple[np.ndarray, ...]:
+        return (self.rho, self.mx, self.my, self.e)
+
+    def copy(self) -> "EulerState2D":
+        return EulerState2D(*(f.copy() for f in self.fields()))
+
+    def primitives(self) -> Tuple[np.ndarray, ...]:
+        """(rho, u, v, p) with a positivity floor on rho."""
+        rho = np.maximum(self.rho, 1e-12)
+        u = self.mx / rho
+        v = self.my / rho
+        p = (GAMMA - 1.0) * (self.e - 0.5 * rho * (u * u + v * v))
+        return rho, u, v, p
+
+    def fill_outflow_ghosts(self) -> None:
+        g = GHOST
+        for f in self.fields():
+            f[:g] = f[g:g + 1]
+            f[-g:] = f[-g - 1:-g]
+            f[:, :g] = f[:, g:g + 1]
+            f[:, -g:] = f[:, -g - 1:-g]
+
+    def fill_reflecting_ghosts(self) -> None:
+        """Solid walls: normal momentum flips sign in the ghosts."""
+        g = GHOST
+        for f, flip_x, flip_y in (
+            (self.rho, 1.0, 1.0), (self.mx, -1.0, 1.0),
+            (self.my, 1.0, -1.0), (self.e, 1.0, 1.0),
+        ):
+            f[:g] = flip_x * f[2 * g - 1:g - 1:-1]
+            f[-g:] = flip_x * f[-g - 1:-2 * g - 1:-1]
+            f[:, :g] = flip_y * f[:, 2 * g - 1:g - 1:-1]
+            f[:, -g:] = flip_y * f[:, -g - 1:-2 * g - 1:-1]
+
+
+def _hll_flux_1d(ul: Tuple[np.ndarray, ...], ur: Tuple[np.ndarray, ...]
+                 ) -> Tuple[np.ndarray, ...]:
+    """HLL flux for 1D Euler (normal direction = first momentum).
+
+    Inputs are conserved tuples (rho, mn, mt, E) on each side.
+    """
+    def flux(w):
+        rho, mn, mt, e = w
+        rho = np.maximum(rho, 1e-12)
+        un = mn / rho
+        p = (GAMMA - 1.0) * (e - 0.5 * (mn * mn + mt * mt) / rho)
+        p = np.maximum(p, 1e-12)
+        return (mn, mn * un + p, mt * un, (e + p) * un), un, p, rho
+
+    fl, ul_n, pl, rl = flux(ul)
+    fr, ur_n, pr, rr = flux(ur)
+    cl = np.sqrt(GAMMA * pl / rl)
+    cr = np.sqrt(GAMMA * pr / rr)
+    # Davis estimates
+    sl = np.minimum(ul_n - cl, ur_n - cr)
+    sr = np.maximum(ul_n + cl, ur_n + cr)
+    out = []
+    denom = np.where(np.abs(sr - sl) < 1e-300, 1e-300, sr - sl)
+    for k in range(4):
+        f_hll = (sr * fl[k] - sl * fr[k] + sl * sr * (ur[k] - ul[k])) / denom
+        f = np.where(sl >= 0, fl[k], np.where(sr <= 0, fr[k], f_hll))
+        out.append(f)
+    return tuple(out)
+
+
+def max_wave_speed(state: EulerState2D) -> float:
+    rho, u, v, p = state.primitives()
+    p = np.maximum(p, 1e-12)
+    c = np.sqrt(GAMMA * p / rho)
+    return float((np.abs(u) + np.abs(v)).max() + c.max())
+
+
+def _sweep(state: EulerState2D, dt_over_h: float, axis: int) -> None:
+    """One first-order HLL sweep along *axis* (in place, interior)."""
+    fields = state.fields()
+    if axis == 0:
+        w = (state.rho, state.mx, state.my, state.e)
+    else:
+        # rotate so the normal momentum comes first
+        w = (state.rho, state.my, state.mx, state.e)
+
+    def shift(f, offset):
+        if axis == 0:
+            return f[GHOST - 1 + offset:f.shape[0] - GHOST + offset,
+                     GHOST:-GHOST]
+        return f[GHOST:-GHOST,
+                 GHOST - 1 + offset:f.shape[1] - GHOST + offset]
+
+    left = tuple(shift(f, 0) for f in w)   # cells i-1 .. n-1 (faces)
+    right = tuple(shift(f, 1) for f in w)
+    fluxes = _hll_flux_1d(left, right)     # one flux per interior face+1
+    # un-rotate flux components
+    if axis == 0:
+        frho, fmx, fmy, fe = fluxes
+    else:
+        frho, fmy, fmx, fe = fluxes
+    for f, flx in zip(fields, (frho, fmx, fmy, fe)):
+        it = f[state.interior]
+        if axis == 0:
+            it -= dt_over_h * (flx[1:, :] - flx[:-1, :])
+        else:
+            it -= dt_over_h * (flx[:, 1:] - flx[:, :-1])
+
+
+def hll_step_2d(
+    state: EulerState2D,
+    h: float,
+    cfl: float = 0.4,
+    boundary: str = "outflow",
+    dt: Optional[float] = None,
+) -> float:
+    """Advance one time step (split x/y sweeps); returns dt used."""
+    if boundary not in ("outflow", "reflecting"):
+        raise ValueError("boundary must be 'outflow' or 'reflecting'")
+    if not (0 < cfl <= 0.9):
+        raise ValueError("cfl in (0, 0.9]")
+
+    def fill():
+        if boundary == "outflow":
+            state.fill_outflow_ghosts()
+        else:
+            state.fill_reflecting_ghosts()
+
+    fill()
+    if dt is None:
+        dt = cfl * h / max_wave_speed(state)
+    _sweep(state, dt / h, axis=0)
+    fill()
+    _sweep(state, dt / h, axis=1)
+    return dt
+
+
+def sod_initial_condition(nx: int, ny: int, axis: int = 0) -> EulerState2D:
+    """Classic Sod shock tube along *axis* (interface at midpoint)."""
+    state = EulerState2D.zeros(nx, ny)
+    it = state.interior
+    n = nx if axis == 0 else ny
+    idx = np.arange(n)
+    left = idx < n // 2
+    rho = np.where(left, 1.0, 0.125)
+    p = np.where(left, 1.0, 0.1)
+    if axis == 0:
+        rho2d = np.broadcast_to(rho[:, None], (nx, ny))
+        p2d = np.broadcast_to(p[:, None], (nx, ny))
+    else:
+        rho2d = np.broadcast_to(rho[None, :], (nx, ny))
+        p2d = np.broadcast_to(p[None, :], (nx, ny))
+    state.rho[it] = rho2d
+    state.e[it] = p2d / (GAMMA - 1.0)
+    return state
+
+
+def conserved_totals(state: EulerState2D, h: float) -> Tuple[float, float, float]:
+    """(mass, x-momentum, energy) integrals over the interior."""
+    it = state.interior
+    area = h * h
+    return (
+        float(state.rho[it].sum() * area),
+        float(state.mx[it].sum() * area),
+        float(state.e[it].sum() * area),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exact Riemann solver (Toro) for validation
+# ---------------------------------------------------------------------------
+
+def exact_riemann(
+    rho_l: float, u_l: float, p_l: float,
+    rho_r: float, u_r: float, p_r: float,
+    xi: np.ndarray,
+    gamma: float = GAMMA,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact ideal-gas Riemann solution sampled at xi = x/t.
+
+    Returns (rho, u, p) arrays.  Standard two-rarefaction initial
+    guess + Newton iteration on the pressure function.
+    """
+    if min(rho_l, rho_r, p_l, p_r) <= 0:
+        raise ValueError("densities and pressures must be positive")
+    g = gamma
+    cl = np.sqrt(g * p_l / rho_l)
+    cr = np.sqrt(g * p_r / rho_r)
+
+    def f_side(p, pk, rhok, ck):
+        if p > pk:  # shock
+            ak = 2.0 / ((g + 1) * rhok)
+            bk = (g - 1) / (g + 1) * pk
+            val = (p - pk) * np.sqrt(ak / (p + bk))
+            deriv = np.sqrt(ak / (bk + p)) * (1 - (p - pk) / (2 * (bk + p)))
+        else:  # rarefaction
+            val = 2 * ck / (g - 1) * ((p / pk) ** ((g - 1) / (2 * g)) - 1)
+            deriv = 1.0 / (rhok * ck) * (p / pk) ** (-(g + 1) / (2 * g))
+        return val, deriv
+
+    # two-rarefaction guess
+    p_guess = (
+        (cl + cr - 0.5 * (g - 1) * (u_r - u_l))
+        / (cl / p_l ** ((g - 1) / (2 * g)) + cr / p_r ** ((g - 1) / (2 * g)))
+    ) ** (2 * g / (g - 1))
+    p_star = max(p_guess, 1e-10)
+    for _ in range(60):
+        fl, dfl = f_side(p_star, p_l, rho_l, cl)
+        fr, dfr = f_side(p_star, p_r, rho_r, cr)
+        delta = (fl + fr + (u_r - u_l)) / (dfl + dfr)
+        p_new = max(p_star - delta, 1e-12)
+        if abs(p_new - p_star) < 1e-12 * p_star:
+            p_star = p_new
+            break
+        p_star = p_new
+    fl, _ = f_side(p_star, p_l, rho_l, cl)
+    fr, _ = f_side(p_star, p_r, rho_r, cr)
+    u_star = 0.5 * (u_l + u_r) + 0.5 * (fr - fl)
+
+    xi = np.asarray(xi, dtype=np.float64)
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    for k, s in enumerate(xi):
+        if s <= u_star:  # left of contact
+            if p_star > p_l:  # left shock
+                sl = u_l - cl * np.sqrt(
+                    (g + 1) / (2 * g) * p_star / p_l + (g - 1) / (2 * g)
+                )
+                if s < sl:
+                    rho[k], u[k], p[k] = rho_l, u_l, p_l
+                else:
+                    ratio = p_star / p_l
+                    rho[k] = rho_l * (
+                        (ratio + (g - 1) / (g + 1))
+                        / ((g - 1) / (g + 1) * ratio + 1)
+                    )
+                    u[k], p[k] = u_star, p_star
+            else:  # left rarefaction
+                head = u_l - cl
+                c_star = cl * (p_star / p_l) ** ((g - 1) / (2 * g))
+                tail = u_star - c_star
+                if s < head:
+                    rho[k], u[k], p[k] = rho_l, u_l, p_l
+                elif s > tail:
+                    rho[k] = rho_l * (p_star / p_l) ** (1 / g)
+                    u[k], p[k] = u_star, p_star
+                else:
+                    u[k] = 2 / (g + 1) * (cl + (g - 1) / 2 * u_l + s)
+                    c = cl - (g - 1) / 2 * (u[k] - u_l)
+                    rho[k] = rho_l * (c / cl) ** (2 / (g - 1))
+                    p[k] = p_l * (c / cl) ** (2 * g / (g - 1))
+        else:  # right of contact (mirror)
+            if p_star > p_r:  # right shock
+                sr = u_r + cr * np.sqrt(
+                    (g + 1) / (2 * g) * p_star / p_r + (g - 1) / (2 * g)
+                )
+                if s > sr:
+                    rho[k], u[k], p[k] = rho_r, u_r, p_r
+                else:
+                    ratio = p_star / p_r
+                    rho[k] = rho_r * (
+                        (ratio + (g - 1) / (g + 1))
+                        / ((g - 1) / (g + 1) * ratio + 1)
+                    )
+                    u[k], p[k] = u_star, p_star
+            else:  # right rarefaction
+                head = u_r + cr
+                c_star = cr * (p_star / p_r) ** ((g - 1) / (2 * g))
+                tail = u_star + c_star
+                if s > head:
+                    rho[k], u[k], p[k] = rho_r, u_r, p_r
+                elif s < tail:
+                    rho[k] = rho_r * (p_star / p_r) ** (1 / g)
+                    u[k], p[k] = u_star, p_star
+                else:
+                    u[k] = 2 / (g + 1) * (-cr + (g - 1) / 2 * u_r + s)
+                    c = cr + (g - 1) / 2 * (u[k] - u_r)
+                    rho[k] = rho_r * (c / cr) ** (2 / (g - 1))
+                    p[k] = p_r * (c / cr) ** (2 * g / (g - 1))
+    return rho, u, p

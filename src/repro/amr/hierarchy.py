@@ -1,0 +1,200 @@
+"""Patch levels, ghost exchange, tagging and clustering.
+
+The SAMRAI machinery CleverLeaf runs on:
+
+- :class:`PatchLevel` — a uniform tiling of a global index box into
+  patches (each owning ghosted storage).
+- :func:`exchange_ghosts` — copy-on-intersection ghost filling between
+  sibling patches, with outflow extrapolation at physical boundaries.
+- :func:`tag_gradient` / :func:`cluster_tags` — gradient-based cell
+  tagging and greedy box clustering (a simplified Berger-Rigoutsos),
+  producing the refined-level boxes.
+- :func:`coarsen_field` / :func:`refine_field` — conservative average
+  and piecewise-constant interpolation between refinement levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.amr.patch import Patch
+from repro.core.memory import QuickPool
+from repro.solvers.structured import Box
+
+
+class PatchLevel:
+    """Uniform tiling of ``domain`` into patches of ~``patch_size``."""
+
+    def __init__(self, domain: Box, patch_size: int = 32, ghost: int = 2,
+                 pool: Optional[QuickPool] = None):
+        if domain.ndim != 2:
+            raise ValueError("PatchLevel supports 2D domains")
+        if patch_size < 1:
+            raise ValueError("patch_size must be >= 1")
+        self.domain = domain
+        self.ghost = ghost
+        self.patches: List[Patch] = []
+        x0, y0 = domain.lo
+        x1, y1 = domain.hi
+        for px in range(x0, x1, patch_size):
+            for py in range(y0, y1, patch_size):
+                box = Box((px, py),
+                          (min(px + patch_size, x1), min(py + patch_size, y1)))
+                self.patches.append(Patch(box, ghost=ghost, pool=pool))
+
+    @property
+    def n_patches(self) -> int:
+        return len(self.patches)
+
+    def allocate(self, name: str, fill: float = 0.0) -> None:
+        for p in self.patches:
+            p.allocate(name, fill=fill)
+
+    def gather_global(self, name: str) -> np.ndarray:
+        """Assemble the level's field into one global array (testing/IO)."""
+        nx, ny = self.domain.shape
+        out = np.zeros((nx, ny))
+        ox, oy = self.domain.lo
+        for p in self.patches:
+            sl = (
+                slice(p.box.lo[0] - ox, p.box.hi[0] - ox),
+                slice(p.box.lo[1] - oy, p.box.hi[1] - oy),
+            )
+            out[sl] = p.interior(name)
+        return out
+
+    def scatter_global(self, name: str, data: np.ndarray) -> None:
+        if data.shape != self.domain.shape:
+            raise ValueError("global data shape mismatch")
+        ox, oy = self.domain.lo
+        for p in self.patches:
+            sl = (
+                slice(p.box.lo[0] - ox, p.box.hi[0] - ox),
+                slice(p.box.lo[1] - oy, p.box.hi[1] - oy),
+            )
+            p.interior(name)[...] = data[sl]
+
+
+def exchange_ghosts(level: PatchLevel, names: Sequence[str]) -> None:
+    """Fill patch ghosts from sibling interiors; physical boundaries get
+    outflow (nearest-interior) extrapolation."""
+    for name in names:
+        # sibling copies
+        for p in level.patches:
+            halo = p.box.grow(p.ghost)
+            for q in level.patches:
+                if q is p:
+                    continue
+                region = halo.intersect(q.box)
+                if region is None:
+                    continue
+                p.view(name, region)[...] = q.view(name, region)
+        # physical boundary extrapolation
+        for p in level.patches:
+            g = p.ghost
+            f = p.field(name)
+            storage = p.box.grow(g)
+            dom = level.domain
+            # low/high x
+            if p.box.lo[0] == dom.lo[0]:
+                f[:g, :] = f[g:g + 1, :]
+            if p.box.hi[0] == dom.hi[0]:
+                f[-g:, :] = f[-g - 1:-g, :]
+            if p.box.lo[1] == dom.lo[1]:
+                f[:, :g] = f[:, g:g + 1]
+            if p.box.hi[1] == dom.hi[1]:
+                f[:, -g:] = f[:, -g - 1:-g]
+
+
+def tag_gradient(field: np.ndarray, threshold: float) -> np.ndarray:
+    """Tag cells whose max neighbor difference exceeds *threshold*."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    tags = np.zeros(field.shape, dtype=bool)
+    dx = np.abs(np.diff(field, axis=0))
+    dy = np.abs(np.diff(field, axis=1))
+    tags[:-1, :] |= dx > threshold
+    tags[1:, :] |= dx > threshold
+    tags[:, :-1] |= dy > threshold
+    tags[:, 1:] |= dy > threshold
+    return tags
+
+
+def cluster_tags(tags: np.ndarray, max_boxes: int = 8,
+                 efficiency: float = 0.7) -> List[Box]:
+    """Greedy recursive bisection clustering of tagged cells.
+
+    Splits a bounding box along its longest axis at the minimum of the
+    tag signature until each box is *efficiency*-full of tags or the
+    budget is reached — the core idea of Berger-Rigoutsos.
+    """
+    if not (0 < efficiency <= 1.0):
+        raise ValueError("efficiency in (0, 1]")
+
+    def bounding(t: np.ndarray, offset: Tuple[int, int]) -> Optional[Box]:
+        xs, ys = np.nonzero(t)
+        if xs.size == 0:
+            return None
+        return Box(
+            (int(xs.min()) + offset[0], int(ys.min()) + offset[1]),
+            (int(xs.max()) + 1 + offset[0], int(ys.max()) + 1 + offset[1]),
+        )
+
+    work = [((0, 0), tags)]
+    boxes: List[Box] = []
+    while work and len(boxes) + len(work) <= max_boxes:
+        offset, t = work.pop()
+        bb = bounding(t, offset)
+        if bb is None:
+            continue
+        sl = (slice(bb.lo[0] - offset[0], bb.hi[0] - offset[0]),
+              slice(bb.lo[1] - offset[1], bb.hi[1] - offset[1]))
+        sub = t[sl]
+        fill = sub.mean()
+        if fill >= efficiency or min(sub.shape) <= 2:
+            boxes.append(bb)
+            continue
+        axis = 0 if sub.shape[0] >= sub.shape[1] else 1
+        signature = sub.sum(axis=1 - axis)
+        interiors = signature[1:-1]
+        if interiors.size == 0:
+            boxes.append(bb)
+            continue
+        cut = 1 + int(np.argmin(interiors))
+        if axis == 0:
+            a, b = sub[:cut], sub[cut:]
+            off_a = bb.lo
+            off_b = (bb.lo[0] + cut, bb.lo[1])
+        else:
+            a, b = sub[:, :cut], sub[:, cut:]
+            off_a = bb.lo
+            off_b = (bb.lo[0], bb.lo[1] + cut)
+        work.append((off_a, a))
+        work.append((off_b, b))
+    # flush remaining work as bounding boxes
+    for offset, t in work:
+        bb = bounding(t, offset)
+        if bb is not None:
+            boxes.append(bb)
+    return boxes
+
+
+def coarsen_field(fine: np.ndarray, ratio: int = 2) -> np.ndarray:
+    """Conservative average (cell-centered) fine -> coarse."""
+    if ratio < 1:
+        raise ValueError("ratio must be >= 1")
+    nx, ny = fine.shape
+    if nx % ratio or ny % ratio:
+        raise ValueError("fine shape not divisible by ratio")
+    return fine.reshape(nx // ratio, ratio, ny // ratio, ratio).mean(
+        axis=(1, 3)
+    )
+
+
+def refine_field(coarse: np.ndarray, ratio: int = 2) -> np.ndarray:
+    """Piecewise-constant injection coarse -> fine (conservative)."""
+    if ratio < 1:
+        raise ValueError("ratio must be >= 1")
+    return np.repeat(np.repeat(coarse, ratio, axis=0), ratio, axis=1)

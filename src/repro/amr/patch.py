@@ -1,0 +1,99 @@
+"""Patches: boxes plus ghosted field storage.
+
+A :class:`Patch` owns named cell-centered fields over its
+:class:`~repro.solvers.structured.Box`, each carrying a ghost frame.
+Storage can come from a mini-Umpire :class:`~repro.core.memory.
+QuickPool` — the allocation-amortization practice §4.10.5 credits
+("all data is allocated from memory pools that Umpire provides").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.memory import ManagedArray, QuickPool
+from repro.solvers.structured import Box
+
+
+class Patch:
+    """A 2D patch: box + ghosted fields.
+
+    Field arrays have shape ``box.shape + 2*ghost`` per axis; index
+    ``[ghost, ghost]`` corresponds to global cell ``box.lo``.
+    """
+
+    def __init__(self, box: Box, ghost: int = 2,
+                 pool: Optional[QuickPool] = None):
+        if box.ndim != 2:
+            raise ValueError("Patch supports 2D boxes")
+        if ghost < 0:
+            raise ValueError("ghost width must be non-negative")
+        self.box = box
+        self.ghost = ghost
+        self.pool = pool
+        self._fields: Dict[str, np.ndarray] = {}
+        self._managed: Dict[str, ManagedArray] = {}
+
+    @property
+    def storage_shape(self) -> Tuple[int, int]:
+        nx, ny = self.box.shape
+        return (nx + 2 * self.ghost, ny + 2 * self.ghost)
+
+    def allocate(self, name: str, fill: float = 0.0) -> np.ndarray:
+        if name in self._fields:
+            raise KeyError(f"field {name!r} already allocated")
+        if self.pool is not None:
+            managed = self.pool.allocate(self.storage_shape, name=name)
+            managed.data.fill(fill)
+            self._managed[name] = managed
+            self._fields[name] = managed.data
+        else:
+            self._fields[name] = np.full(self.storage_shape, fill)
+        return self._fields[name]
+
+    def field(self, name: str) -> np.ndarray:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise KeyError(
+                f"no field {name!r}; allocated: {sorted(self._fields)}"
+            )
+
+    @property
+    def field_names(self):
+        return sorted(self._fields)
+
+    def release(self) -> None:
+        """Return pooled storage to the pool."""
+        if self.pool is not None:
+            for managed in self._managed.values():
+                self.pool.release(managed)
+        self._fields.clear()
+        self._managed.clear()
+
+    # -- index helpers ---------------------------------------------------
+
+    def interior(self, name: str) -> np.ndarray:
+        g = self.ghost
+        f = self.field(name)
+        return f[g:f.shape[0] - g, g:f.shape[1] - g]
+
+    def global_slices(self, region: Box) -> Tuple[slice, slice]:
+        """Array slices (including ghosts) covering the global *region*.
+
+        The region may extend into this patch's ghost frame.
+        """
+        storage_box = self.box.grow(self.ghost)
+        if not storage_box.contains(region):
+            raise ValueError(f"region {region} outside patch storage")
+        ox, oy = storage_box.lo
+        return (
+            slice(region.lo[0] - ox, region.hi[0] - ox),
+            slice(region.lo[1] - oy, region.hi[1] - oy),
+        )
+
+    def view(self, name: str, region: Box) -> np.ndarray:
+        """Writable view of *region* (global coordinates)."""
+        return self.field(name)[self.global_slices(region)]

@@ -1,0 +1,141 @@
+"""Hodgkin-Huxley-style membrane model: the reaction kernel workload.
+
+The classic HH squid-axon model stands in for Cardioid's human ion
+models (TT06 and friends): the structure is identical — a voltage
+equation plus gating variables whose voltage-dependent opening/closing
+rates are built from exponential functions — and the computational
+profile matches the paper's description (each cell update evaluates
+many ``exp`` calls; the work is embarrassingly parallel across cells).
+
+Rates are exposed individually in :data:`RATE_FUNCTIONS` so the DSL can
+fit and replace each one.  Gates advance with the Rush-Larsen scheme
+(exact exponential integration of the linear gate ODEs), the standard
+cardiac practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+# membrane parameters (classic HH, mV / ms / mS units)
+G_NA, G_K, G_L = 120.0, 36.0, 0.3
+E_NA, E_K, E_L = 50.0, -77.0, -54.387
+C_M = 1.0
+
+#: physiological voltage range the DSL fits over (mV)
+V_RANGE = (-90.0, 60.0)
+
+
+def _safe_expm1_ratio(x: np.ndarray) -> np.ndarray:
+    """x / (exp(x) - 1), continuous at x = 0 (value -> 1)."""
+    x = np.asarray(x, dtype=np.float64)
+    small = np.abs(x) < 1e-7
+    safe_x = np.where(small, 1.0, x)  # avoid 0/0 in the masked branch
+    return np.where(small, 1.0 - x / 2.0, safe_x / np.expm1(safe_x))
+
+
+def alpha_m(v):
+    return 1.0 * _safe_expm1_ratio(-(v + 40.0) / 10.0)
+
+
+def beta_m(v):
+    return 4.0 * np.exp(-(np.asarray(v) + 65.0) / 18.0)
+
+
+def alpha_h(v):
+    return 0.07 * np.exp(-(np.asarray(v) + 65.0) / 20.0)
+
+
+def beta_h(v):
+    return 1.0 / (1.0 + np.exp(-(np.asarray(v) + 35.0) / 10.0))
+
+
+def alpha_n(v):
+    return 0.1 * _safe_expm1_ratio(-(v + 55.0) / 10.0)
+
+
+def beta_n(v):
+    return 0.125 * np.exp(-(np.asarray(v) + 65.0) / 80.0)
+
+
+#: name -> rate function over membrane voltage; the DSL's input set
+RATE_FUNCTIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "alpha_m": alpha_m,
+    "beta_m": beta_m,
+    "alpha_h": alpha_h,
+    "beta_h": beta_h,
+    "alpha_n": alpha_n,
+    "beta_n": beta_n,
+}
+
+RateFn = Callable[[np.ndarray], Dict[str, np.ndarray]]
+
+
+def reference_rates(v: np.ndarray) -> Dict[str, np.ndarray]:
+    """All six rates via the math library (the un-optimized kernel)."""
+    return {name: fn(v) for name, fn in RATE_FUNCTIONS.items()}
+
+
+@dataclass
+class HodgkinHuxleyModel:
+    """Vectorized membrane model over ``n_cells`` cells.
+
+    ``rates`` is pluggable: the reference implementation or a
+    DSL-generated kernel with identical signature.
+    """
+
+    n_cells: int
+    rates: RateFn = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 1:
+            raise ValueError("need at least one cell")
+        if self.rates is None:
+            self.rates = reference_rates
+        self.v = np.full(self.n_cells, -65.0)
+        m0, h0, n0 = self.steady_gates(-65.0)
+        self.m = np.full(self.n_cells, m0)
+        self.h = np.full(self.n_cells, h0)
+        self.n = np.full(self.n_cells, n0)
+
+    @staticmethod
+    def steady_gates(v: float) -> Tuple[float, float, float]:
+        """Gate steady states at voltage *v* (initialization)."""
+        am, bm = float(alpha_m(v)), float(beta_m(v))
+        ah, bh = float(alpha_h(v)), float(beta_h(v))
+        an, bn = float(alpha_n(v)), float(beta_n(v))
+        return am / (am + bm), ah / (ah + bh), an / (an + bn)
+
+    def ionic_current(self) -> np.ndarray:
+        """Total membrane ionic current at the present state (uA/cm^2)."""
+        i_na = G_NA * self.m**3 * self.h * (self.v - E_NA)
+        i_k = G_K * self.n**4 * (self.v - E_K)
+        i_l = G_L * (self.v - E_L)
+        return i_na + i_k + i_l
+
+    def step_reaction(self, dt: float, i_stim: Optional[np.ndarray] = None
+                      ) -> None:
+        """Advance gates (Rush-Larsen) and voltage (forward Euler)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        r = self.rates(self.v)
+        for gate, a_name, b_name in (
+            ("m", "alpha_m", "beta_m"),
+            ("h", "alpha_h", "beta_h"),
+            ("n", "alpha_n", "beta_n"),
+        ):
+            a, b = r[a_name], r[b_name]
+            tau = 1.0 / (a + b)
+            inf = a * tau
+            g = getattr(self, gate)
+            setattr(self, gate, inf + (g - inf) * np.exp(-dt / tau))
+        i_ion = self.ionic_current()
+        stim = i_stim if i_stim is not None else 0.0
+        self.v = self.v + dt * (stim - i_ion) / C_M
+
+    def state(self) -> np.ndarray:
+        """Packed state matrix (n_cells, 4): columns V, m, h, n."""
+        return np.stack([self.v, self.m, self.h, self.n], axis=1)

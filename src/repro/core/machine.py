@@ -1,0 +1,314 @@
+"""Catalog of the machines the paper evaluates on.
+
+Every quantitative result in the paper is a comparison between (or a
+scaling run on) one of a small set of machines: the Sierra
+"final system" (Witherspoon nodes: 2x POWER9 + 4x V100, NVLink2), the
+early-access Minsky system (2x POWER8 + 4x P100, NVLink1), Cori-II
+(KNL) at NERSC, the on-site exploration clusters (Sandy Bridge + K40,
+Haswell + K80), Blue Gene/Q, and the historical machines in Table 2.
+
+Specs below are the published peak numbers for each part.  The roofline
+model applies achievable-fraction efficiencies on top of these peaks;
+those efficiencies, not the peaks, are the calibration knobs (see
+``RooflineModel``).
+
+All bandwidths are bytes/second, all rates flop/s, all latencies
+seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One CPU socket."""
+
+    name: str
+    cores: int
+    #: double-precision peak per socket (flop/s)
+    peak_flops: float
+    #: STREAM-like sustainable memory bandwidth per socket (B/s)
+    mem_bw: float
+    #: last-level cache per socket (bytes); used by cache-residency models
+    llc_bytes: float
+    smt: int = 1
+
+    @property
+    def peak_flops_per_core(self) -> float:
+        return self.peak_flops / self.cores
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU device."""
+
+    name: str
+    #: double-precision peak (flop/s)
+    peak_flops: float
+    #: single-precision peak (flop/s)
+    peak_flops_sp: float
+    #: device memory bandwidth (B/s)
+    mem_bw: float
+    #: device memory capacity (bytes)
+    mem_bytes: float
+    #: kernel launch overhead (s)
+    launch_overhead: float
+    #: number of SMs; used for occupancy-style tail effects
+    sms: int
+    #: shared-memory per SM (bytes)
+    shared_mem_per_sm: float = 96 * 1024
+    #: True when the L1/tex path is unified and as fast as texture
+    #: fetches (Volta); Pascal/Kepler benefit from explicit texture use.
+    unified_fast_l1: bool = False
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Host-device (or device-device) interconnect."""
+
+    name: str
+    #: per-direction bandwidth (B/s)
+    bandwidth: float
+    #: per-transfer latency (s)
+    latency: float
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move *nbytes* across the link (one transfer)."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Inter-node network."""
+
+    name: str
+    #: per-node injection bandwidth (B/s)
+    injection_bw: float
+    #: small-message latency (s)
+    latency: float
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A full node type plus its system-level context."""
+
+    name: str
+    year: int
+    cpu: CpuSpec
+    cpu_sockets: int
+    gpu: Optional[GpuSpec]
+    gpus_per_node: int
+    host_device_link: Optional[LinkSpec]
+    network: NetworkSpec
+    #: node DRAM (bytes)
+    node_mem_bytes: float
+    #: node-local NVMe capacity (bytes); 0 when absent
+    nvme_bytes: float = 0.0
+    #: NVMe read bandwidth (B/s)
+    nvme_bw: float = 0.0
+    max_nodes: int = 1
+
+    @property
+    def cpu_peak_flops(self) -> float:
+        """Aggregate CPU double-precision peak for the node."""
+        return self.cpu.peak_flops * self.cpu_sockets
+
+    @property
+    def cpu_mem_bw(self) -> float:
+        """Aggregate CPU-attached memory bandwidth for the node."""
+        return self.cpu.mem_bw * self.cpu_sockets
+
+    @property
+    def gpu_peak_flops(self) -> float:
+        """Aggregate GPU double-precision peak for the node."""
+        if self.gpu is None:
+            return 0.0
+        return self.gpu.peak_flops * self.gpus_per_node
+
+    @property
+    def gpu_mem_bw(self) -> float:
+        if self.gpu is None:
+            return 0.0
+        return self.gpu.mem_bw * self.gpus_per_node
+
+    @property
+    def total_cores(self) -> int:
+        return self.cpu.cores * self.cpu_sockets
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        gpu = (
+            f", {self.gpus_per_node}x {self.gpu.name}" if self.gpu else ""
+        )
+        return f"{self.name} ({self.cpu_sockets}x {self.cpu.name}{gpu})"
+
+
+# --------------------------------------------------------------------------
+# Part catalog (published peaks).
+# --------------------------------------------------------------------------
+
+POWER8 = CpuSpec(
+    name="POWER8", cores=10, peak_flops=0.29e12, mem_bw=115e9,
+    llc_bytes=80 * 2**20, smt=8,
+)
+POWER9 = CpuSpec(
+    name="POWER9", cores=22, peak_flops=0.54e12, mem_bw=135e9,
+    llc_bytes=110 * 2**20, smt=4,
+)
+HASWELL = CpuSpec(
+    name="Haswell E5-2695v3", cores=14, peak_flops=0.5e12, mem_bw=60e9,
+    llc_bytes=35 * 2**20, smt=2,
+)
+SANDYBRIDGE = CpuSpec(
+    name="Sandy Bridge E5-2670", cores=8, peak_flops=0.166e12, mem_bw=42e9,
+    llc_bytes=20 * 2**20, smt=2,
+)
+KNL = CpuSpec(
+    name="KNL 7250", cores=68, peak_flops=2.6e12, mem_bw=450e9,
+    llc_bytes=34 * 2**20, smt=4,
+)
+BGQ_CPU = CpuSpec(
+    name="BG/Q A2", cores=16, peak_flops=0.2048e12, mem_bw=28e9,
+    llc_bytes=32 * 2**20, smt=4,
+)
+XEON_2011 = CpuSpec(
+    name="Westmere X5660", cores=6, peak_flops=0.067e12, mem_bw=25e9,
+    llc_bytes=12 * 2**20, smt=2,
+)
+IVYBRIDGE = CpuSpec(
+    name="Ivy Bridge E5-2695v2", cores=12, peak_flops=0.23e12, mem_bw=50e9,
+    llc_bytes=30 * 2**20, smt=2,
+)
+
+V100 = GpuSpec(
+    name="V100", peak_flops=7.8e12, peak_flops_sp=15.7e12, mem_bw=900e9,
+    mem_bytes=16 * 2**30, launch_overhead=5e-6, sms=80,
+    unified_fast_l1=True,
+)
+P100 = GpuSpec(
+    name="P100", peak_flops=5.3e12, peak_flops_sp=10.6e12, mem_bw=732e9,
+    mem_bytes=16 * 2**30, launch_overhead=7e-6, sms=56,
+)
+K80 = GpuSpec(
+    name="K80 (per die)", peak_flops=1.45e12, peak_flops_sp=4.37e12,
+    mem_bw=240e9, mem_bytes=12 * 2**30, launch_overhead=10e-6, sms=13,
+)
+K40 = GpuSpec(
+    name="K40", peak_flops=1.43e12, peak_flops_sp=4.29e12, mem_bw=288e9,
+    mem_bytes=12 * 2**30, launch_overhead=10e-6, sms=15,
+)
+
+NVLINK2 = LinkSpec(name="NVLink2 (2 bricks)", bandwidth=75e9, latency=2e-6)
+NVLINK1 = LinkSpec(name="NVLink1 (2 bricks)", bandwidth=40e9, latency=3e-6)
+PCIE3 = LinkSpec(name="PCIe gen3 x16", bandwidth=12e9, latency=6e-6)
+PCIE2 = LinkSpec(name="PCIe gen2 x16", bandwidth=6e9, latency=8e-6)
+
+EDR_IB = NetworkSpec(name="EDR InfiniBand x2", injection_bw=25e9, latency=1.5e-6)
+FDR_IB = NetworkSpec(name="FDR InfiniBand", injection_bw=7e9, latency=2e-6)
+QDR_IB = NetworkSpec(name="QDR InfiniBand", injection_bw=4e9, latency=2.5e-6)
+ARIES = NetworkSpec(name="Cray Aries", injection_bw=10e9, latency=1.8e-6)
+BGQ_TORUS = NetworkSpec(name="BG/Q 5D torus", injection_bw=20e9, latency=2.5e-6)
+GEMINI = NetworkSpec(name="Cray Gemini", injection_bw=6e9, latency=2.2e-6)
+
+
+# --------------------------------------------------------------------------
+# Machine catalog.
+# --------------------------------------------------------------------------
+
+MACHINES: Dict[str, Machine] = {}
+
+
+def _register(machine: Machine) -> Machine:
+    MACHINES[machine.name] = machine
+    return machine
+
+
+#: Sierra "final system": Witherspoon nodes.
+SIERRA = _register(Machine(
+    name="sierra", year=2018, cpu=POWER9, cpu_sockets=2,
+    gpu=V100, gpus_per_node=4, host_device_link=NVLINK2,
+    network=EDR_IB, node_mem_bytes=256 * 2**30,
+    nvme_bytes=1.6e12, nvme_bw=5.5e9, max_nodes=4320,
+))
+
+#: Early-access system: Minsky nodes (P8 + P100, NVLink1).
+EA_MINSKY = _register(Machine(
+    name="ea-minsky", year=2016, cpu=POWER8, cpu_sockets=2,
+    gpu=P100, gpus_per_node=4, host_device_link=NVLINK1,
+    network=EDR_IB, node_mem_bytes=256 * 2**30, max_nodes=54,
+))
+
+#: Cori-II at NERSC (KNL): the SW4 comparison machine.
+CORI_II = _register(Machine(
+    name="cori-ii", year=2016, cpu=KNL, cpu_sockets=1,
+    gpu=None, gpus_per_node=0, host_device_link=None,
+    network=ARIES, node_mem_bytes=96 * 2**30, max_nodes=9688,
+))
+
+#: On-site visualization cluster used for early exploration.
+SURFACE = _register(Machine(
+    name="surface", year=2014, cpu=SANDYBRIDGE, cpu_sockets=2,
+    gpu=K40, gpus_per_node=2, host_device_link=PCIE3,
+    network=FDR_IB, node_mem_bytes=256 * 2**30, max_nodes=162,
+))
+
+#: Dedicated development machine (Haswell + K80).
+RZHASGPU = _register(Machine(
+    name="rzhasgpu", year=2015, cpu=HASWELL, cpu_sockets=2,
+    gpu=K80, gpus_per_node=4, host_device_link=PCIE3,
+    network=FDR_IB, node_mem_bytes=256 * 2**30, max_nodes=20,
+))
+
+#: Blue Gene/Q (Sequoia class): the prior-generation scalable platform.
+BGQ = _register(Machine(
+    name="bgq", year=2012, cpu=BGQ_CPU, cpu_sockets=1,
+    gpu=None, gpus_per_node=0, host_device_link=None,
+    network=BGQ_TORUS, node_mem_bytes=16 * 2**30, max_nodes=98304,
+))
+
+# Historical machines from Table 2 (graph analytics).  Specs are
+# representative of the named systems' node types; what matters to the
+# Table 2 reproduction is the NVMe/DRAM capacity tiers and network.
+KRAKEN = _register(Machine(
+    name="kraken", year=2011, cpu=XEON_2011, cpu_sockets=4,
+    gpu=None, gpus_per_node=0, host_device_link=None,
+    network=QDR_IB, node_mem_bytes=512 * 2**30,
+    nvme_bytes=12e12, nvme_bw=1.2e9, max_nodes=1,
+))
+LEVIATHAN = _register(Machine(
+    name="leviathan", year=2011, cpu=XEON_2011, cpu_sockets=8,
+    gpu=None, gpus_per_node=0, host_device_link=None,
+    network=QDR_IB, node_mem_bytes=1024 * 2**30,
+    nvme_bytes=24e12, nvme_bw=1.4e9, max_nodes=1,
+))
+HYPERION = _register(Machine(
+    name="hyperion", year=2011, cpu=XEON_2011, cpu_sockets=2,
+    gpu=None, gpus_per_node=0, host_device_link=None,
+    network=QDR_IB, node_mem_bytes=48 * 2**30,
+    nvme_bytes=0.4e12, nvme_bw=0.9e9, max_nodes=64,
+))
+BERTHA = _register(Machine(
+    name="bertha", year=2014, cpu=IVYBRIDGE, cpu_sockets=4,
+    gpu=None, gpus_per_node=0, host_device_link=None,
+    network=FDR_IB, node_mem_bytes=3072 * 2**30,
+    nvme_bytes=50e12, nvme_bw=1.25e9, max_nodes=1,
+))
+CATALYST = _register(Machine(
+    name="catalyst", year=2014, cpu=IVYBRIDGE, cpu_sockets=2,
+    gpu=None, gpus_per_node=0, host_device_link=None,
+    network=QDR_IB, node_mem_bytes=128 * 2**30,
+    nvme_bytes=0.8e12, nvme_bw=1.5e9, max_nodes=324,
+))
+
+
+def get_machine(name: str) -> Machine:
+    """Look up a machine by name; raises ``KeyError`` with suggestions."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        known = ", ".join(sorted(MACHINES))
+        raise KeyError(f"unknown machine {name!r}; known machines: {known}")

@@ -1,0 +1,301 @@
+"""Mini-Umpire: memory spaces, pooled allocators, transfer accounting.
+
+The paper's library-integration lesson (§4.10) is that performance
+hinges on *data residency*: who allocates, where the bytes live, and
+how often they cross the host-device link.  SAMRAI amortizes
+allocations through Umpire pools; MFEM/hypre/SUNDIALS coordinate
+ownership so vectors stay on the GPU.
+
+This module reproduces that machinery in pure Python.  Arrays are real
+NumPy arrays (so the proxies actually compute), tagged with a
+:class:`MemorySpace`.  A :class:`ResourceManager` hands out
+:class:`ManagedArray` objects, tracks live allocations per space, and
+records every copy between spaces in a
+:class:`~repro.core.kernels.KernelTrace` so the roofline model can
+charge transfer time.  :class:`QuickPool` reproduces Umpire's pooling
+strategy: grow-on-demand blocks, free-list reuse, high-water-mark
+statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.kernels import KernelTrace, TransferSpec
+
+
+class MemorySpace(enum.Enum):
+    """Where an allocation lives."""
+
+    HOST = "host"
+    DEVICE = "device"
+    #: CUDA Unified Memory: accessible from both sides; copies are
+    #: implicit (page migration) and modeled at page granularity.
+    UNIFIED = "um"
+
+
+#: Unified Memory migrates in 64 KiB blocks on the systems in the paper
+#: (§4.11: "VBL uses CUDA Unified Memory, which is equivalent to
+#: transferring blocks of 64 kilobytes").
+UM_PAGE_BYTES = 64 * 1024
+
+
+class AllocationError(RuntimeError):
+    """Raised when a space's capacity would be exceeded."""
+
+
+@dataclass
+class ManagedArray:
+    """A NumPy array tagged with its memory space.
+
+    The ``data`` attribute is always usable — this is a *model* of
+    residency, not an enforcement mechanism — but the `forall` device
+    backend checks the tag and raises on host-resident inputs, which is
+    how tests assert the data-residency discipline the paper teaches.
+    """
+
+    data: np.ndarray
+    space: MemorySpace
+    name: str = ""
+    _manager: Optional["ResourceManager"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def free(self) -> None:
+        if self._manager is not None:
+            self._manager.deallocate(self)
+
+
+@dataclass
+class _SpaceStats:
+    live_bytes: int = 0
+    high_water: int = 0
+    alloc_count: int = 0
+    free_count: int = 0
+
+    def on_alloc(self, nbytes: int) -> None:
+        self.live_bytes += nbytes
+        self.alloc_count += 1
+        self.high_water = max(self.high_water, self.live_bytes)
+
+    def on_free(self, nbytes: int) -> None:
+        self.live_bytes -= nbytes
+        self.free_count += 1
+
+
+class ResourceManager:
+    """Tracks allocations per space and records inter-space copies.
+
+    Parameters
+    ----------
+    device_capacity_bytes:
+        Optional cap on DEVICE (and UNIFIED-resident) bytes; exceeding
+        it raises :class:`AllocationError`.  This is how the Cretin
+        memory-capacity story (§4.3: large atomic models idle 60% of
+        CPU cores; the GPU path only needs one zone resident) is
+        exercised by real allocation failures.
+    trace:
+        Optional shared :class:`KernelTrace` to append transfer records
+        to; a fresh one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        device_capacity_bytes: Optional[float] = None,
+        trace: Optional[KernelTrace] = None,
+    ):
+        self.device_capacity_bytes = device_capacity_bytes
+        self.trace = trace if trace is not None else KernelTrace()
+        self.stats: Dict[MemorySpace, _SpaceStats] = {
+            space: _SpaceStats() for space in MemorySpace
+        }
+
+    # -- allocation ------------------------------------------------------
+
+    def allocate(
+        self,
+        shape,
+        dtype=np.float64,
+        space: MemorySpace = MemorySpace.HOST,
+        name: str = "",
+        fill: Optional[float] = None,
+    ) -> ManagedArray:
+        data = np.empty(shape, dtype=dtype)
+        if fill is not None:
+            data.fill(fill)
+        self._charge(space, data.nbytes)
+        arr = ManagedArray(data=data, space=space, name=name, _manager=self)
+        return arr
+
+    def adopt(
+        self, data: np.ndarray, space: MemorySpace, name: str = ""
+    ) -> ManagedArray:
+        """Wrap an existing array (library interoperability: accepting
+        pointers allocated elsewhere, §4.10.4)."""
+        self._charge(space, data.nbytes)
+        return ManagedArray(data=data, space=space, name=name, _manager=self)
+
+    def deallocate(self, arr: ManagedArray) -> None:
+        self.stats[arr.space].on_free(arr.nbytes)
+        arr._manager = None
+
+    def _charge(self, space: MemorySpace, nbytes: int) -> None:
+        if (
+            space in (MemorySpace.DEVICE, MemorySpace.UNIFIED)
+            and self.device_capacity_bytes is not None
+        ):
+            projected = (
+                self.stats[MemorySpace.DEVICE].live_bytes
+                + self.stats[MemorySpace.UNIFIED].live_bytes
+                + nbytes
+            )
+            if projected > self.device_capacity_bytes:
+                raise AllocationError(
+                    f"device capacity exceeded: {projected} > "
+                    f"{self.device_capacity_bytes} bytes"
+                )
+        self.stats[space].on_alloc(nbytes)
+
+    # -- movement ---------------------------------------------------------
+
+    def copy(self, src: ManagedArray, dst: ManagedArray, name: str = "") -> None:
+        """Copy ``src`` into ``dst``, recording any space crossing."""
+        if src.data.shape != dst.data.shape:
+            raise ValueError("copy between mismatched shapes")
+        np.copyto(dst.data, src.data)
+        self._record_crossing(src.space, dst.space, src.nbytes, name)
+
+    def move(self, arr: ManagedArray, space: MemorySpace, name: str = "") -> None:
+        """Re-home *arr* in *space* (records the transfer)."""
+        if arr.space == space:
+            return
+        self.stats[arr.space].on_free(arr.nbytes)
+        self._charge(space, arr.nbytes)
+        self._record_crossing(arr.space, space, arr.nbytes, name)
+        arr.space = space
+
+    def touch_unified(
+        self, arr: ManagedArray, nbytes: Optional[int] = None, from_device: bool = True
+    ) -> None:
+        """Model a UM page-migration fault pattern on *arr*.
+
+        Unified-memory access from the "other" side migrates pages of
+        :data:`UM_PAGE_BYTES`; we record one transfer per page, which
+        is what makes UM cheaper than many tiny explicit copies but
+        more expensive than one big one (§4.11).
+        """
+        if arr.space != MemorySpace.UNIFIED:
+            raise ValueError("touch_unified on a non-UM array")
+        nbytes = arr.nbytes if nbytes is None else nbytes
+        pages = max(1, int(np.ceil(nbytes / UM_PAGE_BYTES)))
+        direction = "h2d" if from_device else "d2h"
+        self.trace.record_transfer(
+            TransferSpec(
+                name=f"um-migrate:{arr.name or 'anon'}",
+                nbytes=min(nbytes, UM_PAGE_BYTES),
+                direction=direction,
+                count=pages,
+            )
+        )
+
+    def _record_crossing(
+        self, src: MemorySpace, dst: MemorySpace, nbytes: int, name: str
+    ) -> None:
+        if src == dst:
+            return
+        if MemorySpace.DEVICE in (src, dst) or MemorySpace.UNIFIED in (src, dst):
+            direction = "h2d" if dst in (MemorySpace.DEVICE, MemorySpace.UNIFIED) else "d2h"
+            self.trace.record_transfer(
+                TransferSpec(name=name or "copy", nbytes=nbytes, direction=direction)
+            )
+
+    # -- reporting ---------------------------------------------------------
+
+    def live_bytes(self, space: MemorySpace) -> int:
+        return self.stats[space].live_bytes
+
+    def high_water(self, space: MemorySpace) -> int:
+        return self.stats[space].high_water
+
+
+class QuickPool:
+    """Umpire-style growing pool allocator over a ResourceManager.
+
+    Blocks are recycled through per-size free lists; the pool only hits
+    the underlying manager when no cached block fits, amortizing
+    allocation cost exactly as SAMRAI does (§4.10.5).
+    """
+
+    def __init__(
+        self,
+        manager: ResourceManager,
+        space: MemorySpace = MemorySpace.DEVICE,
+        initial_block_bytes: int = 1 << 20,
+        growth_factor: float = 2.0,
+    ):
+        if growth_factor < 1.0:
+            raise ValueError("growth_factor must be >= 1")
+        self.manager = manager
+        self.space = space
+        self.next_block_bytes = int(initial_block_bytes)
+        self.growth_factor = growth_factor
+        self._free: Dict[int, List[ManagedArray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def allocate(self, shape, dtype=np.float64, name: str = "") -> ManagedArray:
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        bucket = self._bucket(nbytes)
+        free_list = self._free.get(bucket)
+        if free_list:
+            self.hits += 1
+            block = free_list.pop()
+        else:
+            self.misses += 1
+            # each block serves one live allocation (no subdivision),
+            # so blocks are sized to the rounded request; repeated
+            # misses at the same bucket escalate the bucket itself
+            # through the growth factor of the *request stream*, not a
+            # global counter, keeping waste bounded at 2x
+            block_bytes = bucket
+            block = self.manager.allocate(
+                (block_bytes,), dtype=np.uint8, space=self.space,
+                name=f"pool:{name}",
+            )
+        view = block.data[:nbytes].view(dtype)[: int(np.prod(shape))]
+        arr = ManagedArray(
+            data=view.reshape(shape), space=self.space, name=name, _manager=None
+        )
+        arr._pool_block = block  # type: ignore[attr-defined]
+        arr._pool_bucket = bucket  # type: ignore[attr-defined]
+        return arr
+
+    def release(self, arr: ManagedArray) -> None:
+        block = getattr(arr, "_pool_block", None)
+        bucket = getattr(arr, "_pool_bucket", None)
+        if block is None or bucket is None:
+            raise ValueError("array was not allocated from this pool")
+        self._free.setdefault(bucket, []).append(block)
+
+    @staticmethod
+    def _bucket(nbytes: int) -> int:
+        """Round up to the next power of two (free-list key)."""
+        if nbytes <= 0:
+            return 1
+        return 1 << (int(nbytes - 1).bit_length())

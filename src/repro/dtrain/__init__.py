@@ -1,0 +1,47 @@
+"""Data Science / Deep Learning proxies (§4.5).
+
+- :mod:`repro.dtrain.nn` — a small, real neural-network substrate
+  (dense layers, ReLU, softmax cross-entropy, minibatch SGD) used by
+  everything below.
+- :mod:`repro.dtrain.distributed` — distributed-training algorithms:
+  synchronous SGD, Asynchronous SGD with a parameter server and
+  explicit gradient staleness, and the paper's K-step Averaging
+  (KAVG [34]): bulk-synchronous local-SGD with model averaging every
+  K steps.  Tests reproduce the paper's findings (ASGD degrades with
+  staleness unless the learning rate shrinks; KAVG tolerates K > 1).
+- :mod:`repro.dtrain.streams` — the Table 3 study: three synthetic
+  feature streams (spatial / temporal / SPyNet-like) over UCF101- and
+  HMDB51-sized class sets, per-stream classifiers, and the four
+  combination approaches (simple average, weighted average, logistic
+  regression, shallow NN).
+- :mod:`repro.dtrain.lbann` — the Fig 3 model: LBANN-style
+  model-parallel training where each sample spans 2-16 GPUs (the
+  model exceeds one V100's memory), with strong/weak scaling to 2048
+  GPUs.
+"""
+
+from repro.dtrain.nn import MLP, Dense, softmax
+from repro.dtrain.distributed import (
+    AsgdServer,
+    kavg_train,
+    sgd_train,
+)
+from repro.dtrain.streams import (
+    StreamDataset,
+    combine_and_score,
+    make_stream_dataset,
+)
+from repro.dtrain.lbann import LbannScalingModel
+
+__all__ = [
+    "MLP",
+    "Dense",
+    "softmax",
+    "sgd_train",
+    "AsgdServer",
+    "kavg_train",
+    "StreamDataset",
+    "make_stream_dataset",
+    "combine_and_score",
+    "LbannScalingModel",
+]

@@ -1,0 +1,164 @@
+"""Distributed-training algorithm simulators: SGD, ASGD, KAVG (§4.5).
+
+The paper's finding: ASGD "has the same asymptotic convergence rate as
+SGD when the staleness of gradient update is bounded, [but] the
+learning rate assumed for ASGD convergence is usually too small for
+practical purposes", and staleness is hard to control.  KAVG [34]
+(learners run K local SGD steps, then average models) is bulk
+synchronous, scales better, and "the optimal K for convergence is
+usually greater than one".
+
+All three run *for real* on any model exposing the
+``gradient(x, y) -> (loss, flat_grad)`` / ``get_params`` /
+``set_params`` interface of :class:`repro.dtrain.nn.MLP`.  Staleness in
+the ASGD simulator is explicit: the server keeps a version history and
+learners compute gradients against parameters ``staleness`` versions
+old — the controlled experiment the paper's analysis needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dtrain.nn import MLP
+from repro.util.rng import make_rng, spawn_rngs
+
+
+def _batches(x, y, batch_size, rng):
+    n = x.shape[0]
+    order = rng.permutation(n)
+    for k in range(0, n, batch_size):
+        idx = order[k:k + batch_size]
+        yield x[idx], y[idx]
+
+
+def sgd_train(
+    model: MLP,
+    x: np.ndarray,
+    y: np.ndarray,
+    lr: float = 0.1,
+    epochs: int = 5,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> List[float]:
+    """Plain minibatch SGD; returns per-epoch mean loss."""
+    if lr <= 0 or epochs < 0 or batch_size < 1:
+        raise ValueError("bad SGD hyperparameters")
+    rng = make_rng(seed)
+    history: List[float] = []
+    params = model.get_params()
+    for _ in range(epochs):
+        losses = []
+        for xb, yb in _batches(x, y, batch_size, rng):
+            model.set_params(params)
+            loss, grad = model.gradient(xb, yb)
+            params = params - lr * grad
+            losses.append(loss)
+        history.append(float(np.mean(losses)))
+    model.set_params(params)
+    return history
+
+
+class AsgdServer:
+    """Parameter-server ASGD with controllable gradient staleness.
+
+    ``staleness`` s means every applied gradient was computed against
+    the parameters from s updates ago (s=0 reduces to sequential SGD).
+    """
+
+    def __init__(self, model: MLP, lr: float, staleness: int = 0):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if staleness < 0:
+            raise ValueError("staleness must be >= 0")
+        self.model = model
+        self.lr = lr
+        self.staleness = staleness
+        self._versions: List[np.ndarray] = [model.get_params()]
+
+    @property
+    def params(self) -> np.ndarray:
+        return self._versions[-1]
+
+    def train(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        n_updates: int,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> List[float]:
+        """Apply *n_updates* (possibly stale) gradient updates."""
+        if n_updates < 0:
+            raise ValueError("n_updates must be >= 0")
+        rng = make_rng(seed)
+        n = x.shape[0]
+        losses: List[float] = []
+        for _ in range(n_updates):
+            idx = rng.integers(0, n, batch_size)
+            stale_idx = max(0, len(self._versions) - 1 - self.staleness)
+            self.model.set_params(self._versions[stale_idx])
+            loss, grad = self.model.gradient(x[idx], y[idx])
+            new = self._versions[-1] - self.lr * grad
+            self._versions.append(new)
+            # bound history memory
+            keep = self.staleness + 2
+            if len(self._versions) > 4 * keep:
+                self._versions = self._versions[-keep:]
+            losses.append(loss)
+        self.model.set_params(self._versions[-1])
+        return losses
+
+
+def kavg_train(
+    model: MLP,
+    x: np.ndarray,
+    y: np.ndarray,
+    n_learners: int,
+    k_steps: int,
+    lr: float = 0.1,
+    rounds: int = 10,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> List[float]:
+    """K-step averaging SGD [34].
+
+    Data is partitioned across learners; each round every learner runs
+    ``k_steps`` of local SGD from the shared model, then models are
+    averaged (one global reduction per round).  Returns the global
+    training loss after each round.
+    """
+    if n_learners < 1 or k_steps < 1 or rounds < 0:
+        raise ValueError("bad KAVG configuration")
+    if lr <= 0:
+        raise ValueError("lr must be positive")
+    n = x.shape[0]
+    shard = [np.arange(n)[i::n_learners] for i in range(n_learners)]
+    rngs = spawn_rngs(seed, n_learners)
+    params = model.get_params()
+    history: List[float] = []
+    for _ in range(rounds):
+        locals_: List[np.ndarray] = []
+        for learner in range(n_learners):
+            p = params.copy()
+            idx = shard[learner]
+            rng = rngs[learner]
+            for _ in range(k_steps):
+                batch = idx[rng.integers(0, idx.size, batch_size)]
+                model.set_params(p)
+                _, grad = model.gradient(x[batch], y[batch])
+                p = p - lr * grad
+            locals_.append(p)
+        params = np.mean(locals_, axis=0)
+        model.set_params(params)
+        history.append(model.loss(x, y))
+    return history
+
+
+def kavg_reduction_count(rounds: int) -> int:
+    """Global reductions KAVG needs (one per round, independent of K) —
+    the communication-savings argument for K > 1."""
+    return rounds

@@ -1,0 +1,145 @@
+"""Minimal dense neural-network substrate.
+
+Real forward/backward math (no autograd framework): dense layers with
+ReLU, softmax cross-entropy loss, flattened parameter get/set so the
+distributed-training simulators can average/exchange whole models as
+vectors.  Gradients are verified against finite differences in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise stable softmax."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class Dense:
+    """Affine layer with optional ReLU."""
+
+    def __init__(self, n_in: int, n_out: int, relu: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        if n_in < 1 or n_out < 1:
+            raise ValueError("layer sizes must be >= 1")
+        rng = make_rng(rng)
+        scale = np.sqrt(2.0 / n_in)
+        self.w = rng.normal(0.0, scale, (n_in, n_out))
+        self.b = np.zeros(n_out)
+        self.relu = relu
+        self._x: Optional[np.ndarray] = None
+        self._pre: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        pre = x @ self.w + self.b
+        self._pre = pre
+        return np.maximum(pre, 0.0) if self.relu else pre
+
+    def backward(self, grad_out: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Returns (grad_x, grad_w, grad_b)."""
+        if self._x is None or self._pre is None:
+            raise RuntimeError("backward before forward")
+        if self.relu:
+            grad_out = grad_out * (self._pre > 0)
+        grad_w = self._x.T @ grad_out
+        grad_b = grad_out.sum(axis=0)
+        grad_x = grad_out @ self.w.T
+        return grad_x, grad_w, grad_b
+
+    @property
+    def n_params(self) -> int:
+        return self.w.size + self.b.size
+
+
+class MLP:
+    """Multi-layer perceptron with softmax cross-entropy head.
+
+    ``hidden=()`` gives multinomial logistic regression.
+    """
+
+    def __init__(self, n_in: int, n_classes: int,
+                 hidden: Sequence[int] = (), seed: int = 0):
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        rng = make_rng(seed)
+        sizes = [n_in, *hidden, n_classes]
+        self.layers: List[Dense] = []
+        for k in range(len(sizes) - 1):
+            self.layers.append(
+                Dense(sizes[k], sizes[k + 1],
+                      relu=(k < len(sizes) - 2), rng=rng)
+            )
+        self.n_classes = n_classes
+
+    # -- parameter vector interface --------------------------------------
+
+    def get_params(self) -> np.ndarray:
+        return np.concatenate(
+            [np.concatenate([l.w.ravel(), l.b]) for l in self.layers]
+        )
+
+    def set_params(self, flat: np.ndarray) -> None:
+        expected = sum(l.n_params for l in self.layers)
+        if flat.shape != (expected,):
+            raise ValueError(f"expected {expected} parameters")
+        k = 0
+        for l in self.layers:
+            nw = l.w.size
+            l.w = flat[k:k + nw].reshape(l.w.shape).copy()
+            k += nw
+            nb = l.b.size
+            l.b = flat[k:k + nb].copy()
+            k += nb
+
+    @property
+    def n_params(self) -> int:
+        return sum(l.n_params for l in self.layers)
+
+    # -- forward / loss / grad ----------------------------------------------
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        h = x
+        for l in self.layers:
+            h = l.forward(h)
+        return softmax(h)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == y).mean())
+
+    def loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        p = self.predict_proba(x)
+        return float(
+            -np.log(np.maximum(p[np.arange(len(y)), y], 1e-300)).mean()
+        )
+
+    def gradient(self, x: np.ndarray, y: np.ndarray
+                 ) -> Tuple[float, np.ndarray]:
+        """(loss, flattened gradient) on the batch."""
+        n = x.shape[0]
+        p = self.predict_proba(x)
+        loss = float(
+            -np.log(np.maximum(p[np.arange(n), y], 1e-300)).mean()
+        )
+        grad = p.copy()
+        grad[np.arange(n), y] -= 1.0
+        grad /= n
+        grads: List[np.ndarray] = []
+        g = grad
+        for l in reversed(self.layers):
+            g, gw, gb = l.backward(g)
+            grads.append(np.concatenate([gw.ravel(), gb]))
+        return loss, np.concatenate(grads[::-1])

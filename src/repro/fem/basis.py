@@ -1,0 +1,135 @@
+"""1D bases and quadrature for tensor-product finite elements.
+
+High-order nodal bases use Gauss-Lobatto-Legendre (GLL) points — the
+standard choice for spectral elements (well-conditioned Lagrange
+interpolation, endpoint nodes give C0 continuity across elements).
+Quadrature uses Gauss-Legendre with enough points to integrate
+stiffness terms exactly for affine elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+
+def gauss_legendre(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """n-point Gauss-Legendre rule on [-1, 1]; exact to degree 2n-1."""
+    if n < 1:
+        raise ValueError("need at least one quadrature point")
+    x, w = np.polynomial.legendre.leggauss(n)
+    return x, w
+
+
+@lru_cache(maxsize=64)
+def _gauss_lobatto_cached(n: int) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    # points: ±1 and roots of P'_{n-1}
+    if n == 2:
+        return (-1.0, 1.0), (1.0, 1.0)
+    cn = np.zeros(n)
+    cn[-1] = 1.0
+    dp = np.polynomial.legendre.Legendre(cn).deriv()
+    interior = np.sort(dp.roots())
+    pts = np.concatenate([[-1.0], interior, [1.0]])
+    # weights: 2 / (n(n-1) P_{n-1}(x)^2)
+    pn = np.polynomial.legendre.Legendre(cn)
+    wts = 2.0 / (n * (n - 1) * pn(pts) ** 2)
+    return tuple(pts.tolist()), tuple(wts.tolist())
+
+
+def gauss_lobatto(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """n-point Gauss-Lobatto-Legendre rule on [-1, 1] (n >= 2).
+
+    Includes the endpoints; exact to degree 2n-3.
+    """
+    if n < 2:
+        raise ValueError("Gauss-Lobatto needs n >= 2")
+    pts, wts = _gauss_lobatto_cached(n)
+    return np.array(pts), np.array(wts)
+
+
+def lagrange_eval(nodes: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Matrix L with L[q, i] = l_i(x_q) for Lagrange basis on *nodes*."""
+    nodes = np.asarray(nodes, dtype=np.float64)
+    x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+    n = nodes.size
+    out = np.ones((x.size, n))
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                out[:, i] *= (x - nodes[j]) / (nodes[i] - nodes[j])
+    return out
+
+
+def lagrange_deriv(nodes: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Matrix D with D[q, i] = l_i'(x_q)."""
+    nodes = np.asarray(nodes, dtype=np.float64)
+    x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+    n = nodes.size
+    out = np.zeros((x.size, n))
+    for i in range(n):
+        for k in range(n):
+            if k == i:
+                continue
+            term = np.full(x.size, 1.0 / (nodes[i] - nodes[k]))
+            for j in range(n):
+                if j != i and j != k:
+                    term *= (x - nodes[j]) / (nodes[i] - nodes[j])
+            out[:, i] += term
+    return out
+
+
+@dataclass(frozen=True)
+class Basis1D:
+    """Order-p 1D Lagrange basis on GLL nodes with GL quadrature.
+
+    Attributes
+    ----------
+    order:
+        Polynomial order p (p+1 nodes).
+    nodes:
+        GLL nodes on [-1, 1], shape (p+1,).
+    quad_pts, quad_wts:
+        Gauss-Legendre rule (p+2 points: exact for mass and stiffness
+        of affine elements).
+    b:
+        Interpolation matrix, shape (nq, p+1): basis values at
+        quadrature points.
+    g:
+        Derivative matrix, shape (nq, p+1): basis derivatives at
+        quadrature points (reference coordinates).
+    """
+
+    order: int
+    nodes: np.ndarray
+    quad_pts: np.ndarray
+    quad_wts: np.ndarray
+    b: np.ndarray
+    g: np.ndarray
+
+    @staticmethod
+    def make(order: int, quad_points: int = 0) -> "Basis1D":
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        nodes, _ = gauss_lobatto(order + 1)
+        nq = quad_points if quad_points > 0 else order + 2
+        qx, qw = gauss_legendre(nq)
+        return Basis1D(
+            order=order,
+            nodes=nodes,
+            quad_pts=qx,
+            quad_wts=qw,
+            b=lagrange_eval(nodes, qx),
+            g=lagrange_deriv(nodes, qx),
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return self.order + 1
+
+    @property
+    def n_quad(self) -> int:
+        return self.quad_pts.size

@@ -1,0 +1,145 @@
+"""Tensor-product 2D quad meshes for high-order continuous elements.
+
+A uniform ``nel x nel`` mesh of square elements on ``[0, Lx] x [0, Ly]``
+with order-p continuous Lagrange elements has a *global tensor grid* of
+``(nel*p + 1)^2`` nodes; the element-to-global DOF map is then pure
+index arithmetic.  That regularity is what makes the sum-factorized
+operators in :mod:`repro.fem.operators` vectorizable over all elements
+at once — the same regularity MFEM's partial-assembly kernels exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.fem.basis import Basis1D
+
+
+@dataclass
+class TensorMesh2D:
+    """Uniform quad mesh with order-p tensor-product nodes.
+
+    Parameters
+    ----------
+    nel_x, nel_y:
+        Elements per direction.
+    order:
+        Polynomial order p >= 1.
+    lx, ly:
+        Domain lengths.
+    """
+
+    nel_x: int
+    nel_y: int
+    order: int
+    lx: float = 1.0
+    ly: float = 1.0
+    basis: Basis1D = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.nel_x < 1 or self.nel_y < 1:
+            raise ValueError("need at least one element per direction")
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+        if self.lx <= 0 or self.ly <= 0:
+            raise ValueError("domain lengths must be positive")
+        self.basis = Basis1D.make(self.order)
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def n_elements(self) -> int:
+        return self.nel_x * self.nel_y
+
+    @property
+    def nodes_x(self) -> int:
+        return self.nel_x * self.order + 1
+
+    @property
+    def nodes_y(self) -> int:
+        return self.nel_y * self.order + 1
+
+    @property
+    def n_dofs(self) -> int:
+        return self.nodes_x * self.nodes_y
+
+    @property
+    def hx(self) -> float:
+        return self.lx / self.nel_x
+
+    @property
+    def hy(self) -> float:
+        return self.ly / self.nel_y
+
+    # -- node coordinates ------------------------------------------------------
+
+    def node_coords_1d(self, axis: str = "x") -> np.ndarray:
+        """Global 1D node coordinates along *axis* (GLL within elements)."""
+        if axis == "x":
+            nel, h = self.nel_x, self.hx
+        elif axis == "y":
+            nel, h = self.nel_y, self.hy
+        else:
+            raise ValueError("axis must be 'x' or 'y'")
+        ref = (self.basis.nodes + 1.0) / 2.0  # [0, 1]
+        coords = [0.0]
+        for e in range(nel):
+            left = e * h
+            coords.extend((left + ref[1:] * h).tolist())
+        return np.array(coords)
+
+    def node_coords(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(X, Y) meshgrids of all global nodes, shape (nodes_x, nodes_y)."""
+        x = self.node_coords_1d("x")
+        y = self.node_coords_1d("y")
+        return np.meshgrid(x, y, indexing="ij")
+
+    # -- DOF maps ---------------------------------------------------------------
+
+    def element_dofs(self) -> np.ndarray:
+        """Global DOF indices per element, shape (n_elements, p+1, p+1).
+
+        Element (ex, ey), local node (i, j) -> global node
+        (ex*p + i, ey*p + j); global flat index = gx * nodes_y + gy.
+        """
+        p = self.order
+        ex = np.arange(self.nel_x)
+        ey = np.arange(self.nel_y)
+        i = np.arange(p + 1)
+        gx = ex[:, None] * p + i[None, :]          # (nel_x, p+1)
+        gy = ey[:, None] * p + i[None, :]          # (nel_y, p+1)
+        # broadcast to (nel_x, nel_y, p+1, p+1)
+        flat = (
+            gx[:, None, :, None] * self.nodes_y + gy[None, :, None, :]
+        )
+        return flat.reshape(self.n_elements, p + 1, p + 1)
+
+    def boundary_mask(self) -> np.ndarray:
+        """Boolean mask over global DOFs: True on the domain boundary."""
+        mask = np.zeros((self.nodes_x, self.nodes_y), dtype=bool)
+        mask[0, :] = mask[-1, :] = True
+        mask[:, 0] = mask[:, -1] = True
+        return mask.ravel()
+
+    def interior_dofs(self) -> np.ndarray:
+        return np.flatnonzero(~self.boundary_mask())
+
+    # -- gather / scatter ----------------------------------------------------------
+
+    def gather(self, u: np.ndarray) -> np.ndarray:
+        """Global vector -> element-local tensors (E-vector in MFEM
+        terms), shape (n_elements, p+1, p+1)."""
+        if u.shape[0] != self.n_dofs:
+            raise ValueError("global vector has wrong length")
+        return u[self.element_dofs()]
+
+    def scatter_add(self, ue: np.ndarray, out: Optional[np.ndarray] = None
+                    ) -> np.ndarray:
+        """Element-local tensors -> global vector by summation."""
+        if out is None:
+            out = np.zeros(self.n_dofs)
+        np.add.at(out, self.element_dofs().ravel(), ue.ravel())
+        return out

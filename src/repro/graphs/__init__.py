@@ -1,0 +1,39 @@
+"""HavoqGT proxy: large-scale graph analytics on NVMe (§4.4, Table 2).
+
+"Data science work on the graph code HavoqGT demonstrated the value of
+NVMe to applications ... Using the 1.6 TB of NVMe on each node and
+CPUs for compute we can run larger graph problems faster."  Table 2
+records the historically best (scale, GTEPS) pairs per machine.
+
+- :mod:`repro.graphs.rmat` — Graph500-style Kronecker (R-MAT) edge
+  generator.
+- :mod:`repro.graphs.bfs` — level-synchronous BFS over CSR adjacency
+  with the Graph500 validation rules and real TEPS measurement.
+- :mod:`repro.graphs.scaling` — the machine-level model: per-node
+  traversal rate from the storage tier that must hold the graph
+  (DRAM vs NVMe, or infeasible), with a distributed-communication
+  penalty — reproduces Table 2's scales and GTEPS.
+"""
+
+from repro.graphs.rmat import rmat_edges
+from repro.graphs.bfs import bfs_csr, build_csr, validate_bfs, measured_teps
+from repro.graphs.scaling import (
+    graph_bytes,
+    max_scale,
+    modeled_gteps,
+    storage_tier,
+    table2_row,
+)
+
+__all__ = [
+    "rmat_edges",
+    "build_csr",
+    "bfs_csr",
+    "validate_bfs",
+    "measured_teps",
+    "graph_bytes",
+    "storage_tier",
+    "max_scale",
+    "modeled_gteps",
+    "table2_row",
+]

@@ -1,0 +1,52 @@
+"""Graph500-style R-MAT (Kronecker) edge generation.
+
+Standard recursive-quadrant sampling with the Graph500 parameters
+(a, b, c, d) = (0.57, 0.19, 0.19, 0.05): each of ``scale`` bits of the
+source/destination ids is drawn by picking a quadrant, producing the
+skewed degree distribution real social/web graphs show.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+GRAPH500_PARAMS = (0.57, 0.19, 0.19, 0.05)
+EDGE_FACTOR = 16
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int = EDGE_FACTOR,
+    params: Tuple[float, float, float, float] = GRAPH500_PARAMS,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate ``edge_factor * 2^scale`` edges, shape (m, 2).
+
+    Vertex ids are in ``[0, 2^scale)``.  Self-loops and duplicates are
+    allowed, as in the Graph500 generator (the CSR builder dedups).
+    """
+    if scale < 1 or scale > 30:
+        raise ValueError("scale must be in 1..30 for in-memory generation")
+    if edge_factor < 1:
+        raise ValueError("edge_factor must be >= 1")
+    a, b, c, d = params
+    if abs(a + b + c + d - 1.0) > 1e-9 or min(a, b, c, d) <= 0:
+        raise ValueError("params must be positive and sum to 1")
+    rng = make_rng(seed)
+    m = edge_factor * (1 << scale)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(m)
+        # quadrant: 0 -> (0,0), 1 -> (0,1), 2 -> (1,0), 3 -> (1,1)
+        go_right = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        go_down = r >= a + b
+        src |= go_down.astype(np.int64) << bit
+        dst |= go_right.astype(np.int64) << bit
+    # Graph500 permutes vertex labels to hide locality
+    perm = rng.permutation(1 << scale)
+    return np.stack([perm[src], perm[dst]], axis=1)

@@ -1,0 +1,95 @@
+"""Transition-rate kernels.
+
+Cretin's exploration phase built one mini-app per rate type because
+"each type posed a different parallelization issue for GPUs" (§4.3).
+The three types here have exactly that character:
+
+- :func:`collisional_excitation` — dense upper-triangle work scaling
+  with electron density and a Boltzmann factor (van Regemorter form);
+  vectorizes over all transitions at once.
+- :func:`collisional_deexcitation` — derived from excitation by
+  detailed balance, making Boltzmann equilibrium an *exact* invariant
+  of the collisional system (the key physics test).
+- :func:`radiative_decay` — spontaneous A-coefficients; density- and
+  temperature-independent, downward-only.
+
+All kernels return full (n, n) rate matrices R[i, j] = rate of j -> i
+transitions per unit population of j (column-stochastic convention
+before diagonal fill).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kinetics.atomicmodel import AtomicModel
+
+#: scaling constants (dimensionless model units)
+C_EXC = 1.0
+C_RAD = 0.1
+
+
+def _gaps(model: AtomicModel) -> np.ndarray:
+    """Positive energy gaps E_j - E_i on the upper triangle (i<j)."""
+    e = model.energies
+    return e[None, :] - e[:, None]
+
+
+def collisional_excitation(model: AtomicModel, t_e: float, n_e: float
+                           ) -> np.ndarray:
+    """Rates for i -> j (absorbing energy), i < j.
+
+    R[j, i] receives the upward rate: van-Regemorter-like
+    ``n_e * f_ij * exp(-dE/T) / (dE * sqrt(T))``.
+    """
+    if t_e <= 0 or n_e <= 0:
+        raise ValueError("temperature and density must be positive")
+    gaps = _gaps(model)
+    f = model.oscillator_strengths
+    up = np.zeros_like(f)
+    mask = f > 0
+    up[mask] = (
+        C_EXC * n_e * f[mask] * np.exp(-gaps[mask] / t_e)
+        / (np.maximum(gaps[mask], 1e-12) * np.sqrt(t_e))
+    )
+    # R[j, i] = rate from i to j: transpose the (i, j) upper triangle
+    return up.T.copy()
+
+
+def collisional_deexcitation(model: AtomicModel, t_e: float, n_e: float
+                             ) -> np.ndarray:
+    """Downward collisional rates from detailed balance.
+
+    R[i, j] = R_up[j, i] * (g_i / g_j) * exp(dE / T): guarantees that
+    pure collisional equilibrium is exactly Boltzmann.
+    """
+    up = collisional_excitation(model, t_e, n_e)  # R[j, i], i<j
+    g = model.degeneracies
+    gaps = _gaps(model)  # gaps[i, j] = E_j - E_i > 0 for i < j
+    down = np.zeros_like(up)
+    iu, ju = np.triu_indices(model.n_levels, k=1)
+    up_rates = up[ju, iu]
+    mask = up_rates > 0
+    down[iu[mask], ju[mask]] = (
+        up_rates[mask] * (g[iu[mask]] / g[ju[mask]])
+        * np.exp(gaps[iu[mask], ju[mask]] / t_e)
+    )
+    return down
+
+
+def radiative_decay(model: AtomicModel) -> np.ndarray:
+    """Spontaneous decay rates A_ji ~ f_ij * dE^2, j -> i downward."""
+    gaps = _gaps(model)
+    f = model.oscillator_strengths
+    a = np.zeros_like(f)
+    iu, ju = np.triu_indices(model.n_levels, k=1)
+    mask = f[iu, ju] > 0
+    a[iu[mask], ju[mask]] = (
+        C_RAD * f[iu[mask], ju[mask]] * gaps[iu[mask], ju[mask]] ** 2
+    )
+    return a
+
+
+def rate_kernel_flops(model: AtomicModel) -> float:
+    """Approximate flop count of one zone's full rate evaluation."""
+    return 12.0 * model.n_transitions * 3  # three rate types

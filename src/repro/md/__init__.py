@@ -1,0 +1,64 @@
+"""ddcMD proxy: molecular dynamics with a generic pair infrastructure (§4.6).
+
+The MD activity moved "the entire MD loop to the GPU, including bonded
+and nonbonded energy terms, neighbor list construction, Langevin
+thermostat, Berendsen barostat, velocity Verlet integrator, constraint
+solver, and restraint", built a "templatized generic pair processing
+infrastructure" for the zoo of short-range potentials, and beat
+GROMACS on Martini-style membrane simulations.
+
+- :mod:`repro.md.particles` — particle storage (struct-of-arrays, the
+  layout conversion §4.6 calls out) and periodic boxes.
+- :mod:`repro.md.neighbor` — cell lists + Verlet neighbor lists with
+  skin-based reuse.
+- :mod:`repro.md.potentials` — the generic pair infrastructure:
+  Lennard-Jones, exp-6 (Buckingham), and Martini-style shifted LJ all
+  plug the same two-function interface into one processor.
+- :mod:`repro.md.bonded` — harmonic bonds and angles (the
+  pointer-rich-data-marshaling story's computational payload).
+- :mod:`repro.md.integrators` — velocity Verlet, Langevin thermostat,
+  Berendsen barostat, SHAKE constraints.
+- :mod:`repro.md.ddcmd` — the assembled double-precision all-GPU
+  simulation with its 46-kernel trace profile.
+- :mod:`repro.md.gromacs_baseline` — the comparison code: single
+  precision, 8 fused kernels, CPU/GPU load-splitting model.
+"""
+
+from repro.md.particles import ParticleSystem, PeriodicBox
+from repro.md.neighbor import CellList, NeighborList
+from repro.md.potentials import (
+    Exp6,
+    LennardJones,
+    MartiniLJ,
+    PairProcessor,
+)
+from repro.md.bonded import AngleTerm, BondTerm
+from repro.md.integrators import (
+    BerendsenBarostat,
+    LangevinThermostat,
+    ShakeConstraints,
+    VelocityVerlet,
+)
+from repro.md.ddcmd import DdcMD, make_martini_membrane
+from repro.md.gromacs_baseline import GromacsBaseline, modeled_step_times
+
+__all__ = [
+    "ParticleSystem",
+    "PeriodicBox",
+    "CellList",
+    "NeighborList",
+    "LennardJones",
+    "Exp6",
+    "MartiniLJ",
+    "PairProcessor",
+    "BondTerm",
+    "AngleTerm",
+    "VelocityVerlet",
+    "LangevinThermostat",
+    "BerendsenBarostat",
+    "ShakeConstraints",
+    "DdcMD",
+    "make_martini_membrane",
+    "GromacsBaseline",
+    "modeled_step_times",
+]

@@ -1,0 +1,108 @@
+"""Bonded interactions: harmonic bonds and angles.
+
+ddcMD's bonded kernels were the GPU port's data-structure challenge
+("serialization and marshaling of the nested, pointer-rich CPU data
+structures"); computationally they are simple flat-array evaluations,
+which is what we implement — the flat index arrays below are the
+post-marshaling layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.md.particles import ParticleSystem
+
+
+@dataclass
+class BondTerm:
+    """Harmonic bonds: E = 1/2 k (r - r0)^2 over index pairs."""
+
+    i: np.ndarray
+    j: np.ndarray
+    k: float
+    r0: float
+
+    def __post_init__(self) -> None:
+        self.i = np.asarray(self.i, dtype=np.int64)
+        self.j = np.asarray(self.j, dtype=np.int64)
+        if self.i.shape != self.j.shape:
+            raise ValueError("bond index arrays must match")
+        if np.any(self.i == self.j):
+            raise ValueError("bond connects a particle to itself")
+        if self.k <= 0 or self.r0 <= 0:
+            raise ValueError("bond parameters must be positive")
+
+    @property
+    def n_bonds(self) -> int:
+        return self.i.shape[0]
+
+    def compute(self, system: ParticleSystem) -> Tuple[np.ndarray, float]:
+        """(forces, energy)."""
+        dx = system.box.minimum_image(
+            system.x[self.i].astype(np.float64)
+            - system.x[self.j].astype(np.float64)
+        )
+        r = np.sqrt((dx * dx).sum(axis=1))
+        stretch = r - self.r0
+        energy = float(0.5 * self.k * (stretch * stretch).sum())
+        fmag = -self.k * stretch / np.maximum(r, 1e-300)
+        fvec = fmag[:, None] * dx
+        forces = np.zeros((system.n, 3))
+        np.add.at(forces, self.i, fvec)
+        np.add.at(forces, self.j, -fvec)
+        return forces.astype(system.dtype), energy
+
+
+@dataclass
+class AngleTerm:
+    """Harmonic cosine angles: E = 1/2 k (cos th - cos th0)^2 over
+    triplets (i, j, k) with j the vertex — the Martini angle form."""
+
+    i: np.ndarray
+    j: np.ndarray
+    k_idx: np.ndarray
+    k: float
+    theta0: float
+
+    def __post_init__(self) -> None:
+        self.i = np.asarray(self.i, dtype=np.int64)
+        self.j = np.asarray(self.j, dtype=np.int64)
+        self.k_idx = np.asarray(self.k_idx, dtype=np.int64)
+        if not (self.i.shape == self.j.shape == self.k_idx.shape):
+            raise ValueError("angle index arrays must match")
+        if self.k <= 0:
+            raise ValueError("angle stiffness must be positive")
+        self.cos0 = float(np.cos(self.theta0))
+
+    @property
+    def n_angles(self) -> int:
+        return self.i.shape[0]
+
+    def compute(self, system: ParticleSystem) -> Tuple[np.ndarray, float]:
+        x = system.x.astype(np.float64)
+        box = system.box
+        a = box.minimum_image(x[self.i] - x[self.j])
+        b = box.minimum_image(x[self.k_idx] - x[self.j])
+        ra = np.sqrt((a * a).sum(axis=1))
+        rb = np.sqrt((b * b).sum(axis=1))
+        cos_t = (a * b).sum(axis=1) / np.maximum(ra * rb, 1e-300)
+        cos_t = np.clip(cos_t, -1.0, 1.0)
+        diff = cos_t - self.cos0
+        energy = float(0.5 * self.k * (diff * diff).sum())
+        # dE/dcos = k * diff; gradient of cos wrt positions
+        coeff = (self.k * diff)[:, None]
+        inv_ra_rb = 1.0 / np.maximum(ra * rb, 1e-300)[:, None]
+        da = b * inv_ra_rb - a * (cos_t / np.maximum(ra * ra, 1e-300))[:, None]
+        db = a * inv_ra_rb - b * (cos_t / np.maximum(rb * rb, 1e-300))[:, None]
+        fi = -coeff * da
+        fk = -coeff * db
+        fj = -(fi + fk)
+        forces = np.zeros((system.n, 3))
+        np.add.at(forces, self.i, fi)
+        np.add.at(forces, self.j, fj)
+        np.add.at(forces, self.k_idx, fk)
+        return forces.astype(system.dtype), energy

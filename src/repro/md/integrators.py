@@ -1,0 +1,179 @@
+"""Time integration, thermostats, barostats, constraints (§4.6).
+
+All four are on ddcMD's moved-to-GPU list.  Implementations are the
+standard algorithms:
+
+- :class:`VelocityVerlet` — symplectic two-stage integrator.
+- :class:`LangevinThermostat` — BAOAB-flavored stochastic velocity
+  update (exact Ornstein-Uhlenbeck step), preserving the Maxwell
+  distribution at the target temperature.
+- :class:`BerendsenBarostat` — weak-coupling volume rescaling toward a
+  target pressure.
+- :class:`ShakeConstraints` — iterative bond-length constraint solver
+  ("the constraint solver kernel is an iterative kernel and relatively
+  expensive", §4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.md.particles import ParticleSystem, PeriodicBox
+from repro.util.rng import make_rng
+
+ForceFn = Callable[[ParticleSystem], Tuple[np.ndarray, float, float]]
+
+
+class VelocityVerlet:
+    """Velocity Verlet with a pluggable force callback.
+
+    ``force_fn(system) -> (forces, potential_energy, virial)``.
+    """
+
+    def __init__(self, force_fn: ForceFn, dt: float):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.force_fn = force_fn
+        self.dt = dt
+        self._cached: Optional[Tuple[np.ndarray, float, float]] = None
+
+    def step(self, system: ParticleSystem) -> Tuple[float, float]:
+        """One step; returns (potential_energy, virial) after the step."""
+        dt = self.dt
+        if self._cached is None:
+            self._cached = self.force_fn(system)
+        f, _, _ = self._cached
+        inv_m = 1.0 / system.m[:, None]
+        system.v += 0.5 * dt * f * inv_m
+        system.x = system.box.wrap(system.x + dt * system.v)
+        f_new, pe, virial = self.force_fn(system)
+        system.v += 0.5 * dt * f_new * inv_m
+        self._cached = (f_new, pe, virial)
+        return pe, virial
+
+    def invalidate_forces(self) -> None:
+        """Call after anything moves particles outside step()."""
+        self._cached = None
+
+
+class LangevinThermostat:
+    """Exact OU velocity update: v <- c1 v + c2 sqrt(T/m) xi."""
+
+    def __init__(self, temperature: float, friction: float, seed: int = 0):
+        if temperature < 0:
+            raise ValueError("temperature must be non-negative")
+        if friction <= 0:
+            raise ValueError("friction must be positive")
+        self.temperature = temperature
+        self.friction = friction
+        self.rng = make_rng(seed)
+
+    def apply(self, system: ParticleSystem, dt: float) -> None:
+        c1 = np.exp(-self.friction * dt)
+        c2 = np.sqrt(max(0.0, (1.0 - c1 * c1) * self.temperature))
+        noise = self.rng.normal(0.0, 1.0, system.v.shape)
+        system.v = (
+            c1 * system.v + c2 * noise / np.sqrt(system.m)[:, None]
+        ).astype(system.dtype)
+
+
+class BerendsenBarostat:
+    """Weak-coupling barostat: isotropic box/position rescaling."""
+
+    def __init__(self, pressure: float, tau: float = 10.0,
+                 compressibility: float = 0.05, max_scaling: float = 0.02):
+        if tau <= 0 or compressibility <= 0:
+            raise ValueError("tau and compressibility must be positive")
+        self.pressure = pressure
+        self.tau = tau
+        self.compressibility = compressibility
+        self.max_scaling = max_scaling
+
+    def measure_pressure(self, system: ParticleSystem, virial: float
+                         ) -> float:
+        """P = (2 K + W) / (3 V)."""
+        return (2.0 * system.kinetic_energy() + virial) / (
+            3.0 * system.box.volume
+        )
+
+    def apply(self, system: ParticleSystem, virial: float, dt: float
+              ) -> float:
+        """Rescale toward target; returns the measured pressure."""
+        p = self.measure_pressure(system, virial)
+        mu = (
+            1.0 - self.compressibility * dt / self.tau
+            * (self.pressure - p)
+        ) ** (1.0 / 3.0)
+        mu = float(np.clip(mu, 1.0 - self.max_scaling,
+                           1.0 + self.max_scaling))
+        system.box = system.box.scaled(mu)
+        system.x = system.box.wrap(system.x * mu)
+        return p
+
+
+class ShakeConstraints:
+    """SHAKE: iterative projection onto bond-length constraints."""
+
+    def __init__(self, i: np.ndarray, j: np.ndarray, lengths: np.ndarray,
+                 tol: float = 1e-8, max_iter: int = 200):
+        self.i = np.asarray(i, dtype=np.int64)
+        self.j = np.asarray(j, dtype=np.int64)
+        self.lengths = np.asarray(lengths, dtype=np.float64)
+        if not (self.i.shape == self.j.shape == self.lengths.shape):
+            raise ValueError("constraint arrays must have equal shapes")
+        if np.any(self.lengths <= 0):
+            raise ValueError("constraint lengths must be positive")
+        if tol <= 0:
+            raise ValueError("tolerance must be positive")
+        self.tol = tol
+        self.max_iter = max_iter
+        self.last_iterations = 0
+
+    @property
+    def n_constraints(self) -> int:
+        return self.i.shape[0]
+
+    def max_violation(self, system: ParticleSystem) -> float:
+        dx = system.box.minimum_image(
+            system.x[self.i].astype(np.float64)
+            - system.x[self.j].astype(np.float64)
+        )
+        r = np.sqrt((dx * dx).sum(axis=1))
+        return float(np.abs(r - self.lengths).max()) if r.size else 0.0
+
+    def apply(self, system: ParticleSystem,
+              x_prev: Optional[np.ndarray] = None) -> int:
+        """Project positions onto the constraint manifold.
+
+        ``x_prev`` (pre-step positions) gives the reference directions
+        for proper SHAKE; without it the current directions are used.
+        Returns the iteration count.
+        """
+        x = system.x.astype(np.float64).copy()
+        ref = x if x_prev is None else np.asarray(x_prev, dtype=np.float64)
+        inv_m_i = 1.0 / system.m[self.i]
+        inv_m_j = 1.0 / system.m[self.j]
+        box = system.box
+        for it in range(1, self.max_iter + 1):
+            dx = box.minimum_image(x[self.i] - x[self.j])
+            r2 = (dx * dx).sum(axis=1)
+            diff = r2 - self.lengths**2
+            if np.abs(diff).max() <= self.tol:
+                self.last_iterations = it - 1
+                break
+            dref = box.minimum_image(ref[self.i] - ref[self.j])
+            denom = 2.0 * (inv_m_i + inv_m_j) * (dx * dref).sum(axis=1)
+            denom = np.where(np.abs(denom) < 1e-300, 1e-300, denom)
+            g = diff / denom
+            corr = g[:, None] * dref
+            np.add.at(x, self.i, -corr * inv_m_i[:, None])
+            np.add.at(x, self.j, corr * inv_m_j[:, None])
+        else:
+            raise RuntimeError(
+                f"SHAKE failed to converge in {self.max_iter} iterations"
+            )
+        system.x = system.box.wrap(x).astype(system.dtype)
+        return self.last_iterations

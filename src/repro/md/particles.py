@@ -1,0 +1,148 @@
+"""Particle storage and periodic boxes.
+
+Positions/velocities/forces are struct-of-arrays (``(n, 3)`` float64
+arrays) — the AoS-to-SoA conversion §4.6 lists among the locality
+optimizations.  :class:`PeriodicBox` provides minimum-image
+displacement and wrapping for orthorhombic boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class PeriodicBox:
+    """Orthorhombic periodic box with edge lengths ``lengths``."""
+
+    lengths: Tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if any(l <= 0 for l in self.lengths):
+            raise ValueError("box lengths must be positive")
+
+    @property
+    def volume(self) -> float:
+        lx, ly, lz = self.lengths
+        return lx * ly * lz
+
+    @property
+    def array(self) -> np.ndarray:
+        return np.asarray(self.lengths, dtype=np.float64)
+
+    def wrap(self, x: np.ndarray) -> np.ndarray:
+        """Map positions into [0, L) per axis."""
+        return np.mod(x, self.array)
+
+    def minimum_image(self, dx: np.ndarray) -> np.ndarray:
+        """Minimum-image displacement vectors."""
+        box = self.array
+        return dx - box * np.round(dx / box)
+
+    def scaled(self, factor: float) -> "PeriodicBox":
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return PeriodicBox(tuple(l * factor for l in self.lengths))
+
+
+class ParticleSystem:
+    """State of an MD system: positions, velocities, types, masses."""
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        box: PeriodicBox,
+        velocities: Optional[np.ndarray] = None,
+        masses: Optional[np.ndarray] = None,
+        types: Optional[np.ndarray] = None,
+        dtype=np.float64,
+    ):
+        positions = np.asarray(positions, dtype=dtype)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError("positions must be (n, 3)")
+        n = positions.shape[0]
+        if n < 1:
+            raise ValueError("need at least one particle")
+        self.box = box
+        self.x = box.wrap(positions).astype(dtype)
+        self.v = (
+            np.zeros_like(self.x)
+            if velocities is None
+            else np.asarray(velocities, dtype=dtype)
+        )
+        if self.v.shape != self.x.shape:
+            raise ValueError("velocities shape mismatch")
+        self.m = (
+            np.ones(n, dtype=dtype)
+            if masses is None
+            else np.asarray(masses, dtype=dtype)
+        )
+        if self.m.shape != (n,) or np.any(self.m <= 0):
+            raise ValueError("bad masses")
+        self.types = (
+            np.zeros(n, dtype=np.int64)
+            if types is None
+            else np.asarray(types, dtype=np.int64)
+        )
+        if self.types.shape != (n,):
+            raise ValueError("types shape mismatch")
+        self.f = np.zeros_like(self.x)
+
+    @property
+    def n(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def dtype(self):
+        return self.x.dtype
+
+    def kinetic_energy(self) -> float:
+        return float(0.5 * np.sum(self.m[:, None] * self.v * self.v))
+
+    def temperature(self) -> float:
+        """Instantaneous kinetic temperature (kB = 1)."""
+        dof = 3 * self.n
+        return 2.0 * self.kinetic_energy() / dof
+
+    def momentum(self) -> np.ndarray:
+        return (self.m[:, None] * self.v).sum(axis=0)
+
+    def remove_drift(self) -> None:
+        """Zero the center-of-mass velocity."""
+        total_m = self.m.sum()
+        self.v -= self.momentum()[None, :] / total_m
+
+    @staticmethod
+    def random_gas(
+        n: int,
+        box: PeriodicBox,
+        temperature: float = 1.0,
+        seed: int = 0,
+        min_separation: float = 0.0,
+        dtype=np.float64,
+    ) -> "ParticleSystem":
+        """Random positions (lattice-jittered when min_separation > 0)
+        with Maxwell-Boltzmann velocities."""
+        rng = make_rng(seed)
+        if min_separation > 0:
+            # lattice placement guarantees separation
+            per_axis = max(1, int(np.ceil(n ** (1 / 3))))
+            spacing = min(box.lengths) / per_axis
+            if spacing < min_separation:
+                raise ValueError("box too small for requested separation")
+            grid = np.stack(
+                np.meshgrid(*[np.arange(per_axis)] * 3, indexing="ij"), -1
+            ).reshape(-1, 3)[:n]
+            jitter = (rng.random((n, 3)) - 0.5) * 0.1 * spacing
+            x = (grid + 0.5) * spacing + jitter
+        else:
+            x = rng.random((n, 3)) * box.array
+        v = rng.normal(0.0, np.sqrt(max(temperature, 0.0)), (n, 3))
+        ps = ParticleSystem(x, box, velocities=v, dtype=dtype)
+        ps.remove_drift()
+        return ps

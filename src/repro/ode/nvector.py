@@ -1,0 +1,175 @@
+"""The SUNDIALS NVector operation set with host and device backends.
+
+The integrator (:mod:`repro.ode.bdf`) never touches raw arrays; it
+calls the generic operations below.  ``HostVector`` wraps a plain NumPy
+array.  ``DeviceVector`` wraps a device-space
+:class:`~repro.core.memory.ManagedArray`: construction "allocates, then
+moves, a vector's data to the GPU" (§4.10.2) through a
+:class:`~repro.core.memory.ResourceManager`, so every host<->device
+crossing is visible in the transfer trace.  The only time data moves
+back is an explicit :meth:`DeviceVector.to_host` — mirroring the
+paper's "the only time vector data needs to transfer back to the CPU
+is when a user needs it for I/O purposes".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.memory import ManagedArray, MemorySpace, ResourceManager
+
+
+class NVector:
+    """Abstract NVector: the operations SUNDIALS integrators require."""
+
+    def clone(self) -> "NVector":
+        raise NotImplementedError
+
+    @property
+    def array(self) -> np.ndarray:
+        """The backing array (for backend-internal use and tests)."""
+        raise NotImplementedError
+
+    # -- SUNDIALS-style operations ------------------------------------
+
+    def linear_sum(self, a: float, x: "NVector", b: float, y: "NVector") -> None:
+        """self = a*x + b*y."""
+        out = self.array
+        np.multiply(x.array, a, out=out)
+        out += b * y.array
+
+    def scale(self, c: float, x: "NVector") -> None:
+        """self = c*x."""
+        np.multiply(x.array, c, out=self.array)
+
+    def const(self, c: float) -> None:
+        self.array.fill(c)
+
+    def prod(self, x: "NVector", y: "NVector") -> None:
+        np.multiply(x.array, y.array, out=self.array)
+
+    def div(self, x: "NVector", y: "NVector") -> None:
+        np.divide(x.array, y.array, out=self.array)
+
+    def inv(self, x: "NVector") -> None:
+        np.divide(1.0, x.array, out=self.array)
+
+    def abs_of(self, x: "NVector") -> None:
+        np.abs(x.array, out=self.array)
+
+    def add_const(self, x: "NVector", b: float) -> None:
+        np.add(x.array, b, out=self.array)
+
+    def axpy(self, a: float, x: "NVector") -> None:
+        out = self.array
+        out += a * x.array
+
+    def copy_from(self, x: "NVector") -> None:
+        np.copyto(self.array, x.array)
+
+    # -- reductions ------------------------------------------------------
+
+    def dot(self, y: "NVector") -> float:
+        return float(self.array @ y.array)
+
+    def max_norm(self) -> float:
+        return float(np.abs(self.array).max()) if self.array.size else 0.0
+
+    def wrms_norm(self, w: "NVector") -> float:
+        """Weighted RMS norm — CVODE's error norm."""
+        n = self.array.size
+        if n == 0:
+            return 0.0
+        return float(np.sqrt(np.mean((self.array * w.array) ** 2)))
+
+    def l1_norm(self) -> float:
+        return float(np.abs(self.array).sum())
+
+    def min_value(self) -> float:
+        return float(self.array.min()) if self.array.size else 0.0
+
+    @property
+    def size(self) -> int:
+        return self.array.size
+
+
+class HostVector(NVector):
+    """NVector over a plain host NumPy array."""
+
+    def __init__(self, data: np.ndarray):
+        self._data = np.asarray(data, dtype=np.float64)
+
+    @classmethod
+    def zeros(cls, n: int) -> "HostVector":
+        return cls(np.zeros(n))
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._data
+
+    def clone(self) -> "HostVector":
+        return HostVector(np.zeros_like(self._data))
+
+
+class DeviceVector(NVector):
+    """NVector whose data lives in the modeled device space.
+
+    The constructor moves host data to the device through the resource
+    manager (recording the H2D transfer).  All NVector operations then
+    run on device-resident data with no further transfers — the
+    integration loop stays transfer-free, which is the entire point of
+    the SUNDIALS GPU backend design.
+    """
+
+    def __init__(self, managed: ManagedArray, manager: ResourceManager):
+        if managed.space is not MemorySpace.DEVICE:
+            raise ValueError("DeviceVector requires a device-space array")
+        self._managed = managed
+        self._manager = manager
+
+    @classmethod
+    def from_host(cls, data: np.ndarray, manager: ResourceManager,
+                  name: str = "nvector") -> "DeviceVector":
+        host = manager.adopt(np.asarray(data, dtype=np.float64),
+                             MemorySpace.HOST, name=f"{name}:host")
+        dev = manager.allocate(host.shape, space=MemorySpace.DEVICE, name=name)
+        manager.copy(host, dev, name=f"h2d:{name}")
+        manager.deallocate(host)
+        return cls(dev, manager)
+
+    @classmethod
+    def zeros(cls, n: int, manager: ResourceManager, name: str = "nvector"
+              ) -> "DeviceVector":
+        dev = manager.allocate((n,), space=MemorySpace.DEVICE, name=name,
+                               fill=0.0)
+        return cls(dev, manager)
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._managed.data
+
+    @property
+    def manager(self) -> ResourceManager:
+        return self._manager
+
+    def clone(self) -> "DeviceVector":
+        dev = self._manager.allocate(
+            self._managed.shape, space=MemorySpace.DEVICE,
+            name=self._managed.name, fill=0.0,
+        )
+        return DeviceVector(dev, self._manager)
+
+    def to_host(self, name: str = "d2h:nvector") -> np.ndarray:
+        """Explicit device->host copy (I/O only); records the transfer."""
+        host = self._manager.allocate(
+            self._managed.shape, space=MemorySpace.HOST, name=name
+        )
+        self._manager.copy(self._managed, host, name=name)
+        out = host.data.copy()
+        self._manager.deallocate(host)
+        return out
+
+    def free(self) -> None:
+        self._manager.deallocate(self._managed)

@@ -1,0 +1,90 @@
+"""Global load/store counting and the Fig 6 time model.
+
+The counter model mirrors what NVProf measured in the paper: global
+memory operations per loop iteration under a register-liveness model.
+
+Within one synchronization scope (a single loop, or the whole program
+under SLNSP), an array value that has already been loaded or computed
+this iteration is register-resident: re-reading it costs nothing, and
+a store that is later re-read from registers costs only the store.
+At scope boundaries registers die: every live value must have been
+stored, and the next scope must re-load what it reads.
+
+Time model: the ParaDyn kernels are memory-bound, so modeled GPU time
+is proportional to (loads + stores) per iteration times trip count
+over effective bandwidth, plus one launch per loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.core.machine import Machine
+from repro.paradyn.ir import Program
+
+
+@dataclass(frozen=True)
+class MemoryOps:
+    """Per-iteration global memory operations."""
+
+    loads: int
+    stores: int
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores
+
+
+def count_memory_ops(program: Program) -> MemoryOps:
+    """Count per-iteration global loads/stores under register reuse.
+
+    Honors ``slnsp_region`` (set by the SLNSP pass): with it, register
+    liveness spans all loops; without it, each loop starts cold.
+    Stores to ``temp`` arrays that are never read outside the current
+    register scope still count (the hardware does not know they are
+    dead) — removing them is DSE's job.
+    """
+    whole_region = getattr(program, "slnsp_region", False)
+    loads = 0
+    stores = 0
+    registers: Set[str] = set()
+    for loop in program.loops:
+        if not whole_region:
+            registers = set()
+        for stmt in loop.body:
+            for name in stmt.reads():
+                if name not in registers:
+                    loads += 1
+                    registers.add(name)
+            stores += 1
+            registers.add(stmt.target)
+    return MemoryOps(loads=loads, stores=stores)
+
+
+def modeled_time(
+    machine: Machine,
+    program: Program,
+    bandwidth_efficiency: float = 0.7,
+) -> float:
+    """Modeled GPU execution time of the program (memory-bound)."""
+    if machine.gpu is None:
+        raise ValueError("modeled_time prices the GPU port")
+    if not (0 < bandwidth_efficiency <= 1):
+        raise ValueError("bandwidth_efficiency in (0, 1]")
+    ops = count_memory_ops(program)
+    nbytes = 8.0 * ops.total * program.n
+    t_mem = nbytes / (machine.gpu.mem_bw * bandwidth_efficiency)
+    t_launch = program.n_loops * machine.gpu.launch_overhead
+    return t_mem + t_launch
+
+
+def report(program: Program, label: str) -> Dict[str, float]:
+    ops = count_memory_ops(program)
+    return {
+        "label": label,
+        "loops": program.n_loops,
+        "statements": program.n_statements,
+        "loads_per_iter": ops.loads,
+        "stores_per_iter": ops.stores,
+    }

@@ -1,0 +1,190 @@
+"""Executable elementwise loop IR.
+
+Programs are sequences of loops over a shared trip count; loop bodies
+are assignments of elementwise expressions over named arrays.  The IR
+deliberately has no cross-iteration dependencies (statements only
+touch index ``i``), which makes every loop trivially parallel — the
+property the SLNSP pattern exploits.
+
+Expressions are tiny tuples (no classes-per-node ceremony):
+
+    ref("a")                      a[i]
+    const(2.0)                    2.0
+    bin_op("*", ref("a"), ...)    elementwise arithmetic
+    unary("sqrt", ref("a"))       elementwise functions
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+Expr = tuple
+
+_BIN_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+_UNARY_OPS = {
+    "sqrt": np.sqrt,
+    "abs": np.abs,
+    "neg": np.negative,
+    "exp": np.exp,
+}
+
+
+def ref(name: str) -> Expr:
+    return ("ref", name)
+
+
+def const(value: float) -> Expr:
+    return ("const", float(value))
+
+
+def bin_op(op: str, a: Expr, b: Expr) -> Expr:
+    if op not in _BIN_OPS:
+        raise ValueError(f"unknown binary op {op!r}")
+    return ("bin", op, a, b)
+
+
+def unary(op: str, a: Expr) -> Expr:
+    if op not in _UNARY_OPS:
+        raise ValueError(f"unknown unary op {op!r}")
+    return ("un", op, a)
+
+
+def expr_refs(e: Expr) -> List[str]:
+    """Array names read by expression *e*, in evaluation order."""
+    kind = e[0]
+    if kind == "ref":
+        return [e[1]]
+    if kind == "const":
+        return []
+    if kind == "bin":
+        return expr_refs(e[2]) + expr_refs(e[3])
+    if kind == "un":
+        return expr_refs(e[2])
+    raise ValueError(f"bad expression node {e!r}")
+
+
+def _eval(e: Expr, env: Dict[str, np.ndarray], n: int) -> np.ndarray:
+    kind = e[0]
+    if kind == "ref":
+        return env[e[1]]
+    if kind == "const":
+        return np.full(n, e[1])
+    if kind == "bin":
+        return _BIN_OPS[e[1]](_eval(e[2], env, n), _eval(e[3], env, n))
+    if kind == "un":
+        return _UNARY_OPS[e[1]](_eval(e[2], env, n))
+    raise ValueError(f"bad expression node {e!r}")
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target[i] = expr``."""
+
+    target: str
+    expr: Expr
+
+    def reads(self) -> List[str]:
+        return expr_refs(self.expr)
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One parallel loop: a straight-line body of assignments."""
+
+    name: str
+    body: Tuple[Assign, ...]
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ValueError(f"loop {self.name!r} has an empty body")
+
+    def reads(self) -> Set[str]:
+        out: Set[str] = set()
+        for stmt in self.body:
+            out.update(stmt.reads())
+        return out
+
+    def writes(self) -> Set[str]:
+        return {stmt.target for stmt in self.body}
+
+
+@dataclass
+class Program:
+    """A straight-line sequence of loops over a common trip count.
+
+    ``array_kinds`` classifies every array: ``"input"`` (live-in),
+    ``"output"`` (live-out), or ``"temp"`` (private to the program —
+    the information OpenMP private clauses carry, which the paper's
+    compiler work propagates into dataflow analysis).
+    """
+
+    n: int
+    array_kinds: Dict[str, str]
+    loops: List[Loop] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("trip count must be >= 1")
+        for name, kind in self.array_kinds.items():
+            if kind not in ("input", "output", "temp"):
+                raise ValueError(f"array {name!r} has bad kind {kind!r}")
+        used: Set[str] = set()
+        for loop in self.loops:
+            used |= loop.reads() | loop.writes()
+        missing = used - set(self.array_kinds)
+        if missing:
+            raise ValueError(f"arrays not declared: {sorted(missing)}")
+        # inputs must not be written
+        for loop in self.loops:
+            for w in loop.writes():
+                if self.array_kinds[w] == "input":
+                    raise ValueError(f"program writes input array {w!r}")
+
+    # ------------------------------------------------------------------
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Execute; returns all output arrays."""
+        env: Dict[str, np.ndarray] = {}
+        for name, kind in self.array_kinds.items():
+            if kind == "input":
+                if name not in inputs:
+                    raise KeyError(f"missing input array {name!r}")
+                arr = np.asarray(inputs[name], dtype=np.float64)
+                if arr.shape != (self.n,):
+                    raise ValueError(
+                        f"input {name!r} must have shape ({self.n},)"
+                    )
+                env[name] = arr
+            else:
+                env[name] = np.zeros(self.n)
+        for loop in self.loops:
+            for stmt in loop.body:
+                env[stmt.target] = _eval(stmt.expr, env, self.n)
+        return {
+            name: env[name]
+            for name, kind in self.array_kinds.items()
+            if kind == "output"
+        }
+
+    def outputs(self) -> List[str]:
+        return sorted(
+            n for n, k in self.array_kinds.items() if k == "output"
+        )
+
+    @property
+    def n_loops(self) -> int:
+        return len(self.loops)
+
+    @property
+    def n_statements(self) -> int:
+        return sum(len(l.body) for l in self.loops)

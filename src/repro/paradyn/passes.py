@@ -1,0 +1,104 @@
+"""Optimization passes over the loop IR.
+
+All passes are semantics-preserving for program *outputs* (verified by
+the test suite against bitwise-identical results):
+
+- :func:`merge_loops` — explicit loop fusion: concatenate adjacent
+  loop bodies.  Always legal in this IR (elementwise, no
+  cross-iteration dependencies) — the manual optimization that hurt
+  CPU performance in §4.8.
+- :func:`slnsp` — the compiler alternative: leave the loop structure
+  intact but mark the program so the dataflow model (and the counter
+  model) may treat the whole loop sequence as one synchronization-free
+  region per iteration.  Statement order is untouched.
+- :func:`dead_store_elimination` — remove assignments whose value is
+  never observed: stores to ``temp`` arrays that are overwritten
+  before any read or never read again.  Requires the private/temp
+  classification (the OpenMP private-clause information).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Set, Tuple
+
+from repro.paradyn.ir import Assign, Loop, Program
+
+
+def merge_loops(program: Program, group_size: int = 0) -> Program:
+    """Fuse loops into groups of *group_size* (0 = fuse everything)."""
+    if group_size < 0:
+        raise ValueError("group_size must be >= 0")
+    loops = program.loops
+    if not loops:
+        return program
+    size = group_size if group_size > 0 else len(loops)
+    merged: List[Loop] = []
+    for k in range(0, len(loops), size):
+        group = loops[k:k + size]
+        body: Tuple[Assign, ...] = tuple(
+            stmt for loop in group for stmt in loop.body
+        )
+        merged.append(Loop(name="+".join(l.name for l in group), body=body))
+    return Program(
+        n=program.n, array_kinds=dict(program.array_kinds), loops=merged
+    )
+
+
+def slnsp(program: Program) -> Program:
+    """Mark the program as a single-level no-synchronization region.
+
+    The loop structure (and therefore cache behaviour on CPUs and
+    launch granularity reporting) is preserved; the returned program
+    carries ``slnsp_region = True``, which the memory-op counter model
+    interprets as register liveness across loop boundaries — exactly
+    the cross-loop dataflow the compiler extension enables.
+    """
+    out = Program(
+        n=program.n, array_kinds=dict(program.array_kinds),
+        loops=list(program.loops),
+    )
+    out.slnsp_region = True  # type: ignore[attr-defined]
+    return out
+
+
+def dead_store_elimination(program: Program) -> Program:
+    """Remove dead stores to temp arrays.
+
+    A store is dead when the stored array is a ``temp`` and, in the
+    remainder of the program (statement order across all loops), it is
+    overwritten before being read or never read at all.
+    """
+    flat: List[Tuple[int, int, Assign]] = []
+    for li, loop in enumerate(program.loops):
+        for si, stmt in enumerate(loop.body):
+            flat.append((li, si, stmt))
+
+    dead: Set[Tuple[int, int]] = set()
+    for idx, (li, si, stmt) in enumerate(flat):
+        if program.array_kinds[stmt.target] != "temp":
+            continue
+        is_dead = True
+        for _, _, later in flat[idx + 1:]:
+            if stmt.target in later.reads():
+                is_dead = False
+                break
+            if later.target == stmt.target:
+                break  # overwritten before any read
+        if is_dead:
+            dead.add((li, si))
+
+    new_loops: List[Loop] = []
+    for li, loop in enumerate(program.loops):
+        body = tuple(
+            stmt for si, stmt in enumerate(loop.body)
+            if (li, si) not in dead
+        )
+        if body:
+            new_loops.append(Loop(name=loop.name, body=body))
+    out = Program(
+        n=program.n, array_kinds=dict(program.array_kinds), loops=new_loops
+    )
+    if getattr(program, "slnsp_region", False):
+        out.slnsp_region = True  # type: ignore[attr-defined]
+    return out

@@ -1,0 +1,34 @@
+"""Opt workflow: the GPU-cluster job scheduler simulator (§4.7).
+
+The topology-optimization workload schedules "thousands of small jobs"
+under uncertainty; the vendor team "developed a job scheduler simulator
+and studied job requests that follow an arrival rate distribution and
+compared that to job requests that arrive in a batch", concluding:
+throttle distribution arrivals below aggregate GPU capacity, and use
+Shortest Job First with Quota for batch arrivals.
+
+- :mod:`repro.sched.simulator` — event-driven cluster simulator:
+  GPUs, job queue, pluggable policy, full metric accounting
+  (utilization, waits, makespan, queue growth).
+- :mod:`repro.sched.policies` — FCFS, SJF, and SJF-with-quota (short
+  jobs jump the queue, but long-running jobs keep a reserved share of
+  GPUs so they cannot starve).
+- :mod:`repro.sched.workloads` — the topology-optimization job mix:
+  batch submissions and Poisson arrival streams with lognormal service
+  demands.
+"""
+
+from repro.sched.simulator import ClusterSimulator, Job, SimResult
+from repro.sched.policies import Fcfs, Sjf, SjfWithQuota
+from repro.sched.workloads import batch_workload, poisson_workload
+
+__all__ = [
+    "Job",
+    "ClusterSimulator",
+    "SimResult",
+    "Fcfs",
+    "Sjf",
+    "SjfWithQuota",
+    "batch_workload",
+    "poisson_workload",
+]

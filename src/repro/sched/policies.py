@@ -1,0 +1,78 @@
+"""Scheduling policies.
+
+``select(queue, n_free, running)`` returns indices into *queue* for
+the jobs to start now (at most ``n_free``).  The paper's batch-arrival
+recommendation is :class:`SjfWithQuota` — SJF's utilization benefits
+"assuming availability of job duration information", with a reserved
+share for long jobs so SJF's classic starvation pathology cannot
+develop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sched.simulator import Job
+
+
+class Fcfs:
+    """First come, first served."""
+
+    def select(self, queue: Sequence[Job], n_free: int,
+               running: Sequence[Job]) -> List[int]:
+        order = sorted(range(len(queue)),
+                       key=lambda i: (queue[i].arrival, queue[i].job_id))
+        return order[:n_free]
+
+
+class Sjf:
+    """Shortest job first (requires known durations)."""
+
+    def select(self, queue: Sequence[Job], n_free: int,
+               running: Sequence[Job]) -> List[int]:
+        order = sorted(range(len(queue)),
+                       key=lambda i: (queue[i].service, queue[i].job_id))
+        return order[:n_free]
+
+
+class SjfWithQuota:
+    """SJF with a reserved GPU share for long jobs.
+
+    ``long_quota`` is the fraction of the cluster long jobs are
+    guaranteed: whenever fewer than ``quota * n_gpus`` long jobs are
+    running and a long job is queued, the oldest long job is started
+    ahead of the SJF order.
+    """
+
+    def __init__(self, n_gpus: int, long_quota: float = 0.25):
+        if not (0.0 <= long_quota <= 1.0):
+            raise ValueError("long_quota in [0, 1]")
+        if n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        self.n_gpus = n_gpus
+        self.long_quota = long_quota
+
+    def select(self, queue: Sequence[Job], n_free: int,
+               running: Sequence[Job]) -> List[int]:
+        picks: List[int] = []
+        reserved = int(self.long_quota * self.n_gpus)
+        long_running = sum(1 for j in running if j.is_long)
+        long_queued = sorted(
+            (i for i in range(len(queue)) if queue[i].is_long),
+            key=lambda i: (queue[i].arrival, queue[i].job_id),
+        )
+        # honor the quota first
+        while (
+            long_running + len([i for i in picks if queue[i].is_long])
+            < reserved
+            and long_queued
+            and len(picks) < n_free
+        ):
+            picks.append(long_queued.pop(0))
+        # fill the rest by SJF
+        rest = sorted(
+            (i for i in range(len(queue)) if i not in picks),
+            key=lambda i: (queue[i].service, queue[i].job_id),
+        )
+        picks.extend(rest[: n_free - len(picks)])
+        return picks

@@ -1,0 +1,143 @@
+"""Event-driven GPU-cluster simulator.
+
+Jobs request one GPU each (the topology-optimization jobs are
+single-GPU solves); the simulator advances through arrival and
+completion events, consulting the policy whenever GPUs free up or jobs
+arrive.  Everything observable is accounted: per-job waits and
+turnaround, cluster utilization, makespan, and the queue-length
+time series (the signal behind the throttling recommendation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Job:
+    """One job request."""
+
+    job_id: int
+    arrival: float
+    service: float
+    #: long-job class flag used by quota policies (set by workloads)
+    is_long: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0 or self.service <= 0:
+            raise ValueError("bad job times")
+
+
+@dataclass
+class SimResult:
+    """Aggregated simulation metrics."""
+
+    makespan: float
+    utilization: float
+    mean_wait: float
+    max_wait: float
+    mean_turnaround: float
+    completed: int
+    #: (time, queue length) samples at every event
+    queue_series: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def peak_queue(self) -> int:
+        return max((q for _, q in self.queue_series), default=0)
+
+    @property
+    def final_queue(self) -> int:
+        return self.queue_series[-1][1] if self.queue_series else 0
+
+
+class ClusterSimulator:
+    """Simulate *jobs* on ``n_gpus`` GPUs under *policy*.
+
+    The policy object must implement
+    ``select(queue, n_free, running) -> list of queue indices`` —
+    which queued jobs to start now.
+    """
+
+    def __init__(self, n_gpus: int):
+        if n_gpus < 1:
+            raise ValueError("need at least one GPU")
+        self.n_gpus = n_gpus
+
+    def run(self, jobs: Sequence[Job], policy,
+            horizon: Optional[float] = None) -> SimResult:
+        if not jobs:
+            raise ValueError("no jobs to schedule")
+        jobs = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+        n = len(jobs)
+        arrivals = [(j.arrival, j.job_id, j) for j in jobs]
+        next_arrival = 0
+        #: (finish_time, job_id, job)
+        running: List[Tuple[float, int, Job]] = []
+        queue: List[Job] = []
+        waits: List[float] = []
+        turnarounds: List[float] = []
+        busy_time = 0.0
+        t = 0.0
+        queue_series: List[Tuple[float, int]] = []
+        completed = 0
+
+        def start_ready(now: float) -> None:
+            nonlocal busy_time
+            while queue and len(running) < self.n_gpus:
+                free = self.n_gpus - len(running)
+                picks = policy.select(queue, free,
+                                      [j for _, _, j in running])
+                if not picks:
+                    break
+                picks = sorted(set(picks), reverse=True)
+                for idx in picks[:free]:
+                    job = queue.pop(idx)
+                    waits.append(now - job.arrival)
+                    turnarounds.append(now - job.arrival + job.service)
+                    busy_time += job.service
+                    heapq.heappush(
+                        running, (now + job.service, job.job_id, job)
+                    )
+
+        while completed < n:
+            # next event: arrival or completion
+            t_arr = (
+                arrivals[next_arrival][0]
+                if next_arrival < len(arrivals) else np.inf
+            )
+            t_fin = running[0][0] if running else np.inf
+            t_next = min(t_arr, t_fin)
+            if horizon is not None and t_next > horizon:
+                t = horizon
+                break
+            t = t_next
+            if t_fin <= t_arr and running:
+                heapq.heappop(running)
+                completed += 1
+            else:
+                while (
+                    next_arrival < len(arrivals)
+                    and arrivals[next_arrival][0] <= t
+                ):
+                    queue.append(arrivals[next_arrival][2])
+                    next_arrival += 1
+            start_ready(t)
+            queue_series.append((t, len(queue)))
+
+        makespan = t
+        util = busy_time / (self.n_gpus * makespan) if makespan > 0 else 0.0
+        return SimResult(
+            makespan=makespan,
+            utilization=min(util, 1.0),
+            mean_wait=float(np.mean(waits)) if waits else 0.0,
+            max_wait=float(np.max(waits)) if waits else 0.0,
+            mean_turnaround=(
+                float(np.mean(turnarounds)) if turnarounds else 0.0
+            ),
+            completed=completed,
+            queue_series=queue_series,
+        )

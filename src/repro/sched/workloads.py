@@ -1,0 +1,85 @@
+"""Topology-optimization job workloads.
+
+"A variable number of expensive GPU jobs are often necessary for
+topology optimization under different loading conditions" (§4.7): job
+service demands are heavy-tailed (lognormal), with a minority of
+long-running design evaluations.  Two submission patterns match the
+paper's study: everything at once (batch) and a Poisson stream whose
+rate may or may not be throttled below cluster capacity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.sched.simulator import Job
+from repro.util.rng import make_rng
+
+
+def _services(rng: np.random.Generator, n: int, mean_service: float,
+              sigma: float, long_fraction: float):
+    mu = np.log(mean_service) - sigma * sigma / 2.0
+    services = rng.lognormal(mu, sigma, n)
+    # the long tail: a fraction of jobs are big design evaluations
+    is_long = rng.random(n) < long_fraction
+    services = np.where(is_long, services * 6.0, services)
+    return services, is_long
+
+
+def batch_workload(
+    n_jobs: int = 500,
+    mean_service: float = 10.0,
+    sigma: float = 0.8,
+    long_fraction: float = 0.1,
+    seed: int = 0,
+) -> List[Job]:
+    """All jobs submitted at t=0 (the design-sweep pattern)."""
+    if n_jobs < 1 or mean_service <= 0 or sigma <= 0:
+        raise ValueError("bad workload parameters")
+    rng = make_rng(seed)
+    services, is_long = _services(rng, n_jobs, mean_service, sigma,
+                                  long_fraction)
+    return [
+        Job(job_id=k, arrival=0.0, service=float(s), is_long=bool(l))
+        for k, (s, l) in enumerate(zip(services, is_long))
+    ]
+
+
+def poisson_workload(
+    n_jobs: int = 500,
+    arrival_rate: float = 1.0,
+    mean_service: float = 10.0,
+    sigma: float = 0.8,
+    long_fraction: float = 0.1,
+    seed: int = 0,
+) -> List[Job]:
+    """Poisson arrivals at *arrival_rate* jobs per time unit.
+
+    Offered load on an n-GPU cluster is
+    ``arrival_rate * mean_service / n``; the paper's throttling
+    recommendation is to keep it below 1.
+    """
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if n_jobs < 1 or mean_service <= 0 or sigma <= 0:
+        raise ValueError("bad workload parameters")
+    rng = make_rng(seed)
+    gaps = rng.exponential(1.0 / arrival_rate, n_jobs)
+    arrivals = np.cumsum(gaps)
+    services, is_long = _services(rng, n_jobs, mean_service, sigma,
+                                  long_fraction)
+    return [
+        Job(job_id=k, arrival=float(a), service=float(s), is_long=bool(l))
+        for k, (a, s, l) in enumerate(zip(arrivals, services, is_long))
+    ]
+
+
+def offered_load(jobs: List[Job], n_gpus: int) -> float:
+    """Aggregate demand / capacity over the submission window."""
+    if not jobs:
+        return 0.0
+    total_service = sum(j.service for j in jobs)
+    window = max(max(j.arrival for j in jobs), 1e-12)
+    return total_service / (n_gpus * window)

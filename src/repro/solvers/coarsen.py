@@ -1,0 +1,157 @@
+"""Strength-of-connection and coarse-grid selection for classical AMG.
+
+Implements the two coarsening families hypre exposes:
+
+- :func:`rs_coarsen` — classical Ruge-Stueben first-pass selection
+  driven by descending measure (number of points strongly influenced),
+  the sequential CPU-era default.
+- :func:`pmis_coarsen` — parallel maximal independent set with random
+  tie-breaking, the GPU-friendly variant (each round is data-parallel).
+
+Both operate on a boolean strength graph from :func:`strength_graph`
+(classical negative-coupling criterion, threshold ``theta``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util.rng import make_rng
+
+#: point labels
+F_POINT = 0
+C_POINT = 1
+
+
+def strength_graph(a, theta: float = 0.25) -> sp.csr_matrix:
+    """Classical strength-of-connection matrix S (boolean CSR).
+
+    j strongly influences i when ``-a_ij >= theta * max_k(-a_ik)``,
+    maxima over off-diagonal negative couplings.  Rows with no negative
+    off-diagonal couplings have no strong connections.
+    """
+    if not (0.0 < theta <= 1.0):
+        raise ValueError("theta must be in (0, 1]")
+    a = sp.csr_matrix(a)
+    n = a.shape[0]
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("strength graph needs a square matrix")
+    coo = a.tocoo()
+    off = coo.row != coo.col
+    rows, cols, vals = coo.row[off], coo.col[off], coo.data[off]
+    neg = -vals  # coupling magnitude for negative entries
+    # per-row max of (-a_ij) over off-diagonals
+    row_max = np.zeros(n)
+    np.maximum.at(row_max, rows, neg)
+    keep = (neg >= theta * row_max[rows]) & (neg > 0)
+    s = sp.csr_matrix(
+        (np.ones(np.count_nonzero(keep)), (rows[keep], cols[keep])),
+        shape=(n, n),
+    )
+    return s
+
+
+def rs_coarsen(s: sp.csr_matrix, seed: int = 0) -> np.ndarray:
+    """Classical Ruge-Stueben first-pass C/F splitting.
+
+    Measure of point i = number of points it strongly influences
+    (column count of S).  Repeatedly pick the unassigned point with the
+    largest measure as C; its strong neighbors become F; each new F
+    point boosts the measure of *its* strong influences.
+
+    Returns an int array of ``C_POINT``/``F_POINT`` labels.
+    """
+    s = sp.csr_matrix(s)
+    n = s.shape[0]
+    st = s.T.tocsr()  # st[i] = points that i strongly influences
+    measure = np.asarray(st.getnnz(axis=1), dtype=np.float64)
+    # tiny random jitter to break ties deterministically
+    measure += 0.01 * make_rng(seed).random(n)
+    labels = np.full(n, -1, dtype=np.int64)
+    # points with no connections at all become F immediately
+    isolated = (s.getnnz(axis=1) == 0) & (st.getnnz(axis=1) == 0)
+    labels[isolated] = F_POINT
+    measure[isolated] = -np.inf
+
+    import heapq
+
+    heap = [(-m, i) for i, m in enumerate(measure) if labels[i] == -1]
+    heapq.heapify(heap)
+    stale = np.zeros(n, dtype=bool)
+    while heap:
+        negm, i = heapq.heappop(heap)
+        if labels[i] != -1:
+            continue
+        if stale[i] and -negm != measure[i]:
+            stale[i] = False
+            heapq.heappush(heap, (-measure[i], i))
+            continue
+        labels[i] = C_POINT
+        # strong influences of i become F
+        for j in st.indices[st.indptr[i]:st.indptr[i + 1]]:
+            if labels[j] == -1:
+                labels[j] = F_POINT
+                # boost points the new F point depends on
+                for k in s.indices[s.indptr[j]:s.indptr[j + 1]]:
+                    if labels[k] == -1:
+                        measure[k] += 1
+                        stale[k] = True
+                        heapq.heappush(heap, (-measure[k], k))
+    labels[labels == -1] = F_POINT
+    return labels
+
+
+def pmis_coarsen(s: sp.csr_matrix, seed: int = 0, max_rounds: int = 1000
+                 ) -> np.ndarray:
+    """PMIS coarsening: data-parallel maximal-independent-set rounds.
+
+    Each point gets weight = (#strong influences) + random in [0,1).
+    Per round, every unassigned point that is a local maximum among its
+    unassigned strong neighbors becomes C; unassigned strong neighbors
+    of new C points become F.  All comparisons in a round are
+    independent — this is the GPU-friendly selection.
+    """
+    s = sp.csr_matrix(s)
+    n = s.shape[0]
+    sym = ((s + s.T) > 0).astype(np.float64).tocsr()  # neighbor relation
+    weights = np.asarray(s.T.tocsr().getnnz(axis=1), dtype=np.float64)
+    weights += make_rng(seed).random(n)
+    labels = np.full(n, -1, dtype=np.int64)
+    # isolated points: immediately F (nothing to interpolate from; they
+    # will be handled by the solver as trivial points)
+    isolated = sym.getnnz(axis=1) == 0
+    labels[isolated] = F_POINT
+    for _ in range(max_rounds):
+        unassigned = labels == -1
+        if not unassigned.any():
+            break
+        w = np.where(unassigned, weights, -np.inf)
+        # neighbor max via sparse max-product: for each i, max over
+        # neighbors j of w[j]
+        nbr_max = np.full(n, -np.inf)
+        coo = sym.tocoo()
+        np.maximum.at(nbr_max, coo.row, w[coo.col])
+        new_c = unassigned & (w > nbr_max)
+        if not new_c.any():
+            # remaining points have no unassigned neighbors: make them C
+            labels[unassigned] = C_POINT
+            break
+        labels[new_c] = C_POINT
+        # strong neighbors of new C points become F
+        idx = np.flatnonzero(new_c)
+        touched = sym[idx].tocoo().col
+        becomes_f = np.zeros(n, dtype=bool)
+        becomes_f[touched] = True
+        becomes_f &= labels == -1
+        labels[becomes_f] = F_POINT
+    labels[labels == -1] = F_POINT
+    return labels
+
+
+def coarse_fine_counts(labels: np.ndarray) -> Tuple[int, int]:
+    """(#C, #F) from a label vector."""
+    n_c = int(np.count_nonzero(labels == C_POINT))
+    return n_c, labels.shape[0] - n_c

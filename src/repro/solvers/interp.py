@@ -1,0 +1,84 @@
+"""Classical direct interpolation for AMG.
+
+Builds the prolongation operator P from a C/F splitting: C points
+inject; each F point interpolates from its strongly-connected C
+neighbors with the classical direct-interpolation formula
+
+    w_ij = - (a_ij / a_ii) * (sum_k a_ik, k off-diagonal)
+                           / (sum_j a_ij, j strong C neighbors)
+
+which preserves constants for M-matrices.  F points with no strong C
+neighbor fall back to zero rows (they are smoothed-only points; the
+V-cycle handles them through relaxation).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.solvers.coarsen import C_POINT
+
+
+def direct_interpolation(
+    a, s: sp.csr_matrix, labels: np.ndarray
+) -> sp.csr_matrix:
+    """Return P (n_fine x n_coarse) for matrix *a*, strength *s*, *labels*."""
+    a = sp.csr_matrix(a)
+    s = sp.csr_matrix(s)
+    n = a.shape[0]
+    if labels.shape[0] != n:
+        raise ValueError("labels length must match matrix size")
+    coarse_index = -np.ones(n, dtype=np.int64)
+    c_pts = np.flatnonzero(labels == C_POINT)
+    coarse_index[c_pts] = np.arange(c_pts.size)
+    n_coarse = c_pts.size
+    if n_coarse == 0:
+        raise ValueError("no coarse points; cannot build interpolation")
+
+    rows, cols, vals = [], [], []
+    # C points inject.
+    rows.extend(c_pts.tolist())
+    cols.extend(coarse_index[c_pts].tolist())
+    vals.extend([1.0] * c_pts.size)
+
+    diag = a.diagonal()
+    for i in np.flatnonzero(labels != C_POINT):
+        a_row = slice(a.indptr[i], a.indptr[i + 1])
+        a_cols = a.indices[a_row]
+        a_vals = a.data[a_row]
+        off_mask = a_cols != i
+        # strong C neighbors of i
+        s_cols = set(s.indices[s.indptr[i]:s.indptr[i + 1]].tolist())
+        strong_c = [
+            (j, v)
+            for j, v in zip(a_cols[off_mask], a_vals[off_mask])
+            if j in s_cols and labels[j] == C_POINT
+        ]
+        if not strong_c or diag[i] == 0:
+            continue  # relaxation-only point
+        sum_all = float(a_vals[off_mask].sum())
+        sum_strong = float(sum(v for _, v in strong_c))
+        if sum_strong == 0:
+            continue
+        alpha = sum_all / sum_strong
+        for j, v in strong_c:
+            rows.append(i)
+            cols.append(coarse_index[j])
+            vals.append(-alpha * v / diag[i])
+    p = sp.csr_matrix((vals, (rows, cols)), shape=(n, n_coarse))
+    return p
+
+
+def interpolation_quality(p: sp.csr_matrix) -> Tuple[float, float]:
+    """(max row sum error vs 1, fraction of zero rows) diagnostics."""
+    rowsum = np.asarray(p.sum(axis=1)).ravel()
+    nonzero_rows = np.asarray(p.getnnz(axis=1)).ravel() > 0
+    if nonzero_rows.any():
+        err = float(np.abs(rowsum[nonzero_rows] - 1.0).max())
+    else:
+        err = float("inf")
+    zero_frac = 1.0 - nonzero_rows.mean()
+    return err, float(zero_frac)

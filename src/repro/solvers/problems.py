@@ -1,0 +1,74 @@
+"""Standard sparse test-problem generators.
+
+The hypre/MFEM/SUNDIALS experiments in the paper run on diffusion-type
+operators; these generators produce the finite-difference analogs used
+throughout the test and benchmark suites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def poisson_1d(n: int) -> sp.csr_matrix:
+    """1D Dirichlet Laplacian (tridiagonal [-1, 2, -1])."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    main = 2.0 * np.ones(n)
+    off = -1.0 * np.ones(n - 1)
+    return sp.diags([off, main, off], [-1, 0, 1], format="csr")
+
+
+def poisson_2d(nx: int, ny: Optional[int] = None) -> sp.csr_matrix:
+    """2D 5-point Dirichlet Laplacian on an nx-by-ny grid."""
+    ny = nx if ny is None else ny
+    ax, ay = poisson_1d(nx), poisson_1d(ny)
+    ix, iy = sp.identity(nx), sp.identity(ny)
+    out = (sp.kron(iy, ax) + sp.kron(ay, ix)).tocsr()
+    out.eliminate_zeros()
+    return out
+
+
+def poisson_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None) -> sp.csr_matrix:
+    """3D 7-point Dirichlet Laplacian on an nx-by-ny-by-nz grid."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    a2 = poisson_2d(nx, ny)
+    az = poisson_1d(nz)
+    i2 = sp.identity(nx * ny)
+    iz = sp.identity(nz)
+    out = (sp.kron(iz, a2) + sp.kron(az, i2)).tocsr()
+    out.eliminate_zeros()
+    return out
+
+
+def anisotropic_2d(nx: int, ny: Optional[int] = None, epsilon: float = 0.01,
+                   ) -> sp.csr_matrix:
+    """2D anisotropic diffusion -u_xx - eps*u_yy (classic AMG stressor).
+
+    Strong coupling in x only; classical coarsening should semi-coarsen.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    ny = nx if ny is None else ny
+    ax, ay = poisson_1d(nx), poisson_1d(ny)
+    ix, iy = sp.identity(nx), sp.identity(ny)
+    out = (sp.kron(iy, ax) + epsilon * sp.kron(ay, ix)).tocsr()
+    out.eliminate_zeros()
+    return out
+
+
+def random_spd(n: int, density: float = 0.05, seed: int = 0) -> sp.csr_matrix:
+    """Random sparse diagonally dominant SPD matrix (solver stress tests)."""
+    if not (0 < density <= 1):
+        raise ValueError("density in (0, 1]")
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density=density, random_state=rng, format="csr")
+    a = (a + a.T) * 0.5
+    # diagonal dominance => SPD
+    rowsum = np.asarray(abs(a).sum(axis=1)).ravel()
+    a = a + sp.diags(rowsum + 1.0)
+    return a.tocsr()

@@ -1,0 +1,317 @@
+"""Structured-solver substrate: Boxes, BoxLoops, and a PFMG-style cycle.
+
+hypre's structured solvers "exploit problem structure and are
+abstracted with macros called BoxLoops.  These macros were completely
+restructured to allow ports of CUDA, OpenMP 4.5, RAJA and Kokkos into
+the isolated BoxLoops" (§4.10.1).  Here:
+
+- :class:`Box` — an integer index box (also reused by the AMR layer).
+- :class:`BoxLoop` — the macro: apply a stencil body over a box through
+  the mini-RAJA backend of your choice; the *same body* runs on every
+  backend, and device launches are recorded for the roofline model.
+- :class:`StructGrid` + :func:`pfmg_solve` — a 2D structured Poisson
+  geometric-multigrid solver whose smoothing/residual/transfer kernels
+  are all expressed as BoxLoops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.forall import ExecPolicy, ExecutionContext, Forall
+
+
+@dataclass(frozen=True)
+class Box:
+    """Closed-open integer box ``[lo, hi)`` in up to 3 dimensions."""
+
+    lo: Tuple[int, ...]
+    hi: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo/hi rank mismatch")
+        if not self.lo:
+            raise ValueError("box must have at least one dimension")
+        if any(h < l for l, h in zip(self.lo, self.hi)):
+            raise ValueError(f"inverted box {self.lo}..{self.hi}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def contains(self, other: "Box") -> bool:
+        return all(
+            sl <= ol and oh <= sh
+            for sl, ol, oh, sh in zip(self.lo, other.lo, other.hi, self.hi)
+        )
+
+    def intersect(self, other: "Box") -> Optional["Box"]:
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(h <= l for l, h in zip(lo, hi)):
+            return None
+        return Box(lo, hi)
+
+    def grow(self, width: int) -> "Box":
+        """Expand by *width* cells on every side (ghost regions)."""
+        return Box(
+            tuple(l - width for l in self.lo),
+            tuple(h + width for h in self.hi),
+        )
+
+    def coarsen(self, ratio: int) -> "Box":
+        """Integer-coarsen (floor division), AMR-style."""
+        if ratio < 1:
+            raise ValueError("ratio must be >= 1")
+        return Box(
+            tuple(l // ratio for l in self.lo),
+            tuple(-(-h // ratio) for h in self.hi),
+        )
+
+    def refine(self, ratio: int) -> "Box":
+        if ratio < 1:
+            raise ValueError("ratio must be >= 1")
+        return Box(
+            tuple(l * ratio for l in self.lo),
+            tuple(h * ratio for h in self.hi),
+        )
+
+    def slices(self, offset: Tuple[int, ...] = None) -> Tuple[slice, ...]:
+        """NumPy slices for this box relative to *offset* (default lo=0)."""
+        offset = offset or (0,) * self.ndim
+        return tuple(
+            slice(l - o, h - o)
+            for l, h, o in zip(self.lo, self.hi, offset)
+        )
+
+
+class BoxLoop:
+    """The restructured hypre BoxLoop macro.
+
+    A BoxLoop body receives per-dimension index arrays (box-relative)
+    and reads/writes whole fields; the backend is chosen at
+    construction.  Stencil authors write the body once.
+    """
+
+    def __init__(self, ctx: Optional[ExecutionContext] = None,
+                 policy: ExecPolicy = ExecPolicy.SIMD):
+        self.ctx = ctx if ctx is not None else ExecutionContext()
+        self.forall = Forall(self.ctx, policy)
+
+    @property
+    def policy(self) -> ExecPolicy:
+        return self.forall.policy
+
+    def run(
+        self,
+        name: str,
+        box: Box,
+        body: Callable[..., None],
+        flops_per_point: float = 0.0,
+        bytes_per_point: float = 0.0,
+        tuned: bool = False,
+    ) -> None:
+        self.forall.kernel(
+            name,
+            box.shape,
+            body,
+            flops_per_elem=flops_per_point,
+            bytes_per_elem=bytes_per_point,
+            tuned=tuned,
+        )
+
+
+class StructGrid:
+    """2D cell-centered structured grid with one ghost layer.
+
+    Fields are ``(nx+2, ny+2)`` arrays; the interior box is
+    ``[1, nx+1) x [1, ny+1)``.  Homogeneous Dirichlet values live in the
+    ghost layer (zeros).
+    """
+
+    def __init__(self, nx: int, ny: Optional[int] = None, h: float = 1.0):
+        if nx < 1:
+            raise ValueError("nx must be >= 1")
+        self.nx = nx
+        self.ny = nx if ny is None else ny
+        if self.ny < 1:
+            raise ValueError("ny must be >= 1")
+        self.h = h
+        self.interior = Box((1, 1), (self.nx + 1, self.ny + 1))
+
+    def new_field(self, fill: float = 0.0) -> np.ndarray:
+        return np.full((self.nx + 2, self.ny + 2), fill, dtype=np.float64)
+
+    def apply_laplacian(
+        self, loop: BoxLoop, u: np.ndarray, out: np.ndarray
+    ) -> None:
+        """out = A u with the standard 5-point operator (scaled by 1/h^2)."""
+        inv_h2 = 1.0 / (self.h * self.h)
+
+        def body(i, j):
+            ii, jj = i + 1, j + 1  # box-relative -> field index
+            out[ii, jj] = inv_h2 * (
+                4.0 * u[ii, jj]
+                - u[ii - 1, jj] - u[ii + 1, jj]
+                - u[ii, jj - 1] - u[ii, jj + 1]
+            )
+
+        loop.run("struct-laplacian", self.interior, body,
+                 flops_per_point=6, bytes_per_point=6 * 8)
+
+    def residual(
+        self, loop: BoxLoop, b: np.ndarray, u: np.ndarray, r: np.ndarray
+    ) -> None:
+        inv_h2 = 1.0 / (self.h * self.h)
+
+        def body(i, j):
+            ii, jj = i + 1, j + 1
+            r[ii, jj] = b[ii, jj] - inv_h2 * (
+                4.0 * u[ii, jj]
+                - u[ii - 1, jj] - u[ii + 1, jj]
+                - u[ii, jj - 1] - u[ii, jj + 1]
+            )
+
+        loop.run("struct-residual", self.interior, body,
+                 flops_per_point=7, bytes_per_point=7 * 8)
+
+    def jacobi_sweep(
+        self, loop: BoxLoop, b: np.ndarray, u: np.ndarray,
+        weight: float = 0.8,
+    ) -> np.ndarray:
+        """One weighted-Jacobi sweep; returns the new field."""
+        h2 = self.h * self.h
+        unew = u.copy()
+
+        def body(i, j):
+            ii, jj = i + 1, j + 1
+            gs = 0.25 * (
+                u[ii - 1, jj] + u[ii + 1, jj]
+                + u[ii, jj - 1] + u[ii, jj + 1]
+                + h2 * b[ii, jj]
+            )
+            unew[ii, jj] = (1 - weight) * u[ii, jj] + weight * gs
+
+        loop.run("struct-jacobi", self.interior, body,
+                 flops_per_point=9, bytes_per_point=7 * 8)
+        return unew
+
+
+def _restrict_full_weighting(fine: np.ndarray) -> np.ndarray:
+    """Vertex-centered full-weighting restriction.
+
+    Fine field is ``(n+2, n+2)`` with *odd* interior size n (grid points
+    at h, 2h, ..., nh); coarse interior size is (n-1)/2 and coarse
+    point I sits on fine point 2I.  Stencil [1 2 1; 2 4 2; 1 2 1]/16.
+    """
+    n, m = fine.shape[0] - 2, fine.shape[1] - 2
+    if n % 2 == 0 or m % 2 == 0:
+        raise ValueError("full weighting needs odd interior sizes")
+    nc, mc = (n - 1) // 2, (m - 1) // 2
+    f = fine
+    ce = slice(2, n, 2)      # fine index 2I for I = 1..nc
+    lo = slice(1, n - 1, 2)  # 2I - 1
+    hi = slice(3, n + 1, 2)  # 2I + 1
+    cem = slice(2, m, 2)
+    lom = slice(1, m - 1, 2)
+    him = slice(3, m + 1, 2)
+    coarse = np.zeros((nc + 2, mc + 2))
+    coarse[1:-1, 1:-1] = (
+        4.0 * f[ce, cem]
+        + 2.0 * (f[lo, cem] + f[hi, cem] + f[ce, lom] + f[ce, him])
+        + f[lo, lom] + f[hi, lom] + f[lo, him] + f[hi, him]
+    ) / 16.0
+    return coarse
+
+
+def _prolong_bilinear(coarse: np.ndarray, fine_shape: Tuple[int, int]
+                      ) -> np.ndarray:
+    """Vertex-centered bilinear prolongation (transpose of full
+    weighting, up to scaling)."""
+    fine = np.zeros(fine_shape)
+    n, m = fine_shape[0] - 2, fine_shape[1] - 2
+    cp = coarse  # includes zero ghost ring == homogeneous Dirichlet
+    nc, mc = coarse.shape[0] - 2, coarse.shape[1] - 2
+    # coincident points
+    fine[2:n:2, 2:m:2] = cp[1:-1, 1:-1]
+    # odd rows, even columns: average vertically
+    fine[1:n + 1:2, 2:m:2] = 0.5 * (cp[0:nc + 1, 1:-1] + cp[1:nc + 2, 1:-1])
+    # even rows, odd columns
+    fine[2:n:2, 1:m + 1:2] = 0.5 * (cp[1:-1, 0:mc + 1] + cp[1:-1, 1:mc + 2])
+    # odd rows, odd columns: average of four
+    fine[1:n + 1:2, 1:m + 1:2] = 0.25 * (
+        cp[0:nc + 1, 0:mc + 1] + cp[1:nc + 2, 0:mc + 1]
+        + cp[0:nc + 1, 1:mc + 2] + cp[1:nc + 2, 1:mc + 2]
+    )
+    return fine
+
+
+def pfmg_solve(
+    grid: StructGrid,
+    b: np.ndarray,
+    loop: Optional[BoxLoop] = None,
+    tol: float = 1e-8,
+    max_cycles: int = 60,
+    pre_sweeps: int = 2,
+    post_sweeps: int = 2,
+    min_size: int = 3,
+) -> Tuple[np.ndarray, List[float]]:
+    """Geometric multigrid (PFMG-style) for the 2D Poisson problem.
+
+    Vertex-centered: requires interior sizes of the form ``2^k - 1``
+    (each level maps n -> (n-1)/2 until ``min_size``).  Returns
+    (solution field, residual-norm history).
+    """
+    loop = loop if loop is not None else BoxLoop()
+
+    def vcycle(g: StructGrid, bb: np.ndarray, uu: np.ndarray) -> np.ndarray:
+        for _ in range(pre_sweeps):
+            uu = g.jacobi_sweep(loop, bb, uu)
+        nx_c = (g.nx - 1) // 2
+        ny_c = (g.ny - 1) // 2
+        if (
+            g.nx <= min_size or g.ny <= min_size
+            or g.nx % 2 == 0 or g.ny % 2 == 0
+            or nx_c % 2 == 0 or ny_c % 2 == 0
+        ):
+            for _ in range(50):
+                uu = g.jacobi_sweep(loop, bb, uu)
+            return uu
+        r = g.new_field()
+        g.residual(loop, bb, uu, r)
+        gc = StructGrid(nx_c, ny_c, h=2 * g.h)
+        rc = _restrict_full_weighting(r)
+        ec = vcycle(gc, rc, gc.new_field())
+        uu = uu + _prolong_bilinear(ec, uu.shape)
+        for _ in range(post_sweeps):
+            uu = g.jacobi_sweep(loop, bb, uu)
+        return uu
+
+    u = grid.new_field()
+    r = grid.new_field()
+    grid.residual(loop, b, u, r)
+    bnorm = float(np.linalg.norm(b[1:-1, 1:-1]))
+    target = tol * (bnorm if bnorm > 0 else 1.0)
+    history = [float(np.linalg.norm(r[1:-1, 1:-1]))]
+    for _ in range(max_cycles):
+        if history[-1] <= target:
+            break
+        u = vcycle(grid, b, u)
+        grid.residual(loop, b, u, r)
+        history.append(float(np.linalg.norm(r[1:-1, 1:-1])))
+    return u, history

@@ -1,0 +1,25 @@
+"""Mini Spark: a partitioned dataflow engine with an explicit cost model.
+
+The Data Analytics activity (§4.4) found SparkPlug LDA's scalability
+limited by "overheads in the Java Virtual Machine, Spark's
+implementation of shuffle (all-to-all communication), and Spark's
+aggregate (all-to-one communication)", and fixed it with a tuned JVM
+(GC, lock contention, serialization) and an adaptive shuffle.
+
+This package provides those moving parts as inspectable components:
+
+- :mod:`repro.spark.jvm` — the JVM-stack cost model: serialization
+  cost per byte, GC overhead fraction, lock-contention factor; two
+  presets (``default`` and ``optimized``) whose gap is Fig 2's.
+- :mod:`repro.spark.engine` — :class:`SparkEngine`: partitioned
+  datasets, ``map_partitions``, hash vs adaptive ``shuffle``
+  (all-to-all), flat vs tree ``aggregate`` (all-to-one).  All data
+  movement is real (results verified against single-process
+  references); the per-phase *cluster time* is modeled from the
+  machine catalog and accumulated in a TimerRegistry.
+"""
+
+from repro.spark.jvm import JvmStack, DEFAULT_STACK, OPTIMIZED_STACK
+from repro.spark.engine import SparkEngine
+
+__all__ = ["JvmStack", "DEFAULT_STACK", "OPTIMIZED_STACK", "SparkEngine"]

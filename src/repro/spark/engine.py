@@ -1,0 +1,193 @@
+"""The mini dataflow engine: partitions, shuffle, aggregate.
+
+Data movement is genuinely executed (Python objects move between
+partition lists and results are exact), while *cluster time* for each
+phase is modeled from the machine catalog + JVM stack and accumulated
+in a :class:`~repro.util.timing.TimerRegistry` under the phase names
+Fig 2 uses (``compute``, ``shuffle``, ``aggregate``).
+
+Shuffle algorithms (§4.4 / refs [20, 21]):
+
+- ``hash`` — every (source partition, destination partition) block is
+  serialized and sent separately: P^2 messages per shuffle, each
+  paying latency + serialization.
+- ``adaptive`` — blocks destined to the same node are batched into
+  per-destination buffers: P messages, bulk serialization, better
+  bandwidth utilization.
+
+Aggregate algorithms:
+
+- ``flat`` — every partition sends its full payload to the driver,
+  serialized through one link (time scales with P).
+- ``tree`` — binary combining tree (time scales with log2 P).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.machine import Machine, get_machine
+from repro.spark.jvm import DEFAULT_STACK, JvmStack
+from repro.util.timing import TimerRegistry
+
+Partition = List[Any]
+
+
+def _payload_bytes(obj: Any) -> float:
+    """Estimated serialized size of a record/payload."""
+    if isinstance(obj, np.ndarray):
+        return float(obj.nbytes)
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_bytes(o) for o in obj) + 16.0 * len(obj)
+    if isinstance(obj, dict):
+        return sum(
+            _payload_bytes(k) + _payload_bytes(v) for k, v in obj.items()
+        ) + 32.0 * len(obj)
+    if isinstance(obj, (bytes, str)):
+        return float(len(obj)) + 40.0
+    return 48.0  # boxed scalar
+
+
+class SparkEngine:
+    """A P-worker dataflow engine with modeled cluster timing."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        machine: Optional[Machine] = None,
+        stack: JvmStack = DEFAULT_STACK,
+        timers: Optional[TimerRegistry] = None,
+        #: sustained per-worker compute rate (flop/s) for modeled time
+        worker_rate: float = 2e10,
+    ):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        if worker_rate <= 0:
+            raise ValueError("worker_rate must be positive")
+        self.p = n_workers
+        self.machine = machine if machine is not None else get_machine("sierra")
+        self.stack = stack
+        self.timers = timers if timers is not None else TimerRegistry()
+        self.worker_rate = worker_rate
+
+    # ------------------------------------------------------------------
+
+    def parallelize(self, records: Sequence[Any]) -> List[Partition]:
+        """Round-robin records into P partitions."""
+        parts: List[Partition] = [[] for _ in range(self.p)]
+        for k, rec in enumerate(records):
+            parts[k % self.p].append(rec)
+        return parts
+
+    def map_partitions(
+        self,
+        partitions: List[Partition],
+        fn: Callable[[Partition], Partition],
+        flops_per_record: float = 0.0,
+        name: str = "compute",
+    ) -> List[Partition]:
+        """Apply *fn* per partition; charge modeled parallel compute."""
+        out = [fn(part) for part in partitions]
+        max_records = max((len(p) for p in partitions), default=0)
+        raw = max_records * flops_per_record / self.worker_rate
+        t = self.stack.compute_time(raw)
+        t += self.stack.dispatch_time(len(partitions)) / self.p
+        self.timers.add(name, t)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def shuffle(
+        self,
+        partitions: List[Partition],
+        key_fn: Callable[[Any], int],
+        algorithm: str = "hash",
+    ) -> List[Partition]:
+        """All-to-all regroup: record goes to partition key_fn(r) % P."""
+        if algorithm not in ("hash", "adaptive"):
+            raise ValueError("algorithm must be 'hash' or 'adaptive'")
+        out: List[Partition] = [[] for _ in range(self.p)]
+        blocks: Dict[Tuple[int, int], float] = {}
+        for src, part in enumerate(partitions):
+            for rec in part:
+                dst = key_fn(rec) % self.p
+                out[dst].append(rec)
+                key = (src, dst)
+                blocks[key] = blocks.get(key, 0.0) + _payload_bytes(rec)
+        self.timers.add("shuffle", self._shuffle_time(blocks, algorithm))
+        return out
+
+    def _shuffle_time(
+        self, blocks: Dict[Tuple[int, int], float], algorithm: str
+    ) -> float:
+        net = self.machine.network
+        total_bytes = sum(blocks.values())
+        if algorithm == "hash":
+            # P^2 small messages: every block pays latency and is
+            # serialized on its own; link utilization is poor.
+            n_messages = len(blocks)
+            t_lat = n_messages * net.latency * self.stack.lock_contention
+            t_ser = self.stack.serialization_time(total_bytes)
+            t_net = total_bytes / (0.5 * net.injection_bw * self.p)
+            return t_lat + t_ser + t_net
+        # adaptive: one batched buffer per destination
+        n_messages = self.p
+        t_lat = n_messages * net.latency
+        t_ser = self.stack.serialization_time(total_bytes) * 0.5
+        t_net = total_bytes / (0.8 * net.injection_bw * self.p)
+        return t_lat + t_ser + t_net
+
+    # ------------------------------------------------------------------
+
+    def aggregate(
+        self,
+        partitions: List[Partition],
+        seq_fn: Callable[[Any, Any], Any],
+        comb_fn: Callable[[Any, Any], Any],
+        zero: Any,
+        algorithm: str = "flat",
+        payload_bytes: Optional[float] = None,
+    ) -> Any:
+        """All-to-one reduction of every record into one value."""
+        if algorithm not in ("flat", "tree"):
+            raise ValueError("algorithm must be 'flat' or 'tree'")
+        partials = []
+        for part in partitions:
+            acc = zero
+            for rec in part:
+                acc = seq_fn(acc, rec)
+            partials.append(acc)
+        result = partials[0]
+        for p in partials[1:]:
+            result = comb_fn(result, p)
+        per_partial = (
+            payload_bytes
+            if payload_bytes is not None
+            else max((_payload_bytes(p) for p in partials), default=0.0)
+        )
+        self.timers.add(
+            "aggregate", self._aggregate_time(per_partial, algorithm)
+        )
+        return result
+
+    def _aggregate_time(self, per_partial: float, algorithm: str) -> float:
+        net = self.machine.network
+        per_msg = net.latency + per_partial / net.injection_bw
+        per_msg += self.stack.serialization_time(per_partial)
+        if algorithm == "flat":
+            # driver ingests P payloads serially
+            return self.p * per_msg * self.stack.lock_contention
+        rounds = max(1, math.ceil(math.log2(self.p)))
+        return rounds * per_msg
+
+    def broadcast_time(self, nbytes: float) -> float:
+        """Model broadcasting *nbytes* to all workers (binomial tree)."""
+        net = self.machine.network
+        rounds = max(1, math.ceil(math.log2(self.p)))
+        return rounds * (
+            net.latency + nbytes / net.injection_bw
+            + self.stack.serialization_time(nbytes)
+        )

@@ -1,0 +1,68 @@
+"""JVM-stack cost model.
+
+The paper's JVM-level optimizations: "more efficient garbage
+collection and lock contention schemes, as well as reduced
+serialization/deserialization overheads improved performance" (§4.4).
+Each knob is a first-class number here so the Fig 2 reproduction can
+attribute its improvement:
+
+- ``ser_seconds_per_byte`` — serialization + deserialization cost per
+  byte crossing a partition boundary (default Java serialization vs
+  OpenJ9-tuned/kryo-style).
+- ``gc_overhead`` — fraction of compute time lost to collection pauses
+  (allocation-churn driven).
+- ``lock_contention`` — multiplier on task-dispatch critical sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JvmStack:
+    name: str
+    #: serialization + deserialization cost (s/byte, both ends total)
+    ser_seconds_per_byte: float
+    #: fraction of compute time lost to GC
+    gc_overhead: float
+    #: multiplier (>= 1) on scheduling/dispatch overheads
+    lock_contention: float
+    #: per-task dispatch overhead (s)
+    task_overhead: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.ser_seconds_per_byte < 0:
+            raise ValueError("serialization cost must be non-negative")
+        if not (0 <= self.gc_overhead < 1):
+            raise ValueError("gc_overhead in [0, 1)")
+        if self.lock_contention < 1:
+            raise ValueError("lock_contention must be >= 1")
+
+    def compute_time(self, raw_seconds: float) -> float:
+        """Wall time for raw_seconds of useful compute under this JVM."""
+        return raw_seconds / (1.0 - self.gc_overhead)
+
+    def serialization_time(self, nbytes: float) -> float:
+        return nbytes * self.ser_seconds_per_byte
+
+    def dispatch_time(self, n_tasks: int) -> float:
+        return n_tasks * self.task_overhead * self.lock_contention
+
+
+#: stock Spark on the early system software (§4.4's starting point):
+#: default Java serialization, heavy GC churn, contended dispatch.
+DEFAULT_STACK = JvmStack(
+    name="default",
+    ser_seconds_per_byte=2.5e-9,  # ~400 MB/s ser+deser
+    gc_overhead=0.25,
+    lock_contention=2.0,
+)
+
+#: IBM Java SDK / OpenJ9 with the paper's tunings.
+OPTIMIZED_STACK = JvmStack(
+    name="optimized",
+    ser_seconds_per_byte=1.2e-9,  # ~830 MB/s
+    gc_overhead=0.06,
+    lock_contention=1.1,
+)

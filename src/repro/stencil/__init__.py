@@ -1,0 +1,46 @@
+"""SW4 / sw4lite proxy: high-order seismic wave propagation (§4.9).
+
+The Seismic activity ported SW4 (4th-order summation-by-parts finite
+differences for elastic waves) by first building the sw4lite proxy.
+This package is our sw4lite:
+
+- :mod:`repro.stencil.grid` — Cartesian grids and field storage.
+- :mod:`repro.stencil.kernels` — 4th-order finite-difference stencils
+  with both *unfused* (one kernel per derivative term, the naive port)
+  and *fused* (single kernel) execution paths that are numerically
+  identical but differ in launch count and memory traffic — the
+  optimization §4.9 credits with ~2X.
+- :mod:`repro.stencil.sw4lite` — the time-domain solver: variable-
+  coefficient acoustic wave equation (the scalar proxy for SW4's
+  elastic system; see DESIGN.md substitutions), leapfrog in time,
+  Ricker point sources, energy accounting, backend selection,
+  supergrid absorbing boundary layers (SW4's boundary treatment), and
+  roofline kernel tracing.
+- :mod:`repro.stencil.hayward` — the Hayward-fault earthquake
+  scenario: a layered basin velocity model, an extended fault source,
+  and peak-ground-velocity shake-map extraction (the data behind
+  Fig 7).
+"""
+
+from repro.stencil.grid import CartesianGrid3D
+from repro.stencil.kernels import (
+    FD4_COEFFS,
+    apply_wave_rhs_fused,
+    apply_wave_rhs_unfused,
+    laplacian_4th,
+)
+from repro.stencil.sw4lite import Sw4Lite, Sw4Options, RickerSource
+from repro.stencil.hayward import HaywardScenario, layered_speed_model
+
+__all__ = [
+    "CartesianGrid3D",
+    "FD4_COEFFS",
+    "laplacian_4th",
+    "apply_wave_rhs_fused",
+    "apply_wave_rhs_unfused",
+    "Sw4Lite",
+    "Sw4Options",
+    "RickerSource",
+    "HaywardScenario",
+    "layered_speed_model",
+]

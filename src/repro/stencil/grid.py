@@ -1,0 +1,90 @@
+"""Cartesian grids for the finite-difference wave solvers.
+
+Fields carry a two-cell ghost frame (the 4th-order stencil half-width);
+the interior is ``[2, n+2)`` in each direction.  Grids are deliberately
+simple — SW4's curvilinear mesh refinement is out of scope (see
+DESIGN.md) — but sizes are arbitrary per direction and spacing is
+uniform, matching the sw4lite test configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: ghost-frame width required by the 4th-order stencil
+GHOST = 2
+
+
+@dataclass(frozen=True)
+class CartesianGrid3D:
+    """Uniform 3D grid of ``nx x ny x nz`` interior points, spacing h."""
+
+    nx: int
+    ny: int
+    nz: int
+    h: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError("grid extents must be >= 1")
+        if self.h <= 0:
+            raise ValueError("grid spacing must be positive")
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Field storage shape (interior + ghosts)."""
+        return (self.nx + 2 * GHOST, self.ny + 2 * GHOST, self.nz + 2 * GHOST)
+
+    @property
+    def n_points(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def interior(self) -> Tuple[slice, slice, slice]:
+        return (
+            slice(GHOST, GHOST + self.nx),
+            slice(GHOST, GHOST + self.ny),
+            slice(GHOST, GHOST + self.nz),
+        )
+
+    def new_field(self, fill: float = 0.0) -> np.ndarray:
+        return np.full(self.shape, fill, dtype=np.float64)
+
+    def coords(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Interior physical coordinates (1D arrays per axis)."""
+        return (
+            np.arange(self.nx) * self.h,
+            np.arange(self.ny) * self.h,
+            np.arange(self.nz) * self.h,
+        )
+
+    def fill_periodic_ghosts(self, f: np.ndarray) -> None:
+        """Copy periodic images into the ghost frame (in place)."""
+        g = GHOST
+        f[:g] = f[-2 * g:-g]
+        f[-g:] = f[g:2 * g]
+        f[:, :g] = f[:, -2 * g:-g]
+        f[:, -g:] = f[:, g:2 * g]
+        f[:, :, :g] = f[:, :, -2 * g:-g]
+        f[:, :, -g:] = f[:, :, g:2 * g]
+
+    def zero_ghosts(self, f: np.ndarray) -> None:
+        """Homogeneous Dirichlet ghost frame (in place)."""
+        g = GHOST
+        f[:g] = 0.0
+        f[-g:] = 0.0
+        f[:, :g] = 0.0
+        f[:, -g:] = 0.0
+        f[:, :, :g] = 0.0
+        f[:, :, -g:] = 0.0
+
+    def nearest_index(self, x: float, y: float, z: float
+                      ) -> Tuple[int, int, int]:
+        """Interior index of the grid point closest to (x, y, z)."""
+        def clamp(v: float, n: int) -> int:
+            return int(np.clip(round(v / self.h), 0, n - 1))
+
+        return clamp(x, self.nx), clamp(y, self.ny), clamp(z, self.nz)

@@ -1,0 +1,276 @@
+"""sw4lite proxy: time-domain wave propagation with tracing backends.
+
+Solves the variable-coefficient acoustic wave equation
+
+    u_tt = c(x)^2 Laplacian(u) + F(x, t)
+
+with 4th-order spatial stencils and 2nd-order leapfrog in time — the
+scalar proxy for SW4's elastic system (DESIGN.md records the
+substitution; the stencil shape, launch structure, memory traffic and
+time-stepping pattern are the parts the paper's optimizations act on).
+
+Backend modes reproduce §4.9's comparison:
+
+- ``"cuda"`` — fused kernels, tuned (shared memory): the hand-CUDA path.
+- ``"raja"`` — fused kernels, untuned (~30% dispatch penalty): the
+  portable path the production SW4 adopted.
+- ``"naive"`` — unfused kernels, untuned: the starting point.
+- every mode also offloads forcing and the time update when
+  ``offload_all=True`` (the "offload everything in the main
+  time-stepping routine" optimization); otherwise those phases run
+  "on the host" and incur per-step transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.forall import ExecutionContext
+from repro.core.kernels import KernelSpec, TransferSpec
+from repro.stencil.grid import GHOST, CartesianGrid3D
+from repro.stencil.kernels import (
+    apply_wave_rhs_fused,
+    apply_wave_rhs_unfused,
+    discrete_energy,
+)
+
+BACKENDS = ("cuda", "raja", "naive")
+
+
+@dataclass(frozen=True)
+class RickerSource:
+    """Ricker-wavelet point source."""
+
+    x: float
+    y: float
+    z: float
+    freq: float
+    amplitude: float = 1.0
+    t0: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.freq <= 0:
+            raise ValueError("source frequency must be positive")
+
+    def time_function(self, t: float) -> float:
+        t0 = self.t0 if self.t0 is not None else 1.0 / self.freq
+        arg = (np.pi * self.freq * (t - t0)) ** 2
+        return float(self.amplitude * (1.0 - 2.0 * arg) * np.exp(-arg))
+
+
+@dataclass
+class Sw4Options:
+    backend: str = "cuda"
+    #: CFL number relative to max wave speed
+    cfl: float = 0.4
+    #: "dirichlet" (reflecting), "periodic", or "supergrid" — SW4's
+    #: absorbing treatment: a sponge of thickness ``supergrid_width``
+    #: cells damps outgoing waves near the lateral/bottom boundaries
+    #: (the top stays a free-ish surface for seismology)
+    boundary: str = "dirichlet"
+    supergrid_width: int = 6
+    supergrid_strength: float = 0.05
+    offload_all: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
+        if not (0 < self.cfl <= 0.7):
+            raise ValueError("cfl must be in (0, 0.7] for stability")
+        if self.boundary not in ("dirichlet", "periodic", "supergrid"):
+            raise ValueError(
+                "boundary must be 'dirichlet', 'periodic', or 'supergrid'"
+            )
+        if self.supergrid_width < 1:
+            raise ValueError("supergrid_width must be >= 1")
+        if not (0 < self.supergrid_strength <= 1.0):
+            raise ValueError("supergrid_strength in (0, 1]")
+
+
+class Sw4Lite:
+    """Leapfrog wave solver on a Cartesian grid.
+
+    Parameters
+    ----------
+    grid:
+        The computational grid.
+    speed:
+        Wave speed on interior points, shape (nx, ny, nz) (or scalar).
+    sources:
+        Ricker point sources.
+    options:
+        Backend / stability configuration.
+    ctx:
+        Execution context for kernel/transfer tracing.
+    """
+
+    def __init__(
+        self,
+        grid: CartesianGrid3D,
+        speed,
+        sources: Optional[List[RickerSource]] = None,
+        options: Optional[Sw4Options] = None,
+        ctx: Optional[ExecutionContext] = None,
+    ):
+        self.grid = grid
+        self.opts = options if options is not None else Sw4Options()
+        self.ctx = ctx
+        speed = np.asarray(speed, dtype=np.float64)
+        if speed.ndim == 0:
+            speed = np.full((grid.nx, grid.ny, grid.nz), float(speed))
+        if speed.shape != (grid.nx, grid.ny, grid.nz):
+            raise ValueError("speed must be interior-shaped or scalar")
+        if np.any(speed <= 0):
+            raise ValueError("wave speeds must be positive")
+        self.c2 = speed * speed
+        self.c_max = float(speed.max())
+        self.dt = self.opts.cfl * grid.h / self.c_max
+        self.sources = list(sources or [])
+        self._src_idx = [
+            grid.nearest_index(s.x, s.y, s.z) for s in self.sources
+        ]
+        self.u_prev = grid.new_field()
+        self.u_curr = grid.new_field()
+        self.t = 0.0
+        self.steps_taken = 0
+        self._sponge = (
+            self._build_sponge() if self.opts.boundary == "supergrid"
+            else None
+        )
+
+    def _build_sponge(self) -> np.ndarray:
+        """Interior-shaped damping factor: 1 in the interior, ramping
+        down smoothly inside the supergrid layers (lateral sides and
+        the bottom; the z=0 surface stays free for seismology)."""
+        g = self.grid
+        w = min(self.opts.supergrid_width,
+                max(1, min(g.nx, g.ny, g.nz) // 2))
+        strength = self.opts.supergrid_strength
+
+        def ramp(n: int, both_sides: bool) -> np.ndarray:
+            sigma = np.zeros(n)
+            edge = np.arange(w, dtype=np.float64)
+            profile = (1.0 - edge / w) ** 3  # smooth cubic taper
+            m = min(w, n)
+            sigma[-m:] = np.maximum(sigma[-m:], profile[:m][::-1])
+            if both_sides:
+                sigma[:m] = np.maximum(sigma[:m], profile[:m])
+            return sigma
+
+        sx = ramp(g.nx, both_sides=True)
+        sy = ramp(g.ny, both_sides=True)
+        sz = ramp(g.nz, both_sides=False)  # damp the bottom only
+        sigma = np.maximum.reduce(np.meshgrid(sx, sy, sz, indexing="ij"))
+        return 1.0 - strength * sigma
+
+    # ------------------------------------------------------------------
+
+    def set_initial(self, u0: np.ndarray, v0: Optional[np.ndarray] = None
+                    ) -> None:
+        """Initial displacement (interior-shaped) and optional velocity."""
+        if u0.shape != (self.grid.nx, self.grid.ny, self.grid.nz):
+            raise ValueError("u0 must be interior-shaped")
+        it = self.grid.interior
+        self.u_curr.fill(0.0)
+        self.u_curr[it] = u0
+        self._apply_bc(self.u_curr)
+        # u_prev from a Taylor step backwards: u(-dt) ~= u0 - dt v0 + dt^2/2 utt
+        self.u_prev.fill(0.0)
+        rhs = self.c2 * self._laplacian(self.u_curr)
+        self.u_prev[it] = u0 + 0.5 * self.dt**2 * rhs
+        if v0 is not None:
+            self.u_prev[it] -= self.dt * v0
+        self._apply_bc(self.u_prev)
+
+    def _laplacian(self, f: np.ndarray) -> np.ndarray:
+        from repro.stencil.kernels import laplacian_4th
+
+        return laplacian_4th(self.grid, f)
+
+    def _apply_bc(self, f: np.ndarray) -> None:
+        if self.opts.boundary == "periodic":
+            self.grid.fill_periodic_ghosts(f)
+        else:
+            self.grid.zero_ghosts(f)
+
+    def _rhs(self, u: np.ndarray) -> np.ndarray:
+        if self.opts.backend == "naive":
+            return apply_wave_rhs_unfused(self.grid, u, self.c2, self.ctx,
+                                          tuned=False)
+        tuned = self.opts.backend == "cuda"
+        return apply_wave_rhs_fused(self.grid, u, self.c2, self.ctx,
+                                    tuned=tuned)
+
+    def _record_update_kernels(self) -> None:
+        """Trace the time-update + forcing kernels (and host transfers
+        when they are NOT offloaded)."""
+        if self.ctx is None:
+            return
+        n = self.grid.n_points
+        tuned = self.opts.backend == "cuda"
+        eff = 1.0 if tuned else 0.77
+        self.ctx.trace.record_kernel(KernelSpec(
+            name="time-update", flops=4.0 * n, bytes_read=8.0 * 3 * n,
+            bytes_written=8.0 * n, compute_efficiency=0.5 * eff,
+            bandwidth_efficiency=0.8 * eff,
+        ))
+        if self.opts.offload_all:
+            self.ctx.trace.record_kernel(KernelSpec(
+                name="forcing", flops=12.0 * max(len(self.sources), 1),
+                bytes_read=8.0 * max(len(self.sources), 1),
+                bytes_written=8.0 * max(len(self.sources), 1),
+            ))
+        else:
+            # forcing computed on the host: the whole displacement field
+            # crosses the link twice per step
+            nbytes = 8.0 * n
+            self.ctx.trace.record_transfer(
+                TransferSpec("forcing-d2h", nbytes=nbytes, direction="d2h")
+            )
+            self.ctx.trace.record_transfer(
+                TransferSpec("forcing-h2d", nbytes=nbytes, direction="h2d")
+            )
+
+    def step(self) -> None:
+        """Advance one leapfrog step."""
+        it = self.grid.interior
+        rhs = self._rhs(self.u_curr)
+        for src, (i, j, k) in zip(self.sources, self._src_idx):
+            rhs[i, j, k] += src.time_function(self.t) / self.grid.h**3
+        u_next = self.u_prev  # reuse storage (classic leapfrog rotation)
+        u_next[it] = (
+            2.0 * self.u_curr[it] - self.u_prev[it] + self.dt**2 * rhs
+        )
+        if self._sponge is not None:
+            # damp field and (implicitly) velocity inside the layers
+            u_next[it] *= self._sponge
+            self.u_curr[it] *= self._sponge
+        self._apply_bc(u_next)
+        self.u_prev, self.u_curr = self.u_curr, u_next
+        self.t += self.dt
+        self.steps_taken += 1
+        self._record_update_kernels()
+
+    def run(self, n_steps: int) -> None:
+        if n_steps < 0:
+            raise ValueError("n_steps must be >= 0")
+        for _ in range(n_steps):
+            self.step()
+
+    # ------------------------------------------------------------------
+
+    def solution(self) -> np.ndarray:
+        """Current interior displacement (copy)."""
+        return self.u_curr[self.grid.interior].copy()
+
+    def velocity(self) -> np.ndarray:
+        """Current interior velocity estimate (backward difference)."""
+        it = self.grid.interior
+        return (self.u_curr[it] - self.u_prev[it]) / self.dt
+
+    def energy(self) -> float:
+        return discrete_energy(self.grid, self.u_prev, self.u_curr, self.c2,
+                               self.dt)

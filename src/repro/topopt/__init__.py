@@ -1,0 +1,39 @@
+"""Opt kernel proxy: GPU topology optimization (§4.7).
+
+The Opt code is "relatively small with a few hot kernels.  By using a
+matrix-free solver implemented in CUDA and texture cache memory, the
+team achieved good performance on the EA system" — and designed a
+drone that flew (Fig 5).  On Volta, "Opt did not benefit from texture
+caching ... due to improvements in Volta GPU caching", making the
+early CUDA choice suboptimal in hindsight.
+
+- :mod:`repro.topopt.fe2d` — bilinear-quad plane-stress finite
+  elements: the classic 8x8 element stiffness and a *matrix-free*
+  global operator (gather -> element product -> scatter), verified
+  against sparse assembly.
+- :mod:`repro.topopt.simp` — SIMP topology optimization: density
+  filtering, penalized stiffness, optimality-criteria updates, and
+  compliance/volume tracking, with the drone-arm-like cantilever load
+  case.
+- :mod:`repro.topopt.texture` — the texture-cache ablation: modeled
+  matrix-free-kernel times on P100 (texture path needed) vs V100
+  (unified L1 makes it moot) — the executable form of the paper's
+  "RAJA would have been sufficient" hindsight.
+"""
+
+from repro.topopt.fe2d import (
+    Cantilever2D,
+    element_stiffness,
+    matrix_free_apply,
+)
+from repro.topopt.simp import SimpOptimizer, SimpResult
+from repro.topopt.texture import texture_ablation
+
+__all__ = [
+    "element_stiffness",
+    "Cantilever2D",
+    "matrix_free_apply",
+    "SimpOptimizer",
+    "SimpResult",
+    "texture_ablation",
+]

@@ -1,0 +1,172 @@
+"""2D plane-stress finite elements for topology optimization.
+
+Bilinear quads on a regular ``nelx x nely`` grid with two displacement
+DOFs per node — the classic "88-line topopt" discretization.  The
+global operator is available both matrix-free (the GPU-style path the
+Opt team implemented: gather element displacements, multiply by the
+density-scaled 8x8 element stiffness, scatter-add) and as an
+assembled sparse matrix (verification reference).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def element_stiffness(young: float = 1.0, poisson: float = 0.3
+                      ) -> np.ndarray:
+    """8x8 bilinear-quad plane-stress element stiffness (unit square)."""
+    if young <= 0 or not (-1.0 < poisson < 0.5):
+        raise ValueError("bad material parameters")
+    e, nu = young, poisson
+    k = np.array([
+        1 / 2 - nu / 6, 1 / 8 + nu / 8, -1 / 4 - nu / 12, -1 / 8 + 3 * nu / 8,
+        -1 / 4 + nu / 12, -1 / 8 - nu / 8, nu / 6, 1 / 8 - 3 * nu / 8,
+    ])
+    ke = e / (1 - nu * nu) * np.array([
+        [k[0], k[1], k[2], k[3], k[4], k[5], k[6], k[7]],
+        [k[1], k[0], k[7], k[6], k[5], k[4], k[3], k[2]],
+        [k[2], k[7], k[0], k[5], k[6], k[3], k[4], k[1]],
+        [k[3], k[6], k[5], k[0], k[7], k[2], k[1], k[4]],
+        [k[4], k[5], k[6], k[7], k[0], k[1], k[2], k[3]],
+        [k[5], k[4], k[3], k[2], k[1], k[0], k[7], k[6]],
+        [k[6], k[3], k[4], k[1], k[2], k[7], k[0], k[5]],
+        [k[7], k[2], k[1], k[4], k[3], k[6], k[5], k[0]],
+    ])
+    return ke
+
+
+class Cantilever2D:
+    """Regular-grid cantilever domain: clamp at x=0, tip load.
+
+    Node numbering is column-major as in the 88-line code: node
+    ``(ix, iy)`` has index ``ix*(nely+1) + iy``; DOFs are
+    ``2*node`` (x) and ``2*node+1`` (y).
+    """
+
+    def __init__(self, nelx: int, nely: int, load: str = "tip"):
+        if nelx < 1 or nely < 1:
+            raise ValueError("need at least one element each way")
+        if load not in ("tip", "mid"):
+            raise ValueError("load must be 'tip' or 'mid'")
+        self.nelx, self.nely = nelx, nely
+        self.n_nodes = (nelx + 1) * (nely + 1)
+        self.n_dofs = 2 * self.n_nodes
+        self.edof = self._element_dofs()
+        # boundary: clamp every DOF on the x=0 edge
+        fixed_nodes = np.arange(nely + 1)
+        self.fixed = np.concatenate([2 * fixed_nodes, 2 * fixed_nodes + 1])
+        self.free = np.setdiff1d(np.arange(self.n_dofs), self.fixed)
+        # load: downward unit force at the tip (bottom-right corner) or
+        # at the right-edge midpoint
+        self.force = np.zeros(self.n_dofs)
+        if load == "tip":
+            node = nelx * (nely + 1) + nely
+        else:
+            node = nelx * (nely + 1) + nely // 2
+        self.force[2 * node + 1] = -1.0
+
+    def _element_dofs(self) -> np.ndarray:
+        """(n_elements, 8) global DOF indices per element."""
+        nelx, nely = self.nelx, self.nely
+        ex, ey = np.meshgrid(np.arange(nelx), np.arange(nely),
+                             indexing="ij")
+        n1 = (ex * (nely + 1) + ey).ravel()        # upper-left node
+        n2 = n1 + (nely + 1)                        # upper-right
+        edof = np.stack([
+            2 * n1 + 2, 2 * n1 + 3,   # lower-left  (y+1)
+            2 * n2 + 2, 2 * n2 + 3,   # lower-right
+            2 * n2, 2 * n2 + 1,       # upper-right
+            2 * n1, 2 * n1 + 1,       # upper-left
+        ], axis=1)
+        return edof
+
+    @property
+    def n_elements(self) -> int:
+        return self.nelx * self.nely
+
+
+def matrix_free_apply(
+    domain: Cantilever2D,
+    ke: np.ndarray,
+    stiffness_scale: np.ndarray,
+    u: np.ndarray,
+) -> np.ndarray:
+    """y = K(rho) u without assembling K.
+
+    ``stiffness_scale`` is the per-element penalized stiffness
+    (E_min + rho^p (E0 - E_min)); fixed DOFs are enforced by identity
+    rows (u and y agree there).
+    """
+    if u.shape[0] != domain.n_dofs:
+        raise ValueError("displacement vector has wrong length")
+    if stiffness_scale.shape[0] != domain.n_elements:
+        raise ValueError("one stiffness scale per element required")
+    ue = u[domain.edof]                          # (nel, 8)
+    fe = (ue @ ke) * stiffness_scale[:, None]    # (nel, 8)
+    y = np.zeros_like(u)
+    np.add.at(y, domain.edof.ravel(), fe.ravel())
+    # Dirichlet: identity on fixed DOFs
+    y[domain.fixed] = u[domain.fixed]
+    return y
+
+
+def assemble_stiffness(
+    domain: Cantilever2D, ke: np.ndarray, stiffness_scale: np.ndarray
+) -> sp.csr_matrix:
+    """Assembled sparse K(rho) with identity rows at fixed DOFs."""
+    nel = domain.n_elements
+    rows = np.repeat(domain.edof, 8, axis=1).ravel()
+    cols = np.tile(domain.edof, (1, 8)).ravel()
+    vals = (stiffness_scale[:, None, None] * ke[None]).ravel()
+    k = sp.coo_matrix((vals, (rows, cols)),
+                      shape=(domain.n_dofs, domain.n_dofs)).tocsr()
+    # identity rows/cols for fixed DOFs
+    k = k.tolil()
+    for dof in domain.fixed:
+        k.rows[dof] = [dof]
+        k.data[dof] = [1.0]
+    k = k.tocsr()
+    kt = k.T.tolil()
+    for dof in domain.fixed:
+        kt.rows[dof] = [dof]
+        kt.data[dof] = [1.0]
+    return kt.T.tocsr()
+
+
+def solve_displacement(
+    domain: Cantilever2D,
+    ke: np.ndarray,
+    stiffness_scale: np.ndarray,
+    tol: float = 1e-8,
+    max_iter: int = 4000,
+) -> Tuple[np.ndarray, int]:
+    """Matrix-free Jacobi-preconditioned CG for K(rho) u = f."""
+    from repro.solvers.krylov import pcg
+
+    # diagonal of K for the preconditioner (computed matrix-free)
+    diag = np.zeros(domain.n_dofs)
+    np.add.at(
+        diag, domain.edof.ravel(),
+        (stiffness_scale[:, None] * np.diag(ke)[None, :]).ravel(),
+    )
+    diag[domain.fixed] = 1.0
+    inv_diag = 1.0 / np.maximum(diag, 1e-12)
+
+    f = domain.force.copy()
+    f[domain.fixed] = 0.0
+    u, info = pcg(
+        lambda v: matrix_free_apply(domain, ke, stiffness_scale, v),
+        f,
+        preconditioner=lambda r: inv_diag * r,
+        tol=tol,
+        max_iter=max_iter,
+    )
+    if not info.converged:
+        raise RuntimeError(
+            f"displacement solve failed: reduction {info.reduction:.2e}"
+        )
+    return u, info.iterations

@@ -1,0 +1,76 @@
+"""The texture-cache ablation (§4.7's hindsight lesson).
+
+The matrix-free element kernel is gather-dominated: random-access
+reads of element displacements through the connectivity map.  On
+Pascal (P100), such gathers run far below peak unless routed through
+the texture path; Volta's unified L1 made the texture path redundant
+("Opt did not benefit from texture caching on the final system due to
+improvements in Volta GPU caching").
+
+:func:`texture_ablation` prices the kernel on a machine for the two
+code paths — plain loads vs texture loads — using the
+``unified_fast_l1`` flag from the machine catalog.  On the EA system
+the texture path is a large win (justifying CUDA early); on Sierra
+the gap vanishes (so "an abstraction layer such as RAJA would have
+been sufficient").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.kernels import KernelSpec
+from repro.core.machine import Machine
+from repro.core.roofline import RooflineModel
+
+#: gather bandwidth efficiency of plain global loads on pre-Volta GPUs
+PLAIN_GATHER_EFF_PRE_VOLTA = 0.22
+#: ...and through the texture path (dedicated cache hierarchy)
+TEXTURE_GATHER_EFF = 0.55
+#: Volta's unified L1 gives plain loads texture-path performance
+PLAIN_GATHER_EFF_VOLTA = 0.55
+
+
+def _gather_kernel(n_elements: int, eff: float) -> KernelSpec:
+    """The matrix-free element kernel: 8-DOF gather, 64-FMA product,
+    8-DOF scatter per element."""
+    return KernelSpec(
+        name="topopt-matfree",
+        flops=128.0 * n_elements,
+        bytes_read=8.0 * 16 * n_elements,   # ue gather + indices
+        bytes_written=8.0 * 8 * n_elements,
+        compute_efficiency=0.5,
+        bandwidth_efficiency=eff,
+    )
+
+
+def texture_ablation(machine: Machine, n_elements: int = 1_000_000
+                     ) -> Dict[str, float]:
+    """Modeled kernel times for plain vs texture load paths.
+
+    Returns times plus ``texture_benefit`` (plain/texture ratio) and
+    the resulting recommendation.
+    """
+    if machine.gpu is None:
+        raise ValueError("texture ablation needs a GPU machine")
+    if n_elements < 1:
+        raise ValueError("n_elements must be >= 1")
+    model = RooflineModel(machine)
+    plain_eff = (
+        PLAIN_GATHER_EFF_VOLTA
+        if machine.gpu.unified_fast_l1
+        else PLAIN_GATHER_EFF_PRE_VOLTA
+    )
+    t_plain = model.gpu_kernel_time(_gather_kernel(n_elements, plain_eff))
+    t_texture = model.gpu_kernel_time(
+        _gather_kernel(n_elements, TEXTURE_GATHER_EFF)
+    )
+    benefit = t_plain / t_texture
+    return {
+        "plain_time": t_plain,
+        "texture_time": t_texture,
+        "texture_benefit": benefit,
+        # >15% benefit means portable abstractions (no texture access)
+        # leave real performance on the table -> CUDA justified
+        "needs_texture_path": benefit > 1.15,
+    }

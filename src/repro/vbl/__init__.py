@@ -1,0 +1,40 @@
+"""Virtual Beamline proxy: split-step laser propagation (§4.11, Fig 9).
+
+VBL's split-step algorithm has "two main parts: discrete fast Fourier
+transforms and triply-nested loops that update the electric field";
+cuFFT handled the FFTs, RAJA's nested-loop API the field updates, and
+a hand-CUDA tiled transpose beat the RAJA one.  The GPUDirect study
+found cudaMemcpy overtakes GPUDirect beyond a few kilobytes (H2D) /
+a few hundred bytes (D2H), with Unified Memory equivalent to 64 KiB
+blocks.
+
+- :mod:`repro.vbl.splitstep` — the beam propagator: angular-spectrum
+  diffraction steps (FFT-based), amplifier-gain field updates through
+  the mini-RAJA kernel API, Gaussian-beam analytic validation,
+  energy/Parseval accounting.
+- :mod:`repro.vbl.transpose` — tiled transpose in "RAJA" and "CUDA"
+  styles: identical results, different modeled kernel efficiency (the
+  measured gap).
+- :mod:`repro.vbl.defects` — phase-defect scenarios: the Fig 9
+  experiment (two 150 um phase defects ripple the fluence after 10 m).
+- :mod:`repro.vbl.transfer` — the GPUDirect vs cudaMemcpy vs UM
+  crossover model.
+"""
+
+from repro.vbl.splitstep import BeamGrid, SplitStepPropagator, gaussian_beam
+from repro.vbl.transpose import transpose_cuda_style, transpose_raja_style
+from repro.vbl.defects import apply_phase_defects, fig9_experiment
+from repro.vbl.transfer import TransferPath, crossover_size, transfer_time
+
+__all__ = [
+    "BeamGrid",
+    "SplitStepPropagator",
+    "gaussian_beam",
+    "transpose_raja_style",
+    "transpose_cuda_style",
+    "apply_phase_defects",
+    "fig9_experiment",
+    "TransferPath",
+    "transfer_time",
+    "crossover_size",
+]

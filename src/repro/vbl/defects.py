@@ -1,0 +1,89 @@
+"""Phase-defect propagation: the Fig 9 experiment.
+
+"Two 150 micron phase defects (lower left) cause ripples to appear in
+the fluence of the beam after propagating 10 meters."  The experiment:
+stamp two small Gaussian phase bumps on an otherwise smooth beam,
+propagate 10 m, and measure the fluence modulation (ripple contrast)
+that diffraction develops around the defects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.vbl.splitstep import BeamGrid, SplitStepPropagator, gaussian_beam
+
+
+def apply_phase_defects(
+    field: np.ndarray,
+    grid: BeamGrid,
+    centers: Sequence[Tuple[float, float]],
+    radius: float,
+    depth: float = np.pi / 2,
+) -> np.ndarray:
+    """Stamp Gaussian phase bumps of *radius* at *centers* (meters)."""
+    if radius <= 0:
+        raise ValueError("defect radius must be positive")
+    x, y = grid.coords()
+    phase = np.zeros(field.shape)
+    for cx, cy in centers:
+        r2 = (x - cx) ** 2 + (y - cy) ** 2
+        phase += depth * np.exp(-r2 / (radius * radius))
+    return field * np.exp(1j * phase)
+
+
+def ripple_contrast(fluence: np.ndarray, mask: Optional[np.ndarray] = None
+                    ) -> float:
+    """Peak-to-mean fluence modulation inside *mask* (default: the
+    central half of the aperture)."""
+    if mask is None:
+        n = fluence.shape[0]
+        q = n // 4
+        mask = np.zeros_like(fluence, dtype=bool)
+        mask[q:-q, q:-q] = True
+    vals = fluence[mask]
+    mean = vals.mean()
+    if mean <= 0:
+        raise ValueError("empty fluence region")
+    return float((vals.max() - mean) / mean)
+
+
+def fig9_experiment(
+    n: int = 256,
+    aperture: float = 5e-3,          # 5 mm computational window
+    beam_waist: float = 1.2e-3,
+    defect_radius: float = 150e-6,   # the paper's 150 um defects
+    distance: float = 10.0,          # 10 m of propagation
+    n_steps: int = 20,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Run the defect and no-defect propagations; return ripple metrics.
+
+    Returns contrast values before/after propagation with and without
+    defects — Fig 9's qualitative content as numbers.
+    """
+    grid = BeamGrid(n=n, length=aperture)
+    prop = SplitStepPropagator(grid)
+    base = gaussian_beam(grid, waist=beam_waist)
+    # defects in the lower-left, as in the figure
+    centers = [(-1.0e-3, -1.0e-3), (-0.4e-3, -1.2e-3)]
+    defective = apply_phase_defects(base, grid, centers, defect_radius)
+
+    clean_out = prop.propagate(base, distance, n_steps)
+    defect_out = prop.propagate(defective, distance, n_steps)
+
+    f_clean0 = prop.fluence(base)
+    f_defect0 = prop.fluence(defective)
+    f_clean1 = prop.fluence(clean_out)
+    f_defect1 = prop.fluence(defect_out)
+    return {
+        "contrast_clean_initial": ripple_contrast(f_clean0),
+        "contrast_defect_initial": ripple_contrast(f_defect0),
+        "contrast_clean_final": ripple_contrast(f_clean1),
+        "contrast_defect_final": ripple_contrast(f_defect1),
+        "energy_initial": prop.energy(defective),
+        "energy_final": prop.energy(defect_out),
+    }

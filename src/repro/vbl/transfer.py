@@ -1,0 +1,65 @@
+"""GPUDirect vs cudaMemcpy vs Unified Memory transfer model (§4.11).
+
+"Initial measurements showed that using cudaMemcpy for transfers from
+CPU to GPU will overtake GPUDirect for transfers of a few kilobytes or
+more; and for transfers from GPU to CPU for a few hundred bytes or
+more.  VBL uses CUDA Unified Memory, which is equivalent to
+transferring blocks of 64 kilobytes."
+
+Mechanism: GPUDirect writes map straight over the link (near-zero
+setup, modest streaming rate); cudaMemcpy pays a driver setup latency
+but then streams at full NVLink bandwidth.  Crossovers fall where
+setup amortizes — a few KB H2D and a few hundred B D2H, per the
+asymmetric setup costs below.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.memory import UM_PAGE_BYTES
+
+
+class TransferPath(enum.Enum):
+    GPUDIRECT = "gpudirect"
+    MEMCPY = "memcpy"
+    UNIFIED = "um"
+
+
+#: (setup latency s, bandwidth B/s) per (path, direction).
+#: GPUDirect (mapped access) has near-zero setup but streams at
+#: CPU-store (h2d) or uncached-device-read (d2h) rates; cudaMemcpy
+#: pays driver setup then runs at NVLink speed.
+_PARAMS = {
+    (TransferPath.GPUDIRECT, "h2d"): (0.4e-6, 0.73e9),
+    (TransferPath.GPUDIRECT, "d2h"): (0.4e-6, 55e6),
+    (TransferPath.MEMCPY, "h2d"): (6.0e-6, 70e9),
+    (TransferPath.MEMCPY, "d2h"): (6.0e-6, 65e9),
+}
+
+
+def transfer_time(path: TransferPath, nbytes: float,
+                  direction: str = "h2d") -> float:
+    """Modeled transfer time for *nbytes* along *path*."""
+    if nbytes < 0:
+        raise ValueError("negative transfer size")
+    if direction not in ("h2d", "d2h"):
+        raise ValueError("direction must be 'h2d' or 'd2h'")
+    if path is TransferPath.UNIFIED:
+        # UM migrates whole 64 KiB blocks through the memcpy machinery
+        blocks = max(1, -(-int(nbytes) // UM_PAGE_BYTES))
+        lat, bw = _PARAMS[(TransferPath.MEMCPY, direction)]
+        return blocks * (lat + UM_PAGE_BYTES / bw)
+    lat, bw = _PARAMS[(path, direction)]
+    return lat + nbytes / bw
+
+
+def crossover_size(direction: str = "h2d") -> float:
+    """Bytes at which cudaMemcpy overtakes GPUDirect.
+
+    Solve lat_m + n/bw_m = lat_g + n/bw_g.
+    """
+    lat_g, bw_g = _PARAMS[(TransferPath.GPUDIRECT, direction)]
+    lat_m, bw_m = _PARAMS[(TransferPath.MEMCPY, direction)]
+    return (lat_m - lat_g) / (1.0 / bw_g - 1.0 / bw_m)

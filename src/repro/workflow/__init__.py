@@ -1,0 +1,19 @@
+"""MuMMI-lite: the multiscale macro/micro coupling workflow (§4.6, Fig 4).
+
+MuMMI couples a macro continuum model with thousands of micro
+(ddcMD) simulations: the macro model proposes interesting lipid-
+composition patches, a scheduler farms micro MD jobs onto GPUs, and
+in-situ analysis feeds results back to the macro scale.  The iCoE's
+ddcMD speedups translate directly into campaign throughput because
+"MuMMI uses CPUs for the macro model and in situ analysis" — the GPU
+MD code does not compete for them.
+
+- :mod:`repro.workflow.mummi` — the campaign driver: a real
+  diffusing macro field, gradient-based patch selection, micro jobs
+  scheduled on :class:`~repro.sched.simulator.ClusterSimulator`, and
+  feedback that marks sampled patches as explored.
+"""
+
+from repro.workflow.mummi import MacroModel, MummiCampaign
+
+__all__ = ["MacroModel", "MummiCampaign"]

@@ -1,0 +1,166 @@
+"""The MuMMI campaign driver.
+
+The macro model is a coarse lipid-composition field evolving by
+diffusion with stochastic forcing (a stand-in for the continuum RAS-
+membrane model); "interesting" patches are those with compositions
+least like anything already simulated — the novelty-sampling strategy
+of the real MuMMI.  Each selected patch becomes a micro MD job whose
+GPU service time comes from the §4.6 step-time model, scheduled on the
+event-driven cluster simulator; completed jobs feed an in-situ
+analysis summary back into the macro state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.machine import Machine, get_machine
+from repro.md.gromacs_baseline import modeled_step_times
+from repro.sched.policies import Fcfs
+from repro.sched.simulator import ClusterSimulator, Job
+from repro.util.rng import make_rng
+
+
+class MacroModel:
+    """Coarse 2D composition field with diffusion + forcing."""
+
+    def __init__(self, n: int = 32, diffusivity: float = 0.2, seed: int = 0):
+        if n < 4:
+            raise ValueError("macro grid too small")
+        if not (0 < diffusivity <= 0.25):
+            raise ValueError("diffusivity in (0, 0.25] for stability")
+        self.n = n
+        self.d = diffusivity
+        self.rng = make_rng(seed)
+        self.field = self.rng.random((n, n))
+
+    def step(self, forcing: float = 0.02) -> None:
+        f = self.field
+        lap = (
+            np.roll(f, 1, 0) + np.roll(f, -1, 0)
+            + np.roll(f, 1, 1) + np.roll(f, -1, 1) - 4 * f
+        )
+        self.field = f + self.d * lap + forcing * self.rng.normal(
+            0, 1, f.shape
+        )
+
+    def patch_compositions(self, patch: int = 4) -> np.ndarray:
+        """Mean composition per patch, shape (n/patch, n/patch)."""
+        if self.n % patch:
+            raise ValueError("patch size must divide the grid")
+        m = self.n // patch
+        return self.field.reshape(m, patch, m, patch).mean(axis=(1, 3))
+
+
+@dataclass
+class MicroResult:
+    """In-situ analysis summary of one micro simulation."""
+
+    composition: float
+    observable: float
+
+
+class MummiCampaign:
+    """Run macro/micro coupling cycles and account GPU throughput."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        n_gpus: int = 16,
+        md_code: str = "ddcmd",
+        steps_per_sim: int = 25_000,
+        jobs_per_cycle: int = 24,
+        seed: int = 0,
+    ):
+        if md_code not in ("ddcmd", "gromacs"):
+            raise ValueError("md_code must be 'ddcmd' or 'gromacs'")
+        if n_gpus < 1 or steps_per_sim < 1 or jobs_per_cycle < 1:
+            raise ValueError("bad campaign parameters")
+        self.machine = machine if machine is not None else get_machine("sierra")
+        self.n_gpus = n_gpus
+        self.md_code = md_code
+        self.steps_per_sim = steps_per_sim
+        self.jobs_per_cycle = jobs_per_cycle
+        self.macro = MacroModel(seed=seed)
+        self.rng = make_rng(seed + 1)
+        self.explored: List[float] = []
+        self.results: List[MicroResult] = []
+        self.gpu_hours = 0.0
+        self.wall_time = 0.0
+        # per-simulation GPU time from the §4.6 model.  Each micro sim
+        # owns one GPU; the node's sockets are shared between the
+        # concurrent sims on that node, and the macro model + in-situ
+        # analysis take ~35% of what remains (§4.6: "MuMMI uses CPUs
+        # for the macro model and in situ analysis").
+        sockets_per_sim = self.machine.cpu_sockets / self.machine.gpus_per_node
+        times = modeled_step_times(
+            self.machine, gpus=1, cpu_sockets_for_md=sockets_per_sim,
+            cpu_available_fraction=0.65,
+        )
+        self.step_time = times[md_code]
+
+    # ------------------------------------------------------------------
+
+    def select_candidates(self) -> np.ndarray:
+        """Novelty sampling: patches least like anything explored."""
+        comps = self.macro.patch_compositions().ravel()
+        if not self.explored:
+            novelty = np.abs(comps - comps.mean())
+        else:
+            explored = np.asarray(self.explored)
+            novelty = np.min(
+                np.abs(comps[:, None] - explored[None, :]), axis=1
+            )
+        order = np.argsort(novelty)[::-1]
+        return order[: self.jobs_per_cycle]
+
+    def run_cycle(self) -> Dict[str, float]:
+        """One coupling cycle; returns cycle metrics."""
+        self.macro.step()
+        candidates = self.select_candidates()
+        comps = self.macro.patch_compositions().ravel()
+        service = self.steps_per_sim * self.step_time
+        jobs = [
+            Job(job_id=int(k), arrival=0.0,
+                service=service * float(self.rng.uniform(0.9, 1.1)))
+            for k in range(candidates.size)
+        ]
+        result = ClusterSimulator(self.n_gpus).run(jobs, Fcfs())
+        # in-situ analysis: summarize each micro sim and feed back
+        for patch_idx in candidates:
+            comp = float(comps[patch_idx])
+            self.explored.append(comp)
+            self.results.append(MicroResult(
+                composition=comp,
+                observable=comp + 0.05 * float(self.rng.normal()),
+            ))
+        self.gpu_hours += sum(j.service for j in jobs) / 3600.0
+        self.wall_time += result.makespan
+        return {
+            "simulations": float(len(jobs)),
+            "makespan": result.makespan,
+            "utilization": result.utilization,
+        }
+
+    def run(self, n_cycles: int) -> None:
+        if n_cycles < 1:
+            raise ValueError("n_cycles must be >= 1")
+        for _ in range(n_cycles):
+            self.run_cycle()
+
+    @property
+    def simulations_per_hour(self) -> float:
+        if self.wall_time == 0:
+            return 0.0
+        return len(self.results) / (self.wall_time / 3600.0)
+
+    def coverage(self, bins: int = 10) -> float:
+        """Fraction of composition space explored (novelty sampling
+        should drive this up faster than random sampling would)."""
+        if not self.explored:
+            return 0.0
+        hist, _ = np.histogram(self.explored, bins=bins, range=(0.0, 1.0))
+        return float((hist > 0).mean())

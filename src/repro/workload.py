@@ -1,0 +1,175 @@
+"""Table 1 as a first-class object: the iCoE activity inventory.
+
+The paper's Table 1 enumerates the completed activities, their science
+areas, base languages, and programming approaches (with the final
+approaches highlighted).  Encoding the table here makes the "diverse
+workload" queryable — tests and examples use it to iterate over the
+whole workload and to assert diversity properties the paper claims
+(multiple base languages, performance-profile classes, model mixes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+
+class ProgrammingModel(enum.Enum):
+    DSL = "DSL"
+    OPENMP = "OpenMP"
+    OPENACC = "OpenACC"
+    CUDA = "CUDA"
+    RAJA = "RAJA"
+    KOKKOS = "Kokkos"
+    OCCA = "OCCA"
+    PYTORCH = "Accelerated PyTorch"
+    SPARK = "Spark"
+    SCHED_SIM = "Job scheduler simulator"
+
+
+class PerfProfile(enum.Enum):
+    """Performance-profile classes called out in §2."""
+
+    FEW_HOT_KERNELS = "few hot kernels"
+    FLAT = "nearly flat profile"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One row of Table 1, plus §2 metadata."""
+
+    name: str
+    science_area: str
+    base_languages: Tuple[str, ...]
+    #: every approach the team explored
+    approaches: FrozenSet[ProgrammingModel]
+    #: the final approaches (bold in Table 1)
+    final_approaches: FrozenSet[ProgrammingModel]
+    perf_profile: PerfProfile
+    #: module in this package implementing the proxy
+    module: str
+    #: was the application already running at large scale pre-iCoE (italics)
+    pre_existing_at_scale: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.final_approaches <= self.approaches:
+            raise ValueError(
+                f"{self.name}: final approaches must be a subset of explored"
+            )
+
+
+def _models(*names: ProgrammingModel) -> FrozenSet[ProgrammingModel]:
+    return frozenset(names)
+
+
+PM = ProgrammingModel
+
+ACTIVITIES: Dict[str, Activity] = {
+    a.name: a
+    for a in [
+        Activity(
+            name="Cardioid",
+            science_area="Heart Modeling",
+            base_languages=("C++",),
+            approaches=_models(PM.DSL, PM.OPENMP, PM.CUDA, PM.RAJA),
+            final_approaches=_models(PM.DSL, PM.CUDA),
+            perf_profile=PerfProfile.FEW_HOT_KERNELS,
+            module="repro.cardioid",
+        ),
+        Activity(
+            name="Cretin",
+            science_area="Non-LTE Atomic Kinetics",
+            base_languages=("Fortran",),
+            approaches=_models(PM.OPENACC, PM.CUDA),
+            final_approaches=_models(PM.OPENACC, PM.CUDA),
+            perf_profile=PerfProfile.MIXED,
+            module="repro.kinetics",
+        ),
+        Activity(
+            name="ParaDyn",
+            science_area="Dislocation Dynamics",
+            base_languages=("Fortran",),
+            approaches=_models(PM.OPENMP, PM.OPENACC),
+            final_approaches=_models(PM.OPENMP),
+            perf_profile=PerfProfile.FLAT,
+            module="repro.paradyn",
+        ),
+        Activity(
+            name="Molecular Dynamics",
+            science_area="Molecular Dynamics",
+            base_languages=("C",),
+            approaches=_models(PM.CUDA),
+            final_approaches=_models(PM.CUDA),
+            perf_profile=PerfProfile.FEW_HOT_KERNELS,
+            module="repro.md",
+        ),
+        Activity(
+            name="Seismic (SW4)",
+            science_area="Earthquakes",
+            base_languages=("Fortran ported to C++",),
+            approaches=_models(PM.RAJA, PM.CUDA, PM.OPENMP),
+            final_approaches=_models(PM.RAJA, PM.CUDA),
+            perf_profile=PerfProfile.MIXED,
+            module="repro.stencil",
+        ),
+        Activity(
+            name="Virtual Beamline (VBL)",
+            science_area="Laser Propagation",
+            base_languages=("C++",),
+            approaches=_models(PM.RAJA, PM.CUDA),
+            final_approaches=_models(PM.RAJA),
+            perf_profile=PerfProfile.MIXED,
+            module="repro.vbl",
+        ),
+        Activity(
+            name="Tools and Libraries",
+            science_area="Math Frameworks",
+            base_languages=("C", "C++"),
+            approaches=_models(
+                PM.DSL, PM.RAJA, PM.KOKKOS, PM.OCCA, PM.OPENMP, PM.CUDA
+            ),
+            final_approaches=_models(PM.DSL, PM.RAJA, PM.OPENMP, PM.CUDA),
+            perf_profile=PerfProfile.MIXED,
+            module="repro.solvers",
+        ),
+        Activity(
+            name="Data Science",
+            science_area="DL and Data Analytics",
+            base_languages=("PyTorch", "Spark", "C++"),
+            approaches=_models(PM.PYTORCH, PM.SPARK),
+            final_approaches=_models(PM.PYTORCH, PM.SPARK),
+            perf_profile=PerfProfile.MIXED,
+            module="repro.dtrain",
+            pre_existing_at_scale=False,
+        ),
+        Activity(
+            name="Optimization Framework",
+            science_area="Design Optimization",
+            base_languages=("C++",),
+            approaches=_models(PM.CUDA, PM.SCHED_SIM, PM.RAJA),
+            final_approaches=_models(PM.CUDA, PM.SCHED_SIM),
+            perf_profile=PerfProfile.FEW_HOT_KERNELS,
+            module="repro.topopt",
+            pre_existing_at_scale=False,
+        ),
+    ]
+}
+
+
+def inventory() -> List[Activity]:
+    """All completed activities, in Table 1 order."""
+    return list(ACTIVITIES.values())
+
+
+def by_profile(profile: PerfProfile) -> List[Activity]:
+    return [a for a in inventory() if a.perf_profile is profile]
+
+
+def models_in_use() -> FrozenSet[ProgrammingModel]:
+    """Union of final programming approaches across the workload."""
+    out: FrozenSet[ProgrammingModel] = frozenset()
+    for a in inventory():
+        out |= a.final_approaches
+    return out

@@ -1,0 +1,314 @@
+"""Tests for the SAMRAI/CleverLeaf proxy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amr.cleverleaf import FIELDS, CleverLeaf
+from repro.amr.euler import (
+    GHOST,
+    EulerState2D,
+    conserved_totals,
+    exact_riemann,
+    hll_step_2d,
+    max_wave_speed,
+    sod_initial_condition,
+)
+from repro.amr.hierarchy import (
+    PatchLevel,
+    cluster_tags,
+    coarsen_field,
+    exchange_ghosts,
+    refine_field,
+    tag_gradient,
+)
+from repro.amr.patch import Patch
+from repro.core.forall import ExecutionContext
+from repro.core.memory import MemorySpace, QuickPool, ResourceManager
+from repro.solvers.structured import Box
+
+
+class TestPatch:
+    def test_storage_shape(self):
+        p = Patch(Box((0, 0), (8, 4)), ghost=2)
+        p.allocate("rho", fill=1.0)
+        assert p.field("rho").shape == (12, 8)
+        assert p.interior("rho").shape == (8, 4)
+
+    def test_view_global_coordinates(self):
+        p = Patch(Box((10, 20), (14, 24)), ghost=2)
+        p.allocate("f")
+        p.view("f", Box((10, 20), (14, 24)))[...] = 7.0
+        assert p.interior("f").sum() == 7.0 * 16
+
+    def test_view_into_ghosts(self):
+        p = Patch(Box((0, 0), (4, 4)), ghost=2)
+        p.allocate("f")
+        ghost_region = Box((-2, 0), (0, 4))
+        p.view("f", ghost_region)[...] = 3.0
+        assert p.field("f")[:2, 2:6].sum() == 3.0 * 8
+
+    def test_view_outside_raises(self):
+        p = Patch(Box((0, 0), (4, 4)), ghost=1)
+        p.allocate("f")
+        with pytest.raises(ValueError):
+            p.view("f", Box((-3, 0), (0, 4)))
+
+    def test_missing_field(self):
+        p = Patch(Box((0, 0), (2, 2)))
+        with pytest.raises(KeyError):
+            p.field("nope")
+
+    def test_double_allocate(self):
+        p = Patch(Box((0, 0), (2, 2)))
+        p.allocate("f")
+        with pytest.raises(KeyError):
+            p.allocate("f")
+
+    def test_pool_allocation_and_release(self):
+        rm = ResourceManager()
+        pool = QuickPool(rm, space=MemorySpace.DEVICE)
+        p = Patch(Box((0, 0), (8, 8)), ghost=2, pool=pool)
+        p.allocate("f", fill=2.0)
+        p.release()
+        q = Patch(Box((0, 0), (8, 8)), ghost=2, pool=pool)
+        q.allocate("f")
+        assert pool.hits >= 1  # storage recycled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Patch(Box((0,), (4,)))
+        with pytest.raises(ValueError):
+            Patch(Box((0, 0), (4, 4)), ghost=-1)
+
+
+class TestPatchLevel:
+    def test_tiling_covers_domain(self):
+        level = PatchLevel(Box((0, 0), (70, 50)), patch_size=32)
+        total = sum(p.box.size for p in level.patches)
+        assert total == 3500
+
+    def test_gather_scatter_roundtrip(self):
+        level = PatchLevel(Box((0, 0), (20, 12)), patch_size=8)
+        level.allocate("f")
+        rng = np.random.default_rng(0)
+        data = rng.random((20, 12))
+        level.scatter_global("f", data)
+        np.testing.assert_array_equal(level.gather_global("f"), data)
+
+    def test_ghost_exchange_matches_neighbor_interiors(self):
+        level = PatchLevel(Box((0, 0), (16, 16)), patch_size=8, ghost=2)
+        level.allocate("f")
+        data = np.arange(256, dtype=float).reshape(16, 16)
+        level.scatter_global("f", data)
+        exchange_ghosts(level, ["f"])
+        # patch 0 covers [0:8, 0:8]; its x-high ghosts hold rows 8:10
+        p0 = level.patches[0]
+        np.testing.assert_array_equal(
+            p0.field("f")[-2:, 2:-2], data[8:10, 0:8]
+        )
+
+    def test_scatter_shape_mismatch(self):
+        level = PatchLevel(Box((0, 0), (8, 8)), patch_size=4)
+        level.allocate("f")
+        with pytest.raises(ValueError):
+            level.scatter_global("f", np.zeros((4, 4)))
+
+
+class TestTransfers:
+    def test_coarsen_conserves(self):
+        rng = np.random.default_rng(1)
+        fine = rng.random((16, 12))
+        coarse = coarsen_field(fine, 2)
+        assert coarse.sum() * 4 == pytest.approx(fine.sum())
+
+    def test_refine_coarsen_identity(self):
+        rng = np.random.default_rng(2)
+        coarse = rng.random((6, 4))
+        np.testing.assert_allclose(
+            coarsen_field(refine_field(coarse, 2), 2), coarse
+        )
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            coarsen_field(np.zeros((5, 4)), 2)
+        with pytest.raises(ValueError):
+            coarsen_field(np.zeros((4, 4)), 0)
+
+    @given(ratio=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=10, deadline=None)
+    def test_refine_conserves_total(self, ratio):
+        coarse = np.random.default_rng(3).random((4, 4))
+        fine = refine_field(coarse, ratio)
+        assert fine.sum() == pytest.approx(coarse.sum() * ratio**2)
+
+
+class TestTagging:
+    def test_tags_at_discontinuity(self):
+        field = np.zeros((16, 16))
+        field[8:, :] = 1.0
+        tags = tag_gradient(field, 0.5)
+        assert tags[7:9, :].all()
+        assert not tags[0:4, :].any()
+
+    def test_smooth_field_untagged(self):
+        x = np.linspace(0, 1, 32)
+        field = np.add.outer(x, x)
+        assert not tag_gradient(field, 0.5).any()
+
+    def test_cluster_covers_all_tags(self):
+        tags = np.zeros((32, 32), dtype=bool)
+        tags[4:8, 4:8] = True
+        tags[20:28, 22:30] = True
+        boxes = cluster_tags(tags, max_boxes=8)
+        covered = np.zeros_like(tags)
+        for b in boxes:
+            covered[b.slices()] = True
+        assert (covered | ~tags).all()  # every tag covered
+
+    def test_cluster_splits_distant_clumps(self):
+        tags = np.zeros((64, 64), dtype=bool)
+        tags[2:6, 2:6] = True
+        tags[58:62, 58:62] = True
+        boxes = cluster_tags(tags, max_boxes=8)
+        assert len(boxes) >= 2
+        total = sum(b.size for b in boxes)
+        assert total < 64 * 64 / 4  # far tighter than one bounding box
+
+    def test_no_tags_no_boxes(self):
+        assert cluster_tags(np.zeros((8, 8), dtype=bool)) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tag_gradient(np.zeros((4, 4)), 0.0)
+        with pytest.raises(ValueError):
+            cluster_tags(np.zeros((4, 4), dtype=bool), efficiency=0.0)
+
+
+class TestEulerSolver:
+    def test_sod_matches_exact_riemann(self):
+        nx = 200
+        state = sod_initial_condition(nx, 4)
+        h = 1.0 / nx
+        t = 0.0
+        while t < 0.2:
+            t += hll_step_2d(state, h)
+        rho_num = state.rho[state.interior][:, 2]
+        x = (np.arange(nx) + 0.5) * h
+        rho_ex, _, _ = exact_riemann(1.0, 0.0, 1.0, 0.125, 0.0, 0.1,
+                                     (x - 0.5) / t)
+        assert np.abs(rho_num - rho_ex).mean() < 0.03
+
+    def test_conservation_exact(self):
+        state = sod_initial_condition(64, 8)
+        h = 1.0 / 64
+        m0, _, e0 = conserved_totals(state, h)
+        for _ in range(30):
+            hll_step_2d(state, h)
+        m1, _, e1 = conserved_totals(state, h)
+        assert m1 == pytest.approx(m0, rel=1e-13)
+        assert e1 == pytest.approx(e0, rel=1e-13)
+
+    def test_positivity(self):
+        state = sod_initial_condition(100, 4)
+        h = 1.0 / 100
+        for _ in range(200):
+            hll_step_2d(state, h)
+        rho, _, _, p = state.primitives()
+        it = state.interior
+        assert rho[it].min() > 0
+        assert p[it].min() > 0
+
+    def test_uniform_state_is_stationary(self):
+        state = EulerState2D.zeros(16, 16)
+        it = state.interior
+        state.rho[it] = 1.0
+        state.e[it] = 2.5
+        before = state.rho[it].copy()
+        for _ in range(10):
+            hll_step_2d(state, 0.1)
+        np.testing.assert_allclose(state.rho[it], before, atol=1e-13)
+
+    def test_y_axis_sod_matches_x_axis(self):
+        sx = sod_initial_condition(64, 8, axis=0)
+        sy = sod_initial_condition(8, 64, axis=1)
+        h = 1.0 / 64
+        for _ in range(30):
+            dtx = hll_step_2d(sx, h)
+            hll_step_2d(sy, h, dt=dtx)
+        np.testing.assert_allclose(
+            sx.rho[sx.interior][:, 2], sy.rho[sy.interior][2, :], atol=1e-12
+        )
+
+    def test_reflecting_walls_conserve_mass(self):
+        state = sod_initial_condition(64, 8)
+        h = 1.0 / 64
+        m0, _, _ = conserved_totals(state, h)
+        for _ in range(100):
+            hll_step_2d(state, h, boundary="reflecting")
+        m1, _, _ = conserved_totals(state, h)
+        assert m1 == pytest.approx(m0, rel=1e-12)
+
+    def test_validation(self):
+        state = sod_initial_condition(16, 4)
+        with pytest.raises(ValueError):
+            hll_step_2d(state, 0.1, boundary="absorbing")
+        with pytest.raises(ValueError):
+            hll_step_2d(state, 0.1, cfl=0.0)
+        with pytest.raises(ValueError):
+            exact_riemann(-1.0, 0, 1, 1, 0, 1, np.array([0.0]))
+
+
+class TestCleverLeaf:
+    def test_multipatch_equals_single_grid(self):
+        cl = CleverLeaf(64, 32, h=1.0 / 64, patch_size=16)
+        cl.set_initial(sod_initial_condition(64, 32))
+        ref = sod_initial_condition(64, 32)
+        for _ in range(15):
+            dt = cl.step()
+            hll_step_2d(ref, 1.0 / 64, dt=dt)
+        g = cl.global_state()
+        np.testing.assert_array_equal(
+            g.rho[g.interior], ref.rho[ref.interior]
+        )
+
+    def test_run_to_time(self):
+        cl = CleverLeaf(32, 16, h=1.0 / 32, patch_size=16)
+        cl.set_initial(sod_initial_condition(32, 16))
+        cl.run(t_end=0.05)
+        assert cl.t >= 0.05
+        assert cl.steps_taken > 0
+
+    def test_refined_boxes_follow_shock(self):
+        cl = CleverLeaf(64, 16, h=1.0 / 64, patch_size=32)
+        cl.set_initial(sod_initial_condition(64, 16))
+        cl.run(t_end=0.1)
+        boxes = cl.refined_boxes(threshold=0.05)
+        assert boxes
+        # refined region sits in the right half (shock moved right)
+        assert all(b.lo[0] >= 32 for b in boxes)
+
+    def test_kernel_trace_recorded(self):
+        ctx = ExecutionContext()
+        cl = CleverLeaf(32, 16, h=1.0 / 32, ctx=ctx)
+        cl.set_initial(sod_initial_condition(32, 16))
+        cl.step()
+        names = {k.name for k in ctx.trace.kernels}
+        assert "cleverleaf-hydro" in names
+        assert "cleverleaf-exchange" in names
+
+    def test_pooled_storage(self):
+        rm = ResourceManager()
+        pool = QuickPool(rm, space=MemorySpace.DEVICE)
+        cl = CleverLeaf(32, 32, patch_size=16, pool=pool)
+        assert rm.live_bytes(MemorySpace.DEVICE) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CleverLeaf(2, 2)
+        with pytest.raises(ValueError):
+            CleverLeaf(16, 16, h=0.0)
+        cl = CleverLeaf(16, 16)
+        cl.set_initial(sod_initial_condition(16, 16))
+        with pytest.raises(ValueError):
+            cl.run(t_end=0.0)

@@ -1,0 +1,167 @@
+"""Tests for the mini-RAJA forall layer: backend equivalence, residency
+checks, kernel-trace accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.forall import (
+    ExecPolicy,
+    ExecutionContext,
+    Forall,
+    POLICY_EFFICIENCY,
+    ResidencyError,
+)
+from repro.core.machine import get_machine
+from repro.core.memory import MemorySpace
+from repro.core.roofline import RooflineModel
+
+
+ALL_POLICIES = list(ExecPolicy)
+
+
+def saxpy_closure(a, x, y, out):
+    def body(i):
+        out[i] = a * x[i] + y[i]
+
+    return body
+
+
+class TestBackendEquivalence:
+    """The RAJA contract: the same body gives the same answer on every
+    backend."""
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_forall_saxpy(self, policy):
+        n = 37
+        rng = np.random.default_rng(0)
+        x, y = rng.random(n), rng.random(n)
+        out = np.zeros(n)
+        ctx = ExecutionContext()
+        Forall(ctx, policy).run(
+            "saxpy", n, saxpy_closure(2.0, x, y, out),
+            flops_per_elem=2, bytes_per_elem=24,
+        )
+        np.testing.assert_allclose(out, 2.0 * x + y)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_kernel_2d(self, policy):
+        shape = (5, 7)
+        out = np.zeros(shape)
+
+        def body(i, j):
+            out[i, j] = i * 10 + j
+
+        ctx = ExecutionContext()
+        Forall(ctx, policy).kernel("init2d", shape, body)
+        expect = np.add.outer(np.arange(5) * 10, np.arange(7))
+        np.testing.assert_array_equal(out, expect)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_kernel_3d(self, policy):
+        shape = (3, 4, 2)
+        out = np.zeros(shape)
+
+        def body(i, j, k):
+            out[i, j, k] = i + j + k
+
+        ctx = ExecutionContext()
+        Forall(ctx, policy).kernel("init3d", shape, body)
+        i, j, k = np.meshgrid(*map(np.arange, shape), indexing="ij")
+        np.testing.assert_array_equal(out, i + j + k)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_reduce_sum(self, policy):
+        ctx = ExecutionContext()
+        vals = np.arange(100, dtype=np.float64)
+        total = Forall(ctx, policy).reduce_sum("sum", vals)
+        assert total == pytest.approx(4950.0)
+
+    def test_zero_trip_count(self):
+        ctx = ExecutionContext()
+        Forall(ctx, ExecPolicy.SIMD).run("empty", 0, lambda i: None)
+        assert len(ctx.trace.kernels) == 1  # still recorded (a launch)
+
+    def test_negative_trip_count(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ValueError):
+            Forall(ctx, ExecPolicy.SIMD).run("bad", -1, lambda i: None)
+
+    def test_negative_extent(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ValueError):
+            Forall(ctx, ExecPolicy.SIMD).kernel("bad", (2, -1), lambda i, j: None)
+
+
+class TestResidency:
+    def test_device_launch_rejects_host_array(self):
+        ctx = ExecutionContext()
+        host = ctx.resources.allocate((10,), space=MemorySpace.HOST, name="h")
+        fa = Forall(ctx, ExecPolicy.CUDA)
+        with pytest.raises(ResidencyError, match="host-resident"):
+            fa.run("k", 10, lambda i: None, arrays=[host])
+
+    def test_device_launch_accepts_device_array(self):
+        ctx = ExecutionContext()
+        dev = ctx.resources.allocate((10,), space=MemorySpace.DEVICE)
+        Forall(ctx, ExecPolicy.CUDA).run("k", 10, lambda i: None, arrays=[dev])
+
+    def test_um_array_migrates_on_device_launch(self):
+        ctx = ExecutionContext()
+        um = ctx.resources.allocate((8192,), space=MemorySpace.UNIFIED)
+        Forall(ctx, ExecPolicy.CUDA).run("k", 10, lambda i: None, arrays=[um])
+        assert any(
+            t.name.startswith("um-migrate") for t in ctx.trace.transfers
+        )
+
+    def test_host_launch_accepts_host_array(self):
+        ctx = ExecutionContext()
+        host = ctx.resources.allocate((10,), space=MemorySpace.HOST)
+        Forall(ctx, ExecPolicy.OPENMP).run("k", 10, lambda i: None, arrays=[host])
+
+
+class TestTraceAccounting:
+    def test_flops_recorded(self):
+        ctx = ExecutionContext()
+        Forall(ctx, ExecPolicy.SIMD).run(
+            "work", 1000, lambda i: None, flops_per_elem=5, bytes_per_elem=16
+        )
+        assert ctx.trace.total_flops == pytest.approx(5000)
+        assert ctx.trace.total_bytes == pytest.approx(16000)
+
+    def test_raja_penalty_on_cuda_policy(self):
+        """Untuned (RAJA-style) launches are ~30% less efficient than
+        tuned native ones — the measured sw4lite gap (§4.9)."""
+        machine = get_machine("sierra")
+        model = RooflineModel(machine)
+
+        def timed(tuned):
+            ctx = ExecutionContext(machine=machine)
+            Forall(ctx, ExecPolicy.CUDA).run(
+                "k", 1_000_000, lambda i: None,
+                flops_per_elem=10, bytes_per_elem=80, tuned=tuned,
+            )
+            return model.run_on_gpu(ctx.trace).kernel_time
+
+        ratio = timed(tuned=False) / timed(tuned=True)
+        assert ratio == pytest.approx(1 / POLICY_EFFICIENCY[ExecPolicy.CUDA], rel=0.02)
+
+    def test_trace_shared_with_memory_copies(self):
+        ctx = ExecutionContext()
+        h = ctx.resources.allocate((16,), space=MemorySpace.HOST, fill=0.0)
+        d = ctx.resources.allocate((16,), space=MemorySpace.DEVICE)
+        ctx.resources.copy(h, d)
+        Forall(ctx, ExecPolicy.CUDA).run("k", 16, lambda i: None, arrays=[d])
+        assert len(ctx.trace.transfers) == 1
+        assert len(ctx.trace.kernels) == 1
+
+    def test_seq_and_simd_equal_trace(self):
+        def trace_for(policy):
+            ctx = ExecutionContext()
+            Forall(ctx, policy).run(
+                "k", 100, lambda i: None, flops_per_elem=3, bytes_per_elem=8
+            )
+            return ctx.trace
+
+        a, b = trace_for(ExecPolicy.SEQ), trace_for(ExecPolicy.SIMD)
+        assert a.total_flops == b.total_flops
+        assert a.total_bytes == b.total_bytes

@@ -1,0 +1,143 @@
+"""Tests for the mini-NVRTC JIT layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.jit import JitCache, render_template, _literal
+
+
+class TestLiteral:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (2.5, "2.5"),
+            (3, "3"),
+            (True, "True"),
+            ("x", "'x'"),
+            ((1, 2), "(1, 2,)"),
+            ([1.0, 2.0], "[1.0, 2.0]"),
+        ],
+    )
+    def test_literals(self, value, expected):
+        assert _literal(value) == expected
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            _literal(object())
+
+    def test_float_roundtrip_exact(self):
+        v = 0.1 + 0.2
+        assert eval(_literal(v)) == v
+
+
+class TestRenderTemplate:
+    def test_substitution(self):
+        out = render_template("y = $A * x + $B", {"A": 2.0, "B": 1.0})
+        assert out == "y = 2.0 * x + 1.0"
+
+    def test_prefix_names_not_clobbered(self):
+        out = render_template("$NP2 + $NP", {"NP": 1, "NP2": 2})
+        assert out == "2 + 1"
+
+    def test_missing_placeholder_raises(self):
+        with pytest.raises(KeyError):
+            render_template("y = x", {"A": 1})
+
+    def test_unbound_placeholder_raises(self):
+        with pytest.raises(KeyError):
+            render_template("y = $A + $B", {"A": 1})
+
+
+class TestJitCache:
+    TEMPLATE = """
+    def kern(x):
+        return $COEF * x + $OFFSET
+    """
+
+    def test_compile_and_call(self):
+        cache = JitCache()
+        k = cache.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        assert k(2.0) == 7.0
+
+    def test_cache_hit_same_constants(self):
+        cache = JitCache()
+        a = cache.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        b = cache.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        assert a is b
+        assert cache.compile_count == 1
+        assert cache.hit_count == 1
+
+    def test_different_constants_recompile(self):
+        cache = JitCache()
+        a = cache.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        b = cache.compile("kern", self.TEMPLATE, {"COEF": 4.0, "OFFSET": 1.0})
+        assert a is not b
+        assert len(cache) == 2
+
+    def test_missing_entry_point(self):
+        cache = JitCache()
+        with pytest.raises(NameError):
+            cache.compile("nope", "x = $A", {"A": 1})
+
+    def test_globals_visible(self):
+        cache = JitCache(globals_ns={"np": np})
+        k = cache.compile(
+            "kern",
+            """
+            def kern(x):
+                return np.sum(x) * $SCALE
+            """,
+            {"SCALE": 2.0},
+        )
+        assert k(np.ones(4)) == 8.0
+
+    def test_extra_globals(self):
+        cache = JitCache()
+        k = cache.compile(
+            "kern",
+            """
+            def kern():
+                return helper() + $N
+            """,
+            {"N": 1},
+            extra_globals={"helper": lambda: 10},
+        )
+        assert k() == 11
+
+    def test_source_retained(self):
+        cache = JitCache()
+        k = cache.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 0.5})
+        assert "3.0" in k.source
+        assert "0.5" in k.source
+
+    def test_baked_constants_beat_dict_lookup(self):
+        """The Cardioid/MFEM JIT lesson: baked literals are faster than
+        indirected parameters.  We verify the mechanism is real in
+        Python with a generous margin (no strict timing assert, just a
+        sanity ordering over many calls)."""
+        import timeit
+
+        cache = JitCache()
+        baked = cache.compile(
+            "kern",
+            """
+            def kern(x):
+                return $C0 + x * ($C1 + x * ($C2 + x * $C3))
+            """,
+            {"C0": 1.0, "C1": 0.5, "C2": 0.25, "C3": 0.125},
+        )
+        params = {"C0": 1.0, "C1": 0.5, "C2": 0.25, "C3": 0.125}
+
+        def dynamic(x):
+            return params["C0"] + x * (
+                params["C1"] + x * (params["C2"] + x * params["C3"])
+            )
+
+        x = 1.7
+        # Time the raw compiled function (JitKernel.__call__ adds a
+        # Python-level indirection that native JIT would not have).
+        t_baked = timeit.timeit(lambda: baked.fn(x), number=20000)
+        t_dyn = timeit.timeit(lambda: dynamic(x), number=20000)
+        # Allow noise: baked must not be significantly slower.
+        assert t_baked < t_dyn * 1.5
+        assert baked(x) == pytest.approx(dynamic(x))

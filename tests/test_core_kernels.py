@@ -1,0 +1,141 @@
+"""Tests for KernelSpec / TransferSpec / KernelTrace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.kernels import KernelSpec, KernelTrace, TransferSpec
+
+
+def spec(name="k", flops=1e6, br=8e6, bw=4e6, launches=1, **kw):
+    return KernelSpec(
+        name=name, flops=flops, bytes_read=br, bytes_written=bw,
+        launches=launches, **kw
+    )
+
+
+class TestKernelSpec:
+    def test_arithmetic_intensity(self):
+        k = spec(flops=12e6, br=8e6, bw=4e6)
+        assert k.arithmetic_intensity == pytest.approx(1.0)
+
+    def test_pure_compute_intensity_inf(self):
+        k = spec(flops=1e6, br=0, bw=0)
+        assert k.arithmetic_intensity == float("inf")
+
+    @pytest.mark.parametrize("field,value", [
+        ("flops", -1.0), ("bytes_read", -1.0), ("bytes_written", -1.0),
+    ])
+    def test_negative_work_rejected(self, field, value):
+        kwargs = dict(name="k", flops=1.0, bytes_read=1.0, bytes_written=1.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            KernelSpec(**kwargs)
+
+    def test_bad_precision_rejected(self):
+        with pytest.raises(ValueError):
+            spec(precision="fp16")
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            spec(compute_efficiency=0.0)
+        with pytest.raises(ValueError):
+            spec(bandwidth_efficiency=1.5)
+
+    def test_scaled(self):
+        k = spec(flops=10, br=20, bw=30).scaled(2.0)
+        assert k.flops == 20 and k.bytes_read == 40 and k.bytes_written == 60
+
+    def test_scaled_negative_raises(self):
+        with pytest.raises(ValueError):
+            spec().scaled(-1)
+
+
+class TestFusion:
+    def test_fusion_preserves_flops(self):
+        a, b = spec("a"), spec("b")
+        fused = a.fused(b)
+        assert fused.flops == a.flops + b.flops
+
+    def test_fusion_removes_intermediate_traffic(self):
+        # a writes 4 MB that b then reads: fusing removes both.
+        a = spec("a", br=8e6, bw=4e6)
+        b = spec("b", br=4e6, bw=4e6)
+        fused = a.fused(b)
+        assert fused.bytes_total == a.bytes_total + b.bytes_total - 2 * 4e6
+
+    def test_fusion_never_negative_traffic(self):
+        a = spec("a", br=0, bw=10e6)
+        b = spec("b", br=2e6, bw=0)
+        fused = a.fused(b)
+        assert fused.bytes_read >= 0 and fused.bytes_written >= 0
+
+    def test_fusion_mismatched_launches_raises(self):
+        with pytest.raises(ValueError):
+            spec(launches=1).fused(spec(launches=2))
+
+    def test_fusion_mismatched_precision_raises(self):
+        with pytest.raises(ValueError):
+            spec(precision="fp64").fused(spec(precision="fp32"))
+
+    def test_fusion_name(self):
+        assert spec("a").fused(spec("b")).name == "a+b"
+        assert spec("a").fused(spec("b"), name="ab").name == "ab"
+
+    @given(
+        aw=st.floats(min_value=0, max_value=1e9),
+        br=st.floats(min_value=0, max_value=1e9),
+    )
+    def test_fusion_traffic_never_exceeds_sum(self, aw, br):
+        a = spec("a", br=1e6, bw=aw)
+        b = spec("b", br=br, bw=1e6)
+        fused = a.fused(b)
+        assert fused.bytes_total <= a.bytes_total + b.bytes_total + 1e-6
+
+
+class TestTransferSpec:
+    def test_valid(self):
+        t = TransferSpec("x", nbytes=1e6, direction="d2h", count=3)
+        assert t.nbytes == 1e6
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            TransferSpec("x", nbytes=1.0, direction="sideways")
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            TransferSpec("x", nbytes=-1.0)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            TransferSpec("x", nbytes=1.0, count=-2)
+
+
+class TestKernelTrace:
+    def test_totals(self):
+        tr = KernelTrace()
+        tr.record_kernel(spec(flops=10, br=20, bw=30, launches=2))
+        tr.record_kernel(spec(flops=5, br=0, bw=0))
+        assert tr.total_flops == pytest.approx(25)
+        assert tr.total_bytes == pytest.approx(100)
+        assert tr.total_launches == 3
+
+    def test_transfer_totals(self):
+        tr = KernelTrace()
+        tr.record_transfer(TransferSpec("t", nbytes=100, count=3))
+        assert tr.total_transfer_bytes == pytest.approx(300)
+
+    def test_extend(self):
+        a, b = KernelTrace(), KernelTrace()
+        a.record_kernel(spec())
+        b.record_kernel(spec())
+        b.record_transfer(TransferSpec("t", nbytes=1))
+        a.extend(b)
+        assert len(a) == 3
+
+    def test_clear(self):
+        tr = KernelTrace()
+        tr.record_kernel(spec())
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.total_flops == 0

@@ -1,0 +1,82 @@
+"""Tests for the machine catalog and link/network models."""
+
+import pytest
+
+from repro.core.machine import (
+    MACHINES,
+    CORI_II,
+    EA_MINSKY,
+    LinkSpec,
+    SIERRA,
+    get_machine,
+)
+
+
+class TestCatalog:
+    def test_paper_machines_present(self):
+        for name in ["sierra", "ea-minsky", "cori-ii", "bgq", "surface",
+                     "rzhasgpu", "kraken", "leviathan", "hyperion",
+                     "bertha", "catalyst"]:
+            assert name in MACHINES
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(KeyError, match="unknown machine"):
+            get_machine("not-a-machine")
+
+    def test_sierra_node_shape(self):
+        m = get_machine("sierra")
+        assert m.cpu_sockets == 2
+        assert m.gpus_per_node == 4
+        assert m.gpu is not None and m.gpu.name == "V100"
+        assert m.total_cores == 44
+
+    def test_sierra_gpu_dominates_cpu(self):
+        # The premise of the whole porting effort: ~95% of node flops
+        # are on the GPUs.
+        m = SIERRA
+        assert m.gpu_peak_flops > 20 * m.cpu_peak_flops
+
+    def test_ea_system_one_generation_earlier(self):
+        assert EA_MINSKY.year < SIERRA.year
+        assert EA_MINSKY.gpu.peak_flops < SIERRA.gpu.peak_flops
+        assert EA_MINSKY.host_device_link.bandwidth < SIERRA.host_device_link.bandwidth
+
+    def test_volta_has_unified_fast_l1_pascal_does_not(self):
+        # The Opt texture-cache story (§4.7) rests on this difference.
+        assert SIERRA.gpu.unified_fast_l1
+        assert not EA_MINSKY.gpu.unified_fast_l1
+
+    def test_cori_has_no_gpu(self):
+        assert CORI_II.gpu is None
+        assert CORI_II.gpu_peak_flops == 0.0
+        assert CORI_II.gpu_mem_bw == 0.0
+
+    def test_sierra_nvme(self):
+        # Table 2 story: 1.6 TB NVMe per node.
+        assert SIERRA.nvme_bytes == pytest.approx(1.6e12)
+
+    def test_aggregate_properties(self):
+        m = SIERRA
+        assert m.cpu_peak_flops == pytest.approx(2 * m.cpu.peak_flops)
+        assert m.gpu_mem_bw == pytest.approx(4 * m.gpu.mem_bw)
+
+
+class TestLinkSpec:
+    def test_transfer_time_monotone(self):
+        link = LinkSpec("x", bandwidth=10e9, latency=1e-6)
+        assert link.transfer_time(1e6) < link.transfer_time(1e7)
+
+    def test_latency_floor(self):
+        link = LinkSpec("x", bandwidth=10e9, latency=1e-6)
+        assert link.transfer_time(0) == pytest.approx(1e-6)
+
+    def test_negative_size_raises(self):
+        link = LinkSpec("x", bandwidth=10e9, latency=1e-6)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+
+    def test_nvlink_beats_pcie(self):
+        from repro.core.machine import NVLINK2, PCIE3
+
+        nbytes = 100e6
+        assert NVLINK2.transfer_time(nbytes) < PCIE3.transfer_time(nbytes)

@@ -1,0 +1,178 @@
+"""Tests for the mini-Umpire memory layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kernels import KernelTrace
+from repro.core.memory import (
+    AllocationError,
+    ManagedArray,
+    MemorySpace,
+    QuickPool,
+    ResourceManager,
+    UM_PAGE_BYTES,
+)
+
+
+class TestResourceManager:
+    def test_allocate_tracks_live_bytes(self):
+        rm = ResourceManager()
+        arr = rm.allocate((100,), space=MemorySpace.DEVICE)
+        assert rm.live_bytes(MemorySpace.DEVICE) == arr.nbytes
+
+    def test_deallocate_releases(self):
+        rm = ResourceManager()
+        arr = rm.allocate((100,), space=MemorySpace.DEVICE)
+        arr.free()
+        assert rm.live_bytes(MemorySpace.DEVICE) == 0
+
+    def test_high_water_mark(self):
+        rm = ResourceManager()
+        a = rm.allocate((1000,), space=MemorySpace.HOST)
+        a.free()
+        rm.allocate((10,), space=MemorySpace.HOST)
+        assert rm.high_water(MemorySpace.HOST) == 8000
+
+    def test_fill(self):
+        rm = ResourceManager()
+        arr = rm.allocate((4,), fill=3.0)
+        np.testing.assert_array_equal(arr.data, 3.0)
+
+    def test_device_capacity_enforced(self):
+        rm = ResourceManager(device_capacity_bytes=1000)
+        rm.allocate((100,), space=MemorySpace.DEVICE)  # 800 B
+        with pytest.raises(AllocationError):
+            rm.allocate((100,), space=MemorySpace.DEVICE)
+
+    def test_capacity_counts_unified_too(self):
+        rm = ResourceManager(device_capacity_bytes=1000)
+        rm.allocate((100,), space=MemorySpace.UNIFIED)
+        with pytest.raises(AllocationError):
+            rm.allocate((100,), space=MemorySpace.DEVICE)
+
+    def test_host_not_capacity_limited(self):
+        rm = ResourceManager(device_capacity_bytes=10)
+        rm.allocate((1000,), space=MemorySpace.HOST)  # fine
+
+    def test_adopt(self):
+        rm = ResourceManager()
+        data = np.zeros(10)
+        arr = rm.adopt(data, MemorySpace.DEVICE, name="wrapped")
+        assert arr.data is data
+        assert rm.live_bytes(MemorySpace.DEVICE) == 80
+
+
+class TestCopiesAndMoves:
+    def test_copy_records_h2d_transfer(self):
+        rm = ResourceManager()
+        h = rm.allocate((128,), space=MemorySpace.HOST, fill=1.0)
+        d = rm.allocate((128,), space=MemorySpace.DEVICE)
+        rm.copy(h, d, name="upload")
+        np.testing.assert_array_equal(d.data, 1.0)
+        assert len(rm.trace.transfers) == 1
+        assert rm.trace.transfers[0].direction == "h2d"
+
+    def test_copy_within_space_records_nothing(self):
+        rm = ResourceManager()
+        a = rm.allocate((8,), space=MemorySpace.HOST, fill=2.0)
+        b = rm.allocate((8,), space=MemorySpace.HOST)
+        rm.copy(a, b)
+        assert len(rm.trace.transfers) == 0
+
+    def test_copy_shape_mismatch(self):
+        rm = ResourceManager()
+        a = rm.allocate((8,))
+        b = rm.allocate((9,))
+        with pytest.raises(ValueError):
+            rm.copy(a, b)
+
+    def test_move_rehomes_and_records(self):
+        rm = ResourceManager()
+        arr = rm.allocate((64,), space=MemorySpace.HOST)
+        rm.move(arr, MemorySpace.DEVICE)
+        assert arr.space is MemorySpace.DEVICE
+        assert rm.live_bytes(MemorySpace.HOST) == 0
+        assert rm.live_bytes(MemorySpace.DEVICE) == arr.nbytes
+        assert rm.trace.transfers[-1].direction == "h2d"
+
+    def test_move_noop_same_space(self):
+        rm = ResourceManager()
+        arr = rm.allocate((64,), space=MemorySpace.DEVICE)
+        rm.move(arr, MemorySpace.DEVICE)
+        assert len(rm.trace.transfers) == 0
+
+    def test_d2h_direction(self):
+        rm = ResourceManager()
+        arr = rm.allocate((64,), space=MemorySpace.DEVICE)
+        rm.move(arr, MemorySpace.HOST)
+        assert rm.trace.transfers[-1].direction == "d2h"
+
+
+class TestUnifiedMemory:
+    def test_touch_records_page_granularity(self):
+        rm = ResourceManager()
+        arr = rm.allocate((UM_PAGE_BYTES // 8 * 3,), space=MemorySpace.UNIFIED)
+        rm.touch_unified(arr)
+        t = rm.trace.transfers[-1]
+        assert t.count == 3
+        assert t.nbytes == UM_PAGE_BYTES
+
+    def test_small_um_touch_one_page(self):
+        rm = ResourceManager()
+        arr = rm.allocate((4,), space=MemorySpace.UNIFIED)
+        rm.touch_unified(arr)
+        assert rm.trace.transfers[-1].count == 1
+
+    def test_touch_non_um_raises(self):
+        rm = ResourceManager()
+        arr = rm.allocate((4,), space=MemorySpace.HOST)
+        with pytest.raises(ValueError):
+            rm.touch_unified(arr)
+
+
+class TestQuickPool:
+    def test_reuse_hits_free_list(self):
+        rm = ResourceManager()
+        pool = QuickPool(rm, space=MemorySpace.DEVICE)
+        a = pool.allocate((100,))
+        pool.release(a)
+        b = pool.allocate((100,))
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_pool_amortizes_manager_allocs(self):
+        rm = ResourceManager()
+        pool = QuickPool(rm, space=MemorySpace.DEVICE)
+        for _ in range(10):
+            arr = pool.allocate((64,))
+            pool.release(arr)
+        assert rm.stats[MemorySpace.DEVICE].alloc_count == 1
+
+    def test_release_foreign_array_raises(self):
+        rm = ResourceManager()
+        pool = QuickPool(rm)
+        arr = rm.allocate((4,), space=MemorySpace.DEVICE)
+        with pytest.raises(ValueError):
+            pool.release(arr)
+
+    def test_allocation_usable(self):
+        rm = ResourceManager()
+        pool = QuickPool(rm, space=MemorySpace.DEVICE)
+        arr = pool.allocate((5, 5), dtype=np.float32)
+        arr.data[:] = 7.0
+        assert arr.data.shape == (5, 5)
+        assert arr.data.dtype == np.float32
+        np.testing.assert_array_equal(arr.data, 7.0)
+
+    def test_growth_factor_validation(self):
+        rm = ResourceManager()
+        with pytest.raises(ValueError):
+            QuickPool(rm, growth_factor=0.5)
+
+    @given(n=st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=30, deadline=None)
+    def test_bucket_power_of_two_and_covers(self, n):
+        b = QuickPool._bucket(n)
+        assert b >= n
+        assert b & (b - 1) == 0

@@ -1,0 +1,211 @@
+"""Tests for the roofline execution-time model."""
+
+import pytest
+
+from repro.core.kernels import KernelSpec, KernelTrace, TransferSpec
+from repro.core.machine import get_machine
+from repro.core.roofline import (
+    RooflineModel,
+    allreduce_time,
+    alltoall_time,
+)
+
+
+@pytest.fixture
+def sierra():
+    return RooflineModel(get_machine("sierra"))
+
+
+@pytest.fixture
+def cori():
+    return RooflineModel(get_machine("cori-ii"))
+
+
+def stream_kernel(gb=1.0):
+    return KernelSpec(
+        "stream", flops=0.1e9 * gb, bytes_read=gb * 0.7e9,
+        bytes_written=gb * 0.3e9,
+    )
+
+
+def compute_kernel(gflop=1.0):
+    return KernelSpec(
+        "dgemm-ish", flops=gflop * 1e9, bytes_read=1e6, bytes_written=1e6,
+        compute_efficiency=0.9,
+    )
+
+
+class TestGpuKernelTime:
+    def test_memory_bound_scales_with_bytes(self, sierra):
+        t1 = sierra.gpu_kernel_time(stream_kernel(1.0))
+        t2 = sierra.gpu_kernel_time(stream_kernel(2.0))
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_more_gpus_faster(self, sierra):
+        k = stream_kernel()
+        assert sierra.gpu_kernel_time(k, gpus=4) == pytest.approx(
+            sierra.gpu_kernel_time(k, gpus=1) / 4
+        )
+
+    def test_gpus_out_of_range(self, sierra):
+        with pytest.raises(ValueError):
+            sierra.gpu_kernel_time(stream_kernel(), gpus=0)
+        with pytest.raises(ValueError):
+            sierra.gpu_kernel_time(stream_kernel(), gpus=5)
+
+    def test_no_gpu_machine_raises(self, cori):
+        with pytest.raises(ValueError):
+            cori.gpu_kernel_time(stream_kernel())
+
+    def test_fp32_faster_for_compute_bound(self, sierra):
+        k64 = compute_kernel()
+        k32 = KernelSpec(
+            "sp", flops=k64.flops, bytes_read=k64.bytes_read,
+            bytes_written=k64.bytes_written, precision="fp32",
+            compute_efficiency=0.9,
+        )
+        assert sierra.gpu_kernel_time(k32) < sierra.gpu_kernel_time(k64)
+
+    def test_shared_memory_bonus(self, sierra):
+        base = compute_kernel()
+        tuned = KernelSpec(
+            "sm", flops=base.flops, bytes_read=base.bytes_read,
+            bytes_written=base.bytes_written, compute_efficiency=0.3,
+            uses_shared_memory=True,
+        )
+        untuned = KernelSpec(
+            "plain", flops=base.flops, bytes_read=base.bytes_read,
+            bytes_written=base.bytes_written, compute_efficiency=0.3,
+        )
+        assert sierra.gpu_kernel_time(tuned) < sierra.gpu_kernel_time(untuned)
+
+    def test_launch_overhead_proportional(self, sierra):
+        k = KernelSpec("tiny", flops=1.0, bytes_read=8.0, bytes_written=8.0,
+                       launches=100)
+        assert sierra.gpu_launch_time(k) == pytest.approx(
+            100 * get_machine("sierra").gpu.launch_overhead
+        )
+
+
+class TestCpuKernelTime:
+    def test_cache_residency_speeds_up(self, sierra):
+        k = stream_kernel(0.01)
+        slow = sierra.cpu_kernel_time(k)
+        fast = sierra.cpu_kernel_time(k, working_set_bytes=1e6)
+        assert fast < slow
+
+    def test_large_working_set_no_bonus(self, sierra):
+        k = stream_kernel(1.0)
+        assert sierra.cpu_kernel_time(k, working_set_bytes=10e9) == (
+            pytest.approx(sierra.cpu_kernel_time(k))
+        )
+
+    def test_cores_out_of_range(self, sierra):
+        with pytest.raises(ValueError):
+            sierra.cpu_kernel_time(stream_kernel(), cores=0)
+        with pytest.raises(ValueError):
+            sierra.cpu_kernel_time(stream_kernel(), cores=1000)
+
+    def test_fewer_cores_slower_for_compute(self, sierra):
+        k = compute_kernel()
+        assert sierra.cpu_kernel_time(k, cores=4) > sierra.cpu_kernel_time(
+            k, cores=44
+        )
+
+    def test_bad_parallel_efficiency(self):
+        with pytest.raises(ValueError):
+            RooflineModel(get_machine("sierra"), cpu_parallel_efficiency=0.0)
+
+
+class TestTransfers:
+    def test_h2d_uses_link(self, sierra):
+        t = TransferSpec("x", nbytes=75e9, direction="h2d")
+        # 75 GB over a 75 GB/s link: about a second.
+        assert sierra.transfer_time(t) == pytest.approx(1.0, rel=0.01)
+
+    def test_net_uses_network(self, sierra):
+        t = TransferSpec("x", nbytes=25e9, direction="net")
+        assert sierra.transfer_time(t) == pytest.approx(1.0, rel=0.01)
+
+    def test_no_link_raises(self, cori):
+        with pytest.raises(ValueError):
+            cori.transfer_time(TransferSpec("x", nbytes=1.0, direction="h2d"))
+
+
+class TestTraceReports:
+    def test_gpu_report_totals(self, sierra):
+        tr = KernelTrace()
+        tr.record_kernel(stream_kernel())
+        tr.record_transfer(TransferSpec("up", nbytes=1e9, direction="h2d"))
+        rep = sierra.run_on_gpu(tr, gpus=1)
+        assert rep.total == pytest.approx(
+            rep.kernel_time + rep.launch_time + rep.transfer_time
+        )
+        assert rep.transfer_time > 0
+        assert "stream" in rep.per_kernel
+
+    def test_cpu_report_ignores_h2d(self, sierra):
+        tr = KernelTrace()
+        tr.record_kernel(stream_kernel())
+        tr.record_transfer(TransferSpec("up", nbytes=1e9, direction="h2d"))
+        rep = sierra.run_on_cpu(tr)
+        assert rep.transfer_time == 0.0
+
+    def test_speedup_bandwidth_bound_plausible(self, sierra):
+        # 4x V100 HBM vs 2x P9 DDR: an order of magnitude, not 100x.
+        tr = KernelTrace()
+        tr.record_kernel(stream_kernel(10.0))
+        s = sierra.speedup_gpu_over_cpu(tr)
+        assert 5 < s < 40
+
+    def test_merge_reports(self, sierra):
+        tr = KernelTrace()
+        tr.record_kernel(stream_kernel())
+        a = sierra.run_on_gpu(tr)
+        b = sierra.run_on_gpu(tr)
+        total = a.total
+        a.merge(b)
+        assert a.total == pytest.approx(2 * total)
+
+    def test_merge_mismatched_raises(self, sierra, cori):
+        tr = KernelTrace()
+        tr.record_kernel(stream_kernel())
+        a = sierra.run_on_gpu(tr)
+        b = sierra.run_on_cpu(tr)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestCollectives:
+    def test_allreduce_single_node_free(self):
+        m = get_machine("sierra")
+        assert allreduce_time(m, 1e6, 1) == 0.0
+
+    def test_allreduce_grows_with_nodes(self):
+        m = get_machine("sierra")
+        assert allreduce_time(m, 1e6, 16) > allreduce_time(m, 1e6, 2)
+
+    def test_ring_beats_tree_for_large_messages(self):
+        m = get_machine("sierra")
+        big = 1e9
+        assert allreduce_time(m, big, 64, "ring") < allreduce_time(m, big, 64, "tree")
+
+    def test_tree_beats_ring_for_small_messages(self):
+        m = get_machine("sierra")
+        small = 8.0
+        assert allreduce_time(m, small, 64, "tree") < allreduce_time(
+            m, small, 64, "ring"
+        )
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            allreduce_time(get_machine("sierra"), 1e6, 4, "magic")
+
+    def test_allreduce_bad_nodes(self):
+        with pytest.raises(ValueError):
+            allreduce_time(get_machine("sierra"), 1e6, 0)
+
+    def test_alltoall_scales(self):
+        m = get_machine("sierra")
+        assert alltoall_time(m, 1e6, 32) > alltoall_time(m, 1e6, 4)
+        assert alltoall_time(m, 1e6, 1) == 0.0

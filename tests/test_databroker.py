@@ -1,0 +1,103 @@
+"""Tests for the Data Broker (§4.4's follow-on optimization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import get_machine
+from repro.spark.databroker import (
+    DataBroker,
+    NamespaceError,
+    broker_exchange_time,
+    shuffle_vs_broker,
+)
+from repro.spark.engine import SparkEngine
+from repro.spark.jvm import DEFAULT_STACK, OPTIMIZED_STACK
+
+
+class TestDataBroker:
+    def test_put_get_roundtrip(self):
+        db = DataBroker()
+        db.create_namespace("lda")
+        payload = np.arange(10.0)
+        db.put("lda", "ss:0", payload)
+        np.testing.assert_array_equal(db.get("lda", "ss:0"), payload)
+        assert db.puts == 1 and db.gets == 1
+
+    def test_namespaces_isolated(self):
+        db = DataBroker()
+        db.create_namespace("a")
+        db.create_namespace("b")
+        db.put("a", "k", 1.0)
+        with pytest.raises(NamespaceError):
+            db.get("b", "k")
+
+    def test_duplicate_namespace_rejected(self):
+        db = DataBroker()
+        db.create_namespace("x")
+        with pytest.raises(ValueError):
+            db.create_namespace("x")
+
+    def test_unknown_namespace(self):
+        db = DataBroker()
+        with pytest.raises(NamespaceError):
+            db.put("nope", "k", 1)
+        with pytest.raises(NamespaceError):
+            db.keys("nope")
+        with pytest.raises(NamespaceError):
+            db.delete_namespace("nope")
+
+    def test_capacity_enforced(self):
+        db = DataBroker(capacity_bytes=100)
+        db.create_namespace("x")
+        with pytest.raises(MemoryError):
+            db.put("x", "big", np.zeros(1000))
+
+    def test_overwrite_frees_old_bytes(self):
+        db = DataBroker(capacity_bytes=1000)
+        db.create_namespace("x")
+        db.put("x", "k", np.zeros(100))  # 800 B
+        db.put("x", "k", np.zeros(100))  # replace, not accumulate
+        assert db.live_bytes == pytest.approx(800)
+
+    def test_delete_namespace_frees(self):
+        db = DataBroker()
+        db.create_namespace("x")
+        db.put("x", "k", np.zeros(50))
+        db.delete_namespace("x")
+        assert db.live_bytes == 0
+
+    def test_keys_sorted(self):
+        db = DataBroker()
+        db.create_namespace("x")
+        for k in ("b", "a", "c"):
+            db.put("x", k, 1)
+        assert db.keys("x") == ["a", "b", "c"]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DataBroker(capacity_bytes=0)
+
+
+class TestExchangeModel:
+    def test_broker_beats_hash_shuffle(self):
+        """The paper's 'additional possible optimization': the broker
+        exchange undercuts the default shuffle path."""
+        engine = SparkEngine(32, stack=DEFAULT_STACK)
+        r = shuffle_vs_broker(engine, total_bytes=64e6)
+        assert r["data_broker"] < r["hash_shuffle"]
+
+    def test_broker_competitive_with_adaptive(self):
+        engine = SparkEngine(32, stack=OPTIMIZED_STACK)
+        r = shuffle_vs_broker(engine, total_bytes=64e6)
+        assert r["data_broker"] < 2 * r["adaptive_shuffle"]
+
+    def test_time_scales_with_bytes(self):
+        m = get_machine("sierra")
+        t1 = broker_exchange_time(m, DEFAULT_STACK, 1e6, 8)
+        t2 = broker_exchange_time(m, DEFAULT_STACK, 1e8, 8)
+        assert t2 > t1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            broker_exchange_time(get_machine("sierra"), DEFAULT_STACK,
+                                 1e6, 0)

@@ -1,0 +1,192 @@
+"""Tests for the NN substrate and distributed-training simulators."""
+
+import numpy as np
+import pytest
+
+from repro.dtrain.distributed import (
+    AsgdServer,
+    kavg_reduction_count,
+    kavg_train,
+    sgd_train,
+)
+from repro.dtrain.nn import MLP, Dense, softmax
+from repro.util.rng import make_rng
+
+
+def blob_data(n_per_class=60, n_classes=3, dim=6, sep=2.5, seed=0):
+    rng = make_rng(seed)
+    protos = rng.normal(0, 1, (n_classes, dim)) * sep
+    xs, ys = [], []
+    for c in range(n_classes):
+        xs.append(protos[c] + rng.normal(0, 1, (n_per_class, dim)))
+        ys.extend([c] * n_per_class)
+    return np.concatenate(xs), np.array(ys)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        p = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        p = softmax(np.array([[1000.0, 1001.0]]))
+        assert np.isfinite(p).all()
+        assert p[0, 1] > p[0, 0]
+
+
+class TestMlp:
+    def test_gradient_matches_finite_differences(self):
+        model = MLP(5, 3, hidden=(4,), seed=0)
+        rng = make_rng(1)
+        x = rng.random((7, 5))
+        y = rng.integers(0, 3, 7)
+        _, grad = model.gradient(x, y)
+        params = model.get_params()
+        eps = 1e-6
+        for i in rng.choice(params.size, 20, replace=False):
+            p = params.copy()
+            p[i] += eps
+            model.set_params(p)
+            lp = model.loss(x, y)
+            p[i] -= 2 * eps
+            model.set_params(p)
+            lm = model.loss(x, y)
+            fd = (lp - lm) / (2 * eps)
+            assert grad[i] == pytest.approx(fd, abs=1e-6)
+
+    def test_param_roundtrip(self):
+        model = MLP(4, 2, hidden=(3,), seed=0)
+        p = model.get_params()
+        model.set_params(p * 2)
+        np.testing.assert_allclose(model.get_params(), p * 2)
+
+    def test_param_length_check(self):
+        model = MLP(4, 2)
+        with pytest.raises(ValueError):
+            model.set_params(np.zeros(3))
+
+    def test_sgd_learns_separable_blobs(self):
+        x, y = blob_data()
+        model = MLP(x.shape[1], 3, seed=0)
+        history = sgd_train(model, x, y, lr=0.3, epochs=20, seed=0)
+        assert history[-1] < history[0]
+        assert model.accuracy(x, y) > 0.9
+
+    def test_hidden_layer_helps_xor(self):
+        rng = make_rng(0)
+        x = rng.integers(0, 2, (200, 2)).astype(float)
+        y = (x[:, 0].astype(int) ^ x[:, 1].astype(int))
+        x += rng.normal(0, 0.05, x.shape)
+        linear = MLP(2, 2, seed=1)
+        deep = MLP(2, 2, hidden=(8,), seed=1)
+        sgd_train(linear, x, y, lr=0.5, epochs=60, seed=0)
+        sgd_train(deep, x, y, lr=0.5, epochs=60, seed=0)
+        assert deep.accuracy(x, y) > 0.95
+        assert deep.accuracy(x, y) > linear.accuracy(x, y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLP(4, 1)
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        model = MLP(4, 2)
+        x, y = blob_data(10, 2, 4)
+        with pytest.raises(ValueError):
+            sgd_train(model, x, y, lr=0.0)
+
+
+class TestAsgd:
+    def test_zero_staleness_converges(self):
+        x, y = blob_data()
+        model = MLP(x.shape[1], 3, seed=0)
+        server = AsgdServer(model, lr=0.2, staleness=0)
+        server.train(x, y, n_updates=400, seed=0)
+        assert model.accuracy(x, y) > 0.9
+
+    def test_staleness_degrades_convergence(self):
+        """The paper's ASGD finding: at a fixed practical learning
+        rate, growing staleness hurts."""
+        x, y = blob_data(seed=3)
+        final_losses = []
+        for staleness in (0, 16):
+            model = MLP(x.shape[1], 3, seed=0)
+            server = AsgdServer(model, lr=0.5, staleness=staleness)
+            server.train(x, y, n_updates=300, seed=1)
+            final_losses.append(model.loss(x, y))
+        assert final_losses[1] > final_losses[0]
+
+    def test_small_lr_restores_stale_convergence(self):
+        """...and the fix (tiny lr) is impractical: many more updates."""
+        x, y = blob_data(seed=3)
+        model = MLP(x.shape[1], 3, seed=0)
+        server = AsgdServer(model, lr=0.02, staleness=16)
+        server.train(x, y, n_updates=2000, seed=1)
+        assert model.accuracy(x, y) > 0.85
+
+    def test_validation(self):
+        model = MLP(4, 2)
+        with pytest.raises(ValueError):
+            AsgdServer(model, lr=0.0)
+        with pytest.raises(ValueError):
+            AsgdServer(model, lr=0.1, staleness=-1)
+        server = AsgdServer(model, lr=0.1)
+        with pytest.raises(ValueError):
+            server.train(np.zeros((2, 4)), np.zeros(2, dtype=int), -1)
+
+
+class TestKavg:
+    def test_converges(self):
+        x, y = blob_data()
+        model = MLP(x.shape[1], 3, seed=0)
+        history = kavg_train(model, x, y, n_learners=4, k_steps=4,
+                             lr=0.2, rounds=15, seed=0)
+        assert history[-1] < history[0]
+        assert model.accuracy(x, y) > 0.9
+
+    def test_k_greater_than_one_competitive(self):
+        """§4.5: 'the optimal K for convergence is usually greater than
+        one, so frequent global reductions are unnecessary' — per
+        *reduction*, K=8 beats K=1."""
+        x, y = blob_data(seed=5)
+        losses = {}
+        for k_steps in (1, 8):
+            model = MLP(x.shape[1], 3, seed=0)
+            # same number of global reductions for both
+            history = kavg_train(model, x, y, n_learners=4,
+                                 k_steps=k_steps, lr=0.2, rounds=10, seed=0)
+            losses[k_steps] = history[-1]
+        assert losses[8] < losses[1]
+
+    def test_bulk_synchronous_communication_count(self):
+        assert kavg_reduction_count(rounds=25) == 25
+
+    def test_kavg_beats_stale_asgd_at_same_lr(self):
+        """The headline comparison: on an ill-conditioned problem (high
+        curvature along some directions), a practical lr that is fine
+        for synchronous/KAVG updates makes stale ASGD gradients
+        overshoot — KAVG reaches a much better model for the same
+        total gradient evaluations."""
+        x, y = blob_data(seed=7)
+        x = x.copy()
+        x[:, :2] *= 6.0  # stiff directions
+        lr = 0.05
+        n_learners, k_steps, rounds = 4, 8, 15
+        total_updates = n_learners * k_steps * rounds
+        kavg_model = MLP(x.shape[1], 3, seed=0)
+        kavg_train(kavg_model, x, y, n_learners=n_learners,
+                   k_steps=k_steps, lr=lr, rounds=rounds, seed=0)
+        asgd_model = MLP(x.shape[1], 3, seed=0)
+        AsgdServer(asgd_model, lr=lr, staleness=n_learners * 4).train(
+            x, y, n_updates=total_updates, seed=0
+        )
+        assert kavg_model.loss(x, y) < asgd_model.loss(x, y)
+
+    def test_validation(self):
+        model = MLP(4, 2)
+        x, y = blob_data(10, 2, 4)
+        with pytest.raises(ValueError):
+            kavg_train(model, x, y, n_learners=0, k_steps=1)
+        with pytest.raises(ValueError):
+            kavg_train(model, x, y, n_learners=2, k_steps=0)
+        with pytest.raises(ValueError):
+            kavg_train(model, x, y, n_learners=2, k_steps=1, lr=-1.0)

@@ -1,0 +1,103 @@
+"""Tests for 1D bases and quadrature."""
+
+import numpy as np
+import pytest
+
+from repro.fem.basis import (
+    Basis1D,
+    gauss_legendre,
+    gauss_lobatto,
+    lagrange_deriv,
+    lagrange_eval,
+)
+
+
+class TestQuadrature:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_gauss_legendre_exactness(self, n):
+        """n-point GL integrates x^k exactly for k <= 2n-1."""
+        x, w = gauss_legendre(n)
+        for k in range(2 * n):
+            exact = (1 - (-1) ** (k + 1)) / (k + 1)
+            assert w @ x**k == pytest.approx(exact, abs=1e-12)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_gauss_lobatto_exactness(self, n):
+        """n-point GLL integrates x^k exactly for k <= 2n-3."""
+        x, w = gauss_lobatto(n)
+        for k in range(2 * n - 2):
+            exact = (1 - (-1) ** (k + 1)) / (k + 1)
+            assert w @ x**k == pytest.approx(exact, abs=1e-12)
+
+    def test_gll_includes_endpoints(self):
+        x, _ = gauss_lobatto(6)
+        assert x[0] == pytest.approx(-1.0)
+        assert x[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(x) > 0)
+
+    def test_weights_positive_sum_two(self):
+        for n in (2, 4, 7):
+            _, w = gauss_lobatto(n)
+            assert np.all(w > 0)
+            assert w.sum() == pytest.approx(2.0)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            gauss_legendre(0)
+        with pytest.raises(ValueError):
+            gauss_lobatto(1)
+
+
+class TestLagrange:
+    def test_cardinal_property(self):
+        nodes, _ = gauss_lobatto(5)
+        l = lagrange_eval(nodes, nodes)
+        np.testing.assert_allclose(l, np.eye(5), atol=1e-12)
+
+    def test_partition_of_unity(self):
+        nodes, _ = gauss_lobatto(6)
+        x = np.linspace(-1, 1, 17)
+        l = lagrange_eval(nodes, x)
+        np.testing.assert_allclose(l.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_derivative_sums_to_zero(self):
+        nodes, _ = gauss_lobatto(5)
+        x = np.linspace(-1, 1, 9)
+        d = lagrange_deriv(nodes, x)
+        np.testing.assert_allclose(d.sum(axis=1), 0.0, atol=1e-10)
+
+    def test_derivative_exact_for_polynomial(self):
+        """Interpolating x^3 on 5 nodes: derivative matrix must give
+        exactly 3x^2 at sample points."""
+        nodes, _ = gauss_lobatto(5)
+        coeffs = nodes**3
+        x = np.linspace(-1, 1, 11)
+        d = lagrange_deriv(nodes, x)
+        np.testing.assert_allclose(d @ coeffs, 3 * x**2, atol=1e-10)
+
+
+class TestBasis1D:
+    def test_shapes(self):
+        b = Basis1D.make(4)
+        assert b.n_nodes == 5
+        assert b.n_quad == 6
+        assert b.b.shape == (6, 5)
+        assert b.g.shape == (6, 5)
+
+    def test_mass_matrix_exact(self):
+        """B^T W B must equal the exact 1D mass matrix of the basis."""
+        b = Basis1D.make(3)
+        m = b.b.T @ np.diag(b.quad_wts) @ b.b
+        # exact integral via high-order quadrature
+        xq, wq = gauss_legendre(12)
+        lq = lagrange_eval(b.nodes, xq)
+        m_exact = lq.T @ np.diag(wq) @ lq
+        np.testing.assert_allclose(m, m_exact, atol=1e-12)
+
+    def test_custom_quad_points(self):
+        b = Basis1D.make(2, quad_points=7)
+        assert b.n_quad == 7
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            Basis1D.make(0)

@@ -1,0 +1,110 @@
+"""Tests for the tensor-product mesh and DOF maps."""
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import TensorMesh2D
+
+
+class TestSizes:
+    def test_dof_counts(self):
+        m = TensorMesh2D(4, 3, order=2)
+        assert m.n_elements == 12
+        assert m.nodes_x == 9
+        assert m.nodes_y == 7
+        assert m.n_dofs == 63
+
+    def test_spacings(self):
+        m = TensorMesh2D(4, 2, order=1, lx=2.0, ly=1.0)
+        assert m.hx == pytest.approx(0.5)
+        assert m.hy == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("bad", [
+        dict(nel_x=0, nel_y=1, order=1),
+        dict(nel_x=1, nel_y=0, order=1),
+        dict(nel_x=1, nel_y=1, order=0),
+        dict(nel_x=1, nel_y=1, order=1, lx=-1.0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            TensorMesh2D(**bad)
+
+
+class TestCoordinates:
+    def test_1d_coords_cover_domain(self):
+        m = TensorMesh2D(3, 3, order=4, lx=2.0)
+        x = m.node_coords_1d("x")
+        assert x[0] == pytest.approx(0.0)
+        assert x[-1] == pytest.approx(2.0)
+        assert x.size == m.nodes_x
+        assert np.all(np.diff(x) > 0)
+
+    def test_element_boundaries_are_nodes(self):
+        m = TensorMesh2D(4, 4, order=3)
+        x = m.node_coords_1d("x")
+        for e in range(5):
+            assert np.min(np.abs(x - e * m.hx)) < 1e-12
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            TensorMesh2D(2, 2, order=1).node_coords_1d("z")
+
+    def test_meshgrid_shapes(self):
+        m = TensorMesh2D(2, 3, order=2)
+        gx, gy = m.node_coords()
+        assert gx.shape == (m.nodes_x, m.nodes_y)
+        assert gy.shape == (m.nodes_x, m.nodes_y)
+
+
+class TestDofMaps:
+    def test_element_dofs_shape(self):
+        m = TensorMesh2D(3, 2, order=2)
+        dofs = m.element_dofs()
+        assert dofs.shape == (6, 3, 3)
+        assert dofs.min() == 0
+        assert dofs.max() == m.n_dofs - 1
+
+    def test_shared_edge_dofs(self):
+        """Adjacent elements share the DOFs on their common edge — the
+        continuity requirement."""
+        m = TensorMesh2D(2, 1, order=3)
+        dofs = m.element_dofs()
+        # element 0 is (ex=0), element 1 is (ex=1); shared edge:
+        # last local column of e0 in x == first local column of e1
+        np.testing.assert_array_equal(dofs[0, -1, :], dofs[1, 0, :])
+
+    def test_every_dof_reachable(self):
+        m = TensorMesh2D(3, 3, order=2)
+        assert set(m.element_dofs().ravel()) == set(range(m.n_dofs))
+
+    def test_boundary_mask(self):
+        m = TensorMesh2D(2, 2, order=2)
+        mask = m.boundary_mask()
+        # 5x5 grid: 16 boundary nodes
+        assert mask.sum() == 16
+        assert m.interior_dofs().size == 9
+
+    def test_gather_scatter_adjoint(self):
+        """<gather(u), v_e> == <u, scatter(v_e)> — the E-vector
+        transpose identity."""
+        m = TensorMesh2D(3, 2, order=2)
+        rng = np.random.default_rng(0)
+        u = rng.random(m.n_dofs)
+        ve = rng.random((m.n_elements, 3, 3))
+        lhs = float((m.gather(u) * ve).sum())
+        rhs = float(u @ m.scatter_add(ve))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_gather_wrong_length(self):
+        m = TensorMesh2D(2, 2, order=1)
+        with pytest.raises(ValueError):
+            m.gather(np.ones(5))
+
+    def test_scatter_counts_multiplicity(self):
+        """Scattering all-ones counts how many elements touch each DOF."""
+        m = TensorMesh2D(2, 2, order=1)
+        ones = np.ones((m.n_elements, 2, 2))
+        mult = m.scatter_add(ones)
+        # corner of the domain: 1 element; center node: 4 elements
+        assert mult.min() == 1.0
+        assert mult.max() == 4.0

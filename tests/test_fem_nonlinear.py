@@ -1,0 +1,134 @@
+"""Tests for the nonlinear-diffusion benchmark problem (Fig 8 stack)."""
+
+import numpy as np
+import pytest
+
+from repro.core.forall import ExecutionContext
+from repro.fem.mesh import TensorMesh2D
+from repro.fem.nonlinear import NonlinearDiffusion
+
+
+@pytest.fixture(scope="module")
+def small_problem():
+    mesh = TensorMesh2D(4, 4, order=2)
+    return NonlinearDiffusion(mesh, k0=1.0, k1=1.0)
+
+
+def initial_bump(mesh):
+    gx, gy = mesh.node_coords()
+    return (np.sin(np.pi * gx) * np.sin(np.pi * gy)).ravel()
+
+
+class TestProblemSetup:
+    def test_k0_positive_required(self):
+        mesh = TensorMesh2D(2, 2, order=1)
+        with pytest.raises(ValueError):
+            NonlinearDiffusion(mesh, k0=0.0)
+
+    def test_coefficient_from_state_bounds(self, small_problem):
+        """k(u) = k0 + k1 u^2 must stay within [k0, k0 + k1 max(u)^2]."""
+        prob = small_problem
+        u = initial_bump(prob.mesh)
+        k = prob._coefficient_from_state(u)
+        assert k.min() >= prob.k0 - 1e-12
+        assert k.max() <= prob.k0 + prob.k1 * 1.0 + 1e-9
+
+    def test_rhs_zero_state_zero(self, small_problem):
+        r = small_problem.rhs_spatial(0.0, np.zeros(small_problem.interior.size))
+        np.testing.assert_allclose(r, 0.0, atol=1e-12)
+
+    def test_rhs_is_dissipative(self, small_problem):
+        """<u, F(u)> < 0 for nonzero u: diffusion removes energy."""
+        prob = small_problem
+        u = initial_bump(prob.mesh)[prob.interior]
+        assert float(u @ prob.rhs_spatial(0.0, u)) < 0
+
+    def test_source_term_enters_load(self):
+        mesh = TensorMesh2D(3, 3, order=2)
+        prob = NonlinearDiffusion(mesh, source=lambda x, y: 1.0 + 0 * x)
+        # load = integral(phi_i): sums to the interior part of the area
+        assert prob.load.sum() > 0
+
+
+class TestNewtonSolver:
+    def test_lin_solver_solves_newton_matrix(self, small_problem):
+        prob = small_problem
+        u = initial_bump(prob.mesh)[prob.interior]
+        gamma = 1e-3
+        solve = prob.make_lin_solver(gamma, 0.0, u)
+        rng = np.random.default_rng(0)
+        r = rng.random(u.size)
+        x = solve(r)
+        # verify (M + gamma K) x == r by applying the operator
+        full = np.zeros(prob.mesh.n_dofs)
+        full[prob.interior] = x
+        coeff = prob._coefficient_from_state(prob._full(u))
+        from repro.fem.operators import DiffusionOperator
+
+        frozen = DiffusionOperator(prob.mesh, coeff)
+        lhs = (
+            prob.mass.mult(full)[prob.interior]
+            + gamma * frozen.mult(full)[prob.interior]
+        )
+        np.testing.assert_allclose(lhs, r, atol=1e-6)
+
+    def test_pcg_iteration_counts_recorded(self, small_problem):
+        prob = small_problem
+        before = prob.solve_calls
+        solve = prob.make_lin_solver(1e-3, 0.0,
+                                     np.zeros(prob.interior.size))
+        solve(np.ones(prob.interior.size))
+        assert prob.solve_calls == before + 1
+        assert prob.pcg_iterations > 0
+
+
+class TestIntegration:
+    def test_decay_toward_zero(self):
+        """With zero source, the bump must decay monotonically."""
+        mesh = TensorMesh2D(4, 4, order=2)
+        prob = NonlinearDiffusion(mesh, k0=1.0, k1=0.5)
+        u0 = initial_bump(mesh)
+        times, states, integ = prob.integrate(u0, t_end=0.02, n_outputs=2)
+        n0 = np.linalg.norm(u0[prob.interior])
+        n1 = np.linalg.norm(states[0])
+        n2 = np.linalg.norm(states[1])
+        assert n1 < n0
+        assert n2 < n1
+        assert integ.stats.n_steps > 0
+
+    def test_linear_case_matches_heat_equation(self):
+        """k1=0 reduces to the heat equation; the lowest mode decays at
+        exp(-2 pi^2 k0 t)."""
+        mesh = TensorMesh2D(6, 6, order=3)
+        prob = NonlinearDiffusion(mesh, k0=1.0, k1=0.0)
+        u0 = initial_bump(mesh)
+        t_end = 0.01
+        _, states, _ = prob.integrate(u0, t_end=t_end, rtol=1e-7, atol=1e-10)
+        expected = np.exp(-2 * np.pi**2 * t_end)
+        # compare at the center node
+        center = np.abs(u0[prob.interior] - 1.0).argmin()
+        assert states[-1][center] == pytest.approx(expected, rel=1e-3)
+
+    def test_timers_cover_fig8_phases(self):
+        mesh = TensorMesh2D(3, 3, order=2)
+        prob = NonlinearDiffusion(mesh)
+        prob.integrate(initial_bump(mesh), t_end=0.005)
+        phases = prob.timers.as_dict()
+        for phase in ("formulation", "preconditioner", "solve"):
+            assert phases.get(phase, 0.0) > 0.0
+
+    def test_ctx_records_device_kernels(self):
+        ctx = ExecutionContext()
+        # large enough that the LOR AMG hierarchy has >1 level, so the
+        # V-cycle actually performs SpMVs
+        mesh = TensorMesh2D(5, 5, order=2)
+        prob = NonlinearDiffusion(mesh, ctx=ctx)
+        prob.integrate(initial_bump(mesh), t_end=0.002)
+        names = {k.name for k in ctx.trace.kernels}
+        assert "pa-diffusion" in names
+        assert "pa-mass" in names
+        assert any(n.startswith("spmv") for n in names)
+
+    def test_wrong_u0_length(self, small_problem):
+        with pytest.raises(ValueError):
+            small_problem.integrate(np.zeros(3), t_end=0.1)

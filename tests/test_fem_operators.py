@@ -1,0 +1,180 @@
+"""Tests for partial-assembly operators, assembly, and LOR."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.core.forall import ExecutionContext
+from repro.fem.lor import (
+    lor_diffusion_matrix,
+    lor_mass_matrix,
+    p1_mass_1d,
+    p1_stiffness_1d,
+    restrict_matrix,
+)
+from repro.fem.mesh import TensorMesh2D
+from repro.fem.operators import (
+    DiffusionOperator,
+    MassOperator,
+    assemble_diffusion,
+    assemble_mass,
+)
+from repro.solvers.krylov import pcg
+
+
+@pytest.mark.parametrize("order", [1, 2, 4])
+class TestPaMatchesAssembly:
+    """The MFEM correctness contract: the matrix-free action equals the
+    assembled operator to machine precision."""
+
+    def test_diffusion(self, order):
+        mesh = TensorMesh2D(3, 4, order=order, lx=1.5, ly=0.7)
+        op = DiffusionOperator(mesh, 1.0)
+        a = assemble_diffusion(mesh, 1.0)
+        u = np.random.default_rng(0).random(mesh.n_dofs)
+        np.testing.assert_allclose(op.mult(u), a @ u, atol=1e-11)
+
+    def test_mass(self, order):
+        mesh = TensorMesh2D(3, 3, order=order)
+        op = MassOperator(mesh, 3.0)
+        m = assemble_mass(mesh, 3.0)
+        u = np.random.default_rng(1).random(mesh.n_dofs)
+        np.testing.assert_allclose(op.mult(u), m @ u, atol=1e-12)
+
+    def test_variable_coefficient(self, order):
+        mesh = TensorMesh2D(3, 3, order=order)
+        coeff = lambda x, y: 1.0 + x + 2 * y * y
+        op = DiffusionOperator(mesh, coeff)
+        a = assemble_diffusion(mesh, coeff)
+        u = np.random.default_rng(2).random(mesh.n_dofs)
+        np.testing.assert_allclose(op.mult(u), a @ u, atol=1e-11)
+
+
+class TestOperatorProperties:
+    def test_diffusion_kills_constants(self):
+        """grad(const) = 0: K @ ones = 0 (before BC elimination)."""
+        mesh = TensorMesh2D(4, 4, order=3)
+        op = DiffusionOperator(mesh)
+        np.testing.assert_allclose(
+            op.mult(np.ones(mesh.n_dofs)), 0.0, atol=1e-10
+        )
+
+    def test_mass_integrates_domain(self):
+        """ones^T M ones = area of the domain."""
+        mesh = TensorMesh2D(3, 5, order=2, lx=2.0, ly=0.5)
+        op = MassOperator(mesh)
+        total = float(np.ones(mesh.n_dofs) @ op.mult(np.ones(mesh.n_dofs)))
+        assert total == pytest.approx(1.0, rel=1e-12)  # 2.0 * 0.5
+
+    def test_operators_symmetric(self):
+        mesh = TensorMesh2D(2, 2, order=3)
+        for op in (DiffusionOperator(mesh), MassOperator(mesh)):
+            rng = np.random.default_rng(3)
+            u, v = rng.random(mesh.n_dofs), rng.random(mesh.n_dofs)
+            assert float(v @ op.mult(u)) == pytest.approx(
+                float(u @ op.mult(v)), rel=1e-10
+            )
+
+    def test_diffusion_positive_semidefinite(self):
+        mesh = TensorMesh2D(2, 2, order=2)
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            u = rng.random(mesh.n_dofs)
+            assert float(u @ DiffusionOperator(mesh).mult(u)) >= -1e-10
+
+    def test_coefficient_array_form(self):
+        mesh = TensorMesh2D(2, 2, order=2)
+        nq = mesh.basis.n_quad
+        coeff = np.full((mesh.n_elements, nq, nq), 2.0)
+        op_arr = DiffusionOperator(mesh, coeff)
+        op_scalar = DiffusionOperator(mesh, 2.0)
+        u = np.random.default_rng(5).random(mesh.n_dofs)
+        np.testing.assert_allclose(op_arr.mult(u), op_scalar.mult(u))
+
+    def test_coefficient_array_wrong_shape(self):
+        mesh = TensorMesh2D(2, 2, order=2)
+        with pytest.raises(ValueError):
+            DiffusionOperator(mesh, np.ones((1, 2, 3)))
+
+    def test_kernel_recorded(self):
+        ctx = ExecutionContext()
+        mesh = TensorMesh2D(2, 2, order=2)
+        DiffusionOperator(mesh, ctx=ctx).mult(np.zeros(mesh.n_dofs))
+        assert len(ctx.trace.kernels) == 1
+        assert ctx.trace.kernels[0].name == "pa-diffusion"
+        assert ctx.trace.kernels[0].flops > 0
+
+    def test_lumped_mass_positive(self):
+        mesh = TensorMesh2D(3, 3, order=2)
+        lumped = MassOperator(mesh).lumped()
+        assert np.all(lumped > 0)
+        assert lumped.sum() == pytest.approx(1.0, rel=1e-12)
+
+
+class TestLinearSolveWithPa:
+    def test_poisson_manufactured_solution(self):
+        """-div(grad u) = 2 pi^2 sin(pi x) sin(pi y) on the unit square:
+        solve matrix-free with PCG and compare to the exact solution."""
+        mesh = TensorMesh2D(6, 6, order=3)
+        interior = mesh.interior_dofs()
+        kop = DiffusionOperator(mesh)
+        mop = MassOperator(mesh)
+        gx, gy = mesh.node_coords()
+        f = 2 * np.pi**2 * np.sin(np.pi * gx) * np.sin(np.pi * gy)
+        b = mop.mult(f.ravel())[interior]
+        x, info = pcg(kop.as_linear_operator(interior), b, tol=1e-12,
+                      max_iter=2000)
+        assert info.converged
+        exact = (np.sin(np.pi * gx) * np.sin(np.pi * gy)).ravel()[interior]
+        assert np.abs(x - exact).max() < 2e-4  # p=3 on 6x6: well resolved
+
+
+class TestLor:
+    def test_p1_stiffness_uniform(self):
+        k = p1_stiffness_1d(np.array([0.0, 0.5, 1.0])).toarray()
+        np.testing.assert_allclose(
+            k, [[2, -2, 0], [-2, 4, -2], [0, -2, 2]]
+        )
+
+    def test_p1_mass_rowsum_is_length(self):
+        coords = np.array([0.0, 0.3, 0.6, 1.0])
+        m = p1_mass_1d(coords)
+        assert m.sum() == pytest.approx(1.0)
+
+    def test_bad_coords(self):
+        with pytest.raises(ValueError):
+            p1_stiffness_1d(np.array([0.0, 0.0, 1.0]))
+        with pytest.raises(ValueError):
+            p1_mass_1d(np.array([1.0]))
+
+    def test_lor_equals_ho_for_p1(self):
+        """At order 1 the LOR operator IS the high-order operator."""
+        mesh = TensorMesh2D(4, 4, order=1)
+        a_ho = assemble_diffusion(mesh).toarray()
+        a_lor = lor_diffusion_matrix(mesh).toarray()
+        np.testing.assert_allclose(a_ho, a_lor, atol=1e-12)
+
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_spectral_equivalence(self, order):
+        """Generalized eigenvalues of (A_ho, A_lor) stay in a narrow
+        band for every order — the property that makes AMG on the LOR
+        matrix a good high-order preconditioner."""
+        mesh = TensorMesh2D(3, 3, order=order)
+        ii = mesh.interior_dofs()
+        a_ho = assemble_diffusion(mesh)[np.ix_(ii, ii)].toarray()
+        a_lor = restrict_matrix(lor_diffusion_matrix(mesh), ii).toarray()
+        ev = sla.eigvalsh(a_ho, a_lor)
+        assert ev.min() > 0.2
+        assert ev.max() < 5.0
+
+    def test_lor_mass_total(self):
+        mesh = TensorMesh2D(3, 3, order=3, lx=2.0)
+        m = lor_mass_matrix(mesh)
+        assert m.sum() == pytest.approx(2.0, rel=1e-12)
+
+    def test_bad_coefficient(self):
+        mesh = TensorMesh2D(2, 2, order=1)
+        with pytest.raises(ValueError):
+            lor_diffusion_matrix(mesh, coefficient=0.0)
+        with pytest.raises(ValueError):
+            lor_mass_matrix(mesh, coefficient=-1.0)

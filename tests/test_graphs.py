@@ -1,0 +1,180 @@
+"""Tests for the HavoqGT proxy: RMAT, BFS, Table 2 scaling model."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.core.machine import get_machine
+from repro.graphs.bfs import (
+    _ranges,
+    bfs_csr,
+    build_csr,
+    measured_teps,
+    validate_bfs,
+)
+from repro.graphs.rmat import GRAPH500_PARAMS, rmat_edges
+from repro.graphs.scaling import (
+    TABLE2,
+    graph_bytes,
+    max_scale,
+    modeled_gteps,
+    storage_tier,
+    table2_row,
+)
+
+
+class TestRmat:
+    def test_edge_count_and_range(self):
+        edges = rmat_edges(8, edge_factor=16, seed=0)
+        assert edges.shape == (16 * 256, 2)
+        assert edges.min() >= 0
+        assert edges.max() < 256
+
+    def test_skewed_degree_distribution(self):
+        """RMAT graphs must be heavy-tailed: the top 5% of vertices own
+        a disproportionate share of edges."""
+        edges = rmat_edges(12, seed=1)
+        counts = np.bincount(edges.ravel(), minlength=1 << 12)
+        counts = np.sort(counts)[::-1]
+        top5 = counts[: (1 << 12) // 20].sum()
+        assert top5 > 0.3 * counts.sum()
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            rmat_edges(6, seed=5), rmat_edges(6, seed=5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmat_edges(0)
+        with pytest.raises(ValueError):
+            rmat_edges(5, edge_factor=0)
+        with pytest.raises(ValueError):
+            rmat_edges(5, params=(0.5, 0.5, 0.5, 0.5))
+
+
+class TestRangesHelper:
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 6)),
+                    min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive(self, runs):
+        starts = np.array([r[0] for r in runs], dtype=np.int64)
+        counts = np.array([r[1] for r in runs], dtype=np.int64)
+        expect = np.concatenate(
+            [np.arange(s, s + c) for s, c in runs]
+        ) if counts.sum() else np.empty(0, dtype=np.int64)
+        np.testing.assert_array_equal(_ranges(starts, counts), expect)
+
+
+class TestBfs:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        edges = rmat_edges(9, seed=2)
+        return build_csr(edges, 1 << 9)
+
+    def test_bfs_validates(self, graph):
+        degrees = np.diff(graph.indptr)
+        src = int(degrees.argmax())
+        parents, levels, _ = bfs_csr(graph, src)
+        validate_bfs(graph, src, parents, levels)
+
+    def test_levels_match_networkx(self, graph):
+        import networkx as nx
+
+        src = int(np.diff(graph.indptr).argmax())
+        _, levels, _ = bfs_csr(graph, src)
+        g = nx.from_scipy_sparse_array(graph)
+        ref = nx.single_source_shortest_path_length(g, src)
+        for v, d in ref.items():
+            assert levels[v] == d
+        # unreached in one <=> unreached in the other
+        assert (levels >= 0).sum() == len(ref)
+
+    def test_path_graph_levels(self):
+        edges = np.array([[i, i + 1] for i in range(9)])
+        adj = build_csr(edges, 10)
+        parents, levels, _ = bfs_csr(adj, 0)
+        np.testing.assert_array_equal(levels, np.arange(10))
+
+    def test_disconnected_unreached(self):
+        edges = np.array([[0, 1], [2, 3]])
+        adj = build_csr(edges, 4)
+        _, levels, _ = bfs_csr(adj, 0)
+        assert levels[2] == -1 and levels[3] == -1
+
+    def test_self_loops_dropped(self):
+        edges = np.array([[0, 0], [0, 1]])
+        adj = build_csr(edges, 2)
+        assert adj[0, 0] == 0
+        assert adj[0, 1] == 1
+
+    def test_validation_catches_corruption(self, graph):
+        src = int(np.diff(graph.indptr).argmax())
+        parents, levels, _ = bfs_csr(graph, src)
+        bad_levels = levels.copy()
+        reached = np.flatnonzero(levels > 0)
+        bad_levels[reached[0]] += 5
+        with pytest.raises(AssertionError):
+            validate_bfs(graph, src, parents, bad_levels)
+
+    def test_measured_teps_positive(self, graph):
+        assert measured_teps(graph, n_sources=2) > 0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            build_csr(np.zeros((3, 3)), 4)
+        with pytest.raises(ValueError):
+            build_csr(np.array([[0, 9]]), 4)
+        adj = build_csr(np.array([[0, 1]]), 2)
+        with pytest.raises(ValueError):
+            bfs_csr(adj, 5)
+
+
+class TestScalingModel:
+    def test_graph_bytes_doubles_per_scale(self):
+        assert graph_bytes(20) == pytest.approx(2 * graph_bytes(19))
+
+    def test_storage_tiers(self):
+        sierra = get_machine("sierra")
+        # small graph: DRAM; huge: NVMe; absurd: infeasible
+        assert storage_tier(sierra, 1, 28) == "dram"
+        assert storage_tier(sierra, 1, 33) == "nvme"
+        with pytest.raises(ValueError):
+            storage_tier(sierra, 1, 40)
+
+    def test_nvme_extends_max_scale(self):
+        """The §4.4 lesson: NVMe lets nodes hold far larger graphs."""
+        sierra = get_machine("sierra")
+        bgq = get_machine("bgq")  # no NVMe
+        assert max_scale(sierra, 1) > max_scale(bgq, 1)
+
+    def test_table2_scales_feasible(self):
+        """Every Table 2 configuration must fit under the model."""
+        for name, (_, nodes, scale, _) in TABLE2.items():
+            storage_tier(get_machine(name), nodes, scale)  # must not raise
+
+    def test_table2_rows_within_35_percent(self):
+        for name in TABLE2:
+            row = table2_row(name)
+            assert 0.65 < row["ratio"] < 1.35, (name, row)
+
+    def test_final_system_wins_by_orders_of_magnitude(self):
+        kraken = table2_row("kraken")["modeled_gteps"]
+        final = table2_row("sierra")["modeled_gteps"]
+        assert final / kraken > 500
+
+    def test_gteps_grow_with_nodes_sublinearly(self):
+        sierra = get_machine("sierra")
+        g256 = modeled_gteps(sierra, 256, 38)
+        g1024 = modeled_gteps(sierra, 1024, 40)
+        assert g1024 > g256
+        assert g1024 < 4 * g256  # distributed penalty bites
+
+    def test_unknown_row(self):
+        with pytest.raises(KeyError):
+            table2_row("summit")
+
+    def test_node_bounds(self):
+        with pytest.raises(ValueError):
+            storage_tier(get_machine("kraken"), 2, 30)  # 1-node machine

@@ -1,0 +1,157 @@
+"""Tests for the LDA corpus, variational EM, and SparkPlug driver."""
+
+import numpy as np
+import pytest
+
+from repro.lda.corpus import make_corpus
+from repro.lda.sparkplug import SparkPlugLDA, compare_stacks
+from repro.lda.vem import (
+    LdaModel,
+    e_step,
+    fit,
+    m_step,
+    perplexity,
+    topic_recovery_score,
+)
+from repro.spark.engine import SparkEngine
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(n_docs=100, vocab_per_language=120, n_languages=2,
+                       n_topics=3, doc_length=50, seed=0)
+
+
+class TestCorpus:
+    def test_shapes(self, corpus):
+        assert corpus.vocab_size == 240
+        assert corpus.n_docs == 100
+        assert corpus.n_tokens == 100 * 50
+
+    def test_language_blocks_disjoint(self, corpus):
+        """Each document uses exactly one language's vocabulary block."""
+        for ids, _ in corpus.docs:
+            langs = set((ids // 120).tolist())
+            assert len(langs) == 1
+
+    def test_true_topics_language_local(self, corpus):
+        t = corpus.true_topics
+        for row in range(3):
+            assert t[row, 120:].sum() == 0.0  # language-0 topics
+        for row in range(3, 6):
+            assert t[row, :120].sum() == 0.0
+
+    def test_zipf_heavy_head(self, corpus):
+        counts = corpus.dense_matrix().sum(axis=0)
+        lang0 = counts[:120]
+        top10 = np.sort(lang0)[::-1][:10].sum()
+        assert top10 > 0.25 * lang0.sum()
+
+    def test_deterministic(self):
+        a = make_corpus(n_docs=5, seed=3)
+        b = make_corpus(n_docs=5, seed=3)
+        for (ia, ca), (ib, cb) in zip(a.docs, b.docs):
+            np.testing.assert_array_equal(ia, ib)
+            np.testing.assert_array_equal(ca, cb)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_corpus(n_docs=0)
+        with pytest.raises(ValueError):
+            make_corpus(zipf_exponent=0.0)
+
+
+class TestVem:
+    def test_bound_monotone(self, corpus):
+        _, history = fit(corpus, n_topics=6, n_iters=10, seed=1)
+        diffs = np.diff(history)
+        assert np.all(diffs > -1e-6 * np.abs(history[0]))
+
+    def test_recovers_planted_topics(self, corpus):
+        model, _ = fit(corpus, n_topics=6, n_iters=15, seed=1)
+        assert topic_recovery_score(model, corpus.true_topics) > 0.8
+
+    def test_perplexity_improves_with_training(self, corpus):
+        m0 = LdaModel.random_init(6, corpus.vocab_size, seed=2)
+        trained, _ = fit(corpus, n_topics=6, n_iters=10, seed=2)
+        assert perplexity(trained, corpus.docs) < perplexity(m0, corpus.docs)
+
+    def test_ss_totals_match_token_counts(self, corpus):
+        model = LdaModel.random_init(6, corpus.vocab_size, seed=0)
+        ss, gammas, _ = e_step(model, corpus.docs)
+        assert ss.sum() == pytest.approx(corpus.n_tokens, rel=1e-10)
+        assert gammas.shape == (corpus.n_docs, 6)
+        assert np.all(gammas > 0)
+
+    def test_m_step_normalizes(self, corpus):
+        model = LdaModel.random_init(4, corpus.vocab_size, seed=0)
+        ss = np.random.default_rng(0).random(model.beta.shape)
+        new = m_step(model, ss)
+        np.testing.assert_allclose(new.beta.sum(axis=1), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LdaModel(beta=np.ones((2, 3)))  # rows don't sum to 1
+        with pytest.raises(ValueError):
+            LdaModel.random_init(2, 10, alpha=-1.0)
+        model = LdaModel.random_init(2, 10)
+        with pytest.raises(ValueError):
+            m_step(model, np.zeros((3, 10)))
+
+
+class TestSparkPlug:
+    def test_distributed_matches_reference(self, corpus):
+        eng = SparkEngine(4)
+        lda = SparkPlugLDA(corpus, 6, eng, seed=1)
+        lda.iterate(3)
+        ref = LdaModel.random_init(6, corpus.vocab_size, seed=1)
+        for _ in range(3):
+            ss, _, _ = e_step(ref, corpus.docs)
+            ref = m_step(ref, ss)
+        np.testing.assert_allclose(lda.model.beta, ref.beta, atol=1e-12)
+
+    def test_partition_count_invariance(self, corpus):
+        models = []
+        for p in (2, 7):
+            eng = SparkEngine(p)
+            lda = SparkPlugLDA(corpus, 4, eng, seed=5)
+            lda.iterate(2)
+            models.append(lda.model.beta)
+        np.testing.assert_allclose(models[0], models[1], atol=1e-12)
+
+    def test_phases_populated(self, corpus):
+        eng = SparkEngine(8)
+        lda = SparkPlugLDA(corpus, 4, eng)
+        lda.iterate(1)
+        breakdown = lda.phase_breakdown()
+        for phase in ("compute", "shuffle", "aggregate"):
+            assert breakdown[phase] > 0
+
+    def test_bound_history_grows(self, corpus):
+        eng = SparkEngine(4)
+        lda = SparkPlugLDA(corpus, 4, eng, seed=2)
+        lda.iterate(5)
+        assert len(lda.bound_history) == 5
+        assert lda.bound_history[-1] > lda.bound_history[0]
+
+    def test_fig2_shape(self, corpus):
+        """Fig 2: optimized stack more than 2X faster overall, with
+        shuffle shrinking the most."""
+        res = compare_stacks(corpus, 4, n_workers=32, n_iters=2)
+        speedup = res["default"]["total"] / res["optimized"]["total"]
+        assert speedup > 2.0
+        shuffle_gain = res["default"]["shuffle"] / res["optimized"]["shuffle"]
+        compute_gain = res["default"]["compute"] / res["optimized"]["compute"]
+        assert shuffle_gain > compute_gain
+
+    def test_validation(self, corpus):
+        eng = SparkEngine(2)
+        with pytest.raises(ValueError):
+            SparkPlugLDA(corpus, 0, eng)
+        with pytest.raises(ValueError):
+            SparkPlugLDA(corpus, 2, eng, shuffle_algorithm="sort")
+        with pytest.raises(ValueError):
+            SparkPlugLDA(corpus, 2, eng, aggregate_algorithm="ring")
+        lda = SparkPlugLDA(corpus, 2, eng)
+        with pytest.raises(ValueError):
+            lda.iterate(-1)

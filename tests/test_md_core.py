@@ -1,0 +1,244 @@
+"""Tests for MD substrate: particles, boxes, neighbor lists, potentials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.md.neighbor import CellList, NeighborList
+from repro.md.particles import ParticleSystem, PeriodicBox
+from repro.md.potentials import Exp6, LennardJones, MartiniLJ, PairProcessor
+
+
+class TestPeriodicBox:
+    def test_volume(self):
+        assert PeriodicBox((2.0, 3.0, 4.0)).volume == 24.0
+
+    def test_wrap(self):
+        box = PeriodicBox((2.0, 2.0, 2.0))
+        x = np.array([[2.5, -0.5, 1.0]])
+        np.testing.assert_allclose(box.wrap(x), [[0.5, 1.5, 1.0]])
+
+    def test_minimum_image(self):
+        box = PeriodicBox((10.0, 10.0, 10.0))
+        dx = np.array([[9.0, -9.0, 4.0]])
+        np.testing.assert_allclose(box.minimum_image(dx), [[-1.0, 1.0, 4.0]])
+
+    @given(x=st.floats(-100, 100), l=st.floats(1.0, 50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_minimum_image_bound(self, x, l):
+        box = PeriodicBox((l, l, l))
+        mi = box.minimum_image(np.array([[x, 0.0, 0.0]]))
+        assert abs(mi[0, 0]) <= l / 2 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicBox((0.0, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            PeriodicBox((1.0, 1.0, 1.0)).scaled(-1.0)
+
+
+class TestParticleSystem:
+    def test_random_gas_separation(self):
+        box = PeriodicBox((8.0, 8.0, 8.0))
+        ps = ParticleSystem.random_gas(27, box, seed=0, min_separation=1.0)
+        ii, jj = np.triu_indices(27, k=1)
+        dx = box.minimum_image(ps.x[ii] - ps.x[jj])
+        assert np.sqrt((dx * dx).sum(axis=1)).min() > 0.8
+
+    def test_drift_removed(self):
+        ps = ParticleSystem.random_gas(50, PeriodicBox((5.0,) * 3), seed=1)
+        np.testing.assert_allclose(ps.momentum(), 0.0, atol=1e-12)
+
+    def test_temperature_matches_velocities(self):
+        box = PeriodicBox((5.0,) * 3)
+        rng = np.random.default_rng(0)
+        v = rng.normal(0, 1.0, (5000, 3))
+        ps = ParticleSystem(rng.random((5000, 3)) * 5, box, velocities=v)
+        assert ps.temperature() == pytest.approx(1.0, rel=0.05)
+
+    def test_validation(self):
+        box = PeriodicBox((5.0,) * 3)
+        with pytest.raises(ValueError):
+            ParticleSystem(np.zeros((0, 3)), box)
+        with pytest.raises(ValueError):
+            ParticleSystem(np.zeros((2, 2)), box)
+        with pytest.raises(ValueError):
+            ParticleSystem(np.zeros((2, 3)), box, masses=np.array([1.0, 0.0]))
+
+    def test_box_too_small_for_separation(self):
+        with pytest.raises(ValueError):
+            ParticleSystem.random_gas(
+                1000, PeriodicBox((2.0,) * 3), min_separation=1.0
+            )
+
+
+class TestNeighborList:
+    def test_matches_brute_force(self):
+        box = PeriodicBox((6.0,) * 3)
+        ps = ParticleSystem.random_gas(80, box, seed=2)
+        nl = NeighborList(cutoff=1.5, skin=0.3)
+        nl.build(ps)
+        ref_i, ref_j = nl.brute_force_reference(ps)
+        got = {tuple(sorted(p)) for p in zip(nl.pairs_i, nl.pairs_j)}
+        ref = {tuple(sorted(p)) for p in zip(ref_i, ref_j)}
+        assert got == ref
+
+    def test_half_list_no_duplicates(self):
+        box = PeriodicBox((5.0,) * 3)
+        ps = ParticleSystem.random_gas(60, box, seed=3)
+        nl = NeighborList(cutoff=1.2)
+        nl.build(ps)
+        pairs = list(zip(nl.pairs_i.tolist(), nl.pairs_j.tolist()))
+        canon = [tuple(sorted(p)) for p in pairs]
+        assert len(canon) == len(set(canon))
+        assert all(i != j for i, j in pairs)
+
+    def test_skin_reuse(self):
+        box = PeriodicBox((6.0,) * 3)
+        ps = ParticleSystem.random_gas(40, box, seed=4)
+        nl = NeighborList(cutoff=1.5, skin=0.6)
+        nl.update(ps)
+        ps.x += 0.01  # move far less than skin/2
+        nl.update(ps)
+        assert nl.builds == 1
+        assert nl.reuses == 1
+
+    def test_rebuild_on_large_move(self):
+        box = PeriodicBox((6.0,) * 3)
+        ps = ParticleSystem.random_gas(40, box, seed=5)
+        nl = NeighborList(cutoff=1.5, skin=0.2)
+        nl.update(ps)
+        ps.x[0] += 0.5
+        nl.update(ps)
+        assert nl.builds == 2
+
+    def test_small_box_single_cell(self):
+        """Cutoff comparable to the box: still correct (dense limit)."""
+        box = PeriodicBox((2.0,) * 3)
+        ps = ParticleSystem.random_gas(20, box, seed=6)
+        nl = NeighborList(cutoff=0.9, skin=0.1)
+        nl.build(ps)
+        ref_i, ref_j = nl.brute_force_reference(ps)
+        assert nl.n_pairs == ref_i.size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NeighborList(cutoff=0.0)
+        with pytest.raises(ValueError):
+            NeighborList(cutoff=1.0, skin=-0.1)
+        with pytest.raises(ValueError):
+            CellList(PeriodicBox((2.0,) * 3), 0.0)
+
+
+def numeric_force(pot, r, eps=1e-7):
+    e_p, _ = pot.energy_force(np.array([(r + eps) ** 2]))
+    e_m, _ = pot.energy_force(np.array([(r - eps) ** 2]))
+    return -(e_p[0] - e_m[0]) / (2 * eps)
+
+
+class TestPotentials:
+    @pytest.mark.parametrize("pot", [
+        LennardJones(), Exp6(), MartiniLJ(),
+    ])
+    def test_force_is_energy_gradient(self, pot):
+        for r in (0.9, 1.1, 1.5):
+            if r >= pot.cutoff:
+                continue
+            _, f_over_r = pot.energy_force(np.array([r * r]))
+            assert f_over_r[0] * r == pytest.approx(
+                numeric_force(pot, r), rel=1e-5
+            )
+
+    def test_lj_minimum_at_sigma_2_16(self):
+        lj = LennardJones(epsilon=1.0, sigma=1.0)
+        r_min = 2 ** (1 / 6)
+        _, f = lj.energy_force(np.array([r_min**2]))
+        assert abs(f[0]) < 1e-10
+        e, _ = lj.energy_force(np.array([r_min**2]))
+        assert e[0] == pytest.approx(-1.0)
+
+    def test_martini_vanishes_at_cutoff(self):
+        m = MartiniLJ()
+        rc2 = np.array([m.cutoff**2 * 0.999999])
+        e, f = m.energy_force(rc2)
+        assert abs(e[0]) < 1e-4
+        assert abs(f[0]) < 1e-3
+
+    def test_exp6_repulsive_wall(self):
+        p = Exp6()
+        e_close, _ = p.energy_force(np.array([0.36]))
+        e_far, _ = p.energy_force(np.array([4.0]))
+        assert e_close[0] > e_far[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LennardJones(epsilon=0.0)
+        with pytest.raises(ValueError):
+            Exp6(a=-1.0)
+        with pytest.raises(ValueError):
+            MartiniLJ(cutoff=0.3, sigma=0.47)
+
+
+class TestPairProcessor:
+    def make_dimer(self, r, box_l=10.0):
+        box = PeriodicBox((box_l,) * 3)
+        x = np.array([[1.0, 1.0, 1.0], [1.0 + r, 1.0, 1.0]])
+        return ParticleSystem(x, box)
+
+    def test_newton_third_law(self):
+        ps = self.make_dimer(1.1)
+        proc = PairProcessor(LennardJones())
+        f, e, w = proc.compute(ps, np.array([0]), np.array([1]))
+        np.testing.assert_allclose(f[0], -f[1])
+
+    def test_energy_matches_potential(self):
+        r = 1.3
+        ps = self.make_dimer(r)
+        lj = LennardJones()
+        proc = PairProcessor(lj)
+        _, e, _ = proc.compute(ps, np.array([0]), np.array([1]))
+        e_ref, _ = lj.energy_force(np.array([r * r]))
+        assert e == pytest.approx(float(e_ref[0]))
+
+    def test_cutoff_respected(self):
+        ps = self.make_dimer(3.0)
+        proc = PairProcessor(LennardJones(cutoff=2.5))
+        f, e, w = proc.compute(ps, np.array([0]), np.array([1]))
+        assert e == 0.0
+        np.testing.assert_array_equal(f, 0.0)
+
+    def test_virial_sign_repulsive(self):
+        """Compressed dimer: positive virial (outward pressure)."""
+        ps = self.make_dimer(0.9)
+        proc = PairProcessor(LennardJones())
+        _, _, w = proc.compute(ps, np.array([0]), np.array([1]))
+        assert w > 0
+
+    def test_type_table_dispatch(self):
+        box = PeriodicBox((10.0,) * 3)
+        x = np.array([[1, 1, 1], [2.0, 1, 1], [1, 2.0, 1]], dtype=float)
+        ps = ParticleSystem(x, box, types=np.array([0, 0, 1]))
+        strong = LennardJones(epsilon=2.0)
+        weak = LennardJones(epsilon=0.5)
+        proc = PairProcessor({(0, 0): strong, (0, 1): weak, (1, 1): weak})
+        pairs_i = np.array([0, 0, 1])
+        pairs_j = np.array([1, 2, 2])
+        _, e, _ = proc.compute(ps, pairs_i, pairs_j)
+        # compare against manual evaluation
+        e00, _ = strong.energy_force(np.array([1.0]))
+        e01, _ = weak.energy_force(np.array([1.0]))
+        e11, _ = weak.energy_force(np.array([2.0]))
+        assert e == pytest.approx(float(e00[0] + e01[0] + e11[0]))
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            PairProcessor({})
+
+    def test_minimum_image_forces(self):
+        """Particles near opposite faces interact through the boundary."""
+        box = PeriodicBox((5.0,) * 3)
+        x = np.array([[0.1, 2.5, 2.5], [4.9, 2.5, 2.5]])
+        ps = ParticleSystem(x, box)
+        proc = PairProcessor(LennardJones(cutoff=2.0))
+        f, e, _ = proc.compute(ps, np.array([0]), np.array([1]))
+        assert e != 0.0

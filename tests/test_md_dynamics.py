@@ -1,0 +1,327 @@
+"""Tests for MD dynamics: integrators, thermostats, constraints, the
+assembled ddcMD simulation and the GROMACS baseline comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.forall import ExecutionContext
+from repro.core.machine import get_machine
+from repro.md.bonded import AngleTerm, BondTerm
+from repro.md.ddcmd import DDCMD_KERNELS_PER_STEP, DdcMD, make_martini_membrane
+from repro.md.gromacs_baseline import (
+    GROMACS_KERNELS_PER_STEP,
+    GromacsBaseline,
+    modeled_step_times,
+)
+from repro.md.integrators import (
+    BerendsenBarostat,
+    LangevinThermostat,
+    ShakeConstraints,
+    VelocityVerlet,
+)
+from repro.md.particles import ParticleSystem, PeriodicBox
+from repro.md.potentials import LennardJones, PairProcessor
+
+
+def lj_gas(n=64, box_l=6.0, t=0.5, seed=1):
+    box = PeriodicBox((box_l,) * 3)
+    ps = ParticleSystem.random_gas(n, box, temperature=t, seed=seed,
+                                   min_separation=1.0)
+    return ps
+
+
+class TestBonded:
+    def test_bond_force_is_gradient(self):
+        box = PeriodicBox((10.0,) * 3)
+        ps = ParticleSystem(np.array([[1.0, 1, 1], [2.2, 1, 1]]), box)
+        bonds = BondTerm(np.array([0]), np.array([1]), k=10.0, r0=1.0)
+        f, e = bonds.compute(ps)
+        eps = 1e-7
+        ps.x[0, 0] += eps
+        _, ep = bonds.compute(ps)
+        ps.x[0, 0] -= 2 * eps
+        _, em = bonds.compute(ps)
+        assert f[0, 0] == pytest.approx(-(ep - em) / (2 * eps), rel=1e-5)
+
+    def test_bond_at_rest_length_no_force(self):
+        box = PeriodicBox((10.0,) * 3)
+        ps = ParticleSystem(np.array([[1.0, 1, 1], [2.0, 1, 1]]), box)
+        bonds = BondTerm(np.array([0]), np.array([1]), k=10.0, r0=1.0)
+        f, e = bonds.compute(ps)
+        assert e == pytest.approx(0.0)
+        np.testing.assert_allclose(f, 0.0, atol=1e-12)
+
+    def test_angle_straight_no_force_for_pi(self):
+        box = PeriodicBox((10.0,) * 3)
+        x = np.array([[1.0, 1, 1], [2.0, 1, 1], [3.0, 1, 1]])
+        ps = ParticleSystem(x, box)
+        ang = AngleTerm(np.array([0]), np.array([1]), np.array([2]),
+                        k=5.0, theta0=np.pi)
+        f, e = ang.compute(ps)
+        assert e == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(f, 0.0, atol=1e-10)
+
+    def test_angle_force_is_gradient(self):
+        box = PeriodicBox((10.0,) * 3)
+        x = np.array([[1.0, 1, 1], [2.0, 1, 1], [2.5, 1.9, 1]])
+        ps = ParticleSystem(x, box)
+        ang = AngleTerm(np.array([0]), np.array([1]), np.array([2]),
+                        k=5.0, theta0=2.0)
+        f, _ = ang.compute(ps)
+        eps = 1e-7
+        for p, d in ((0, 1), (2, 0)):
+            ps.x[p, d] += eps
+            _, ep = ang.compute(ps)
+            ps.x[p, d] -= 2 * eps
+            _, em = ang.compute(ps)
+            ps.x[p, d] += eps
+            assert f[p, d] == pytest.approx(-(ep - em) / (2 * eps), rel=1e-4)
+
+    def test_bonded_forces_sum_to_zero(self):
+        box = PeriodicBox((10.0,) * 3)
+        rng = np.random.default_rng(0)
+        ps = ParticleSystem(1 + rng.random((6, 3)) * 2, box)
+        bonds = BondTerm(np.array([0, 2]), np.array([1, 3]), k=3.0, r0=0.8)
+        ang = AngleTerm(np.array([0]), np.array([1]), np.array([2]),
+                        k=2.0, theta0=1.8)
+        fb, _ = bonds.compute(ps)
+        fa, _ = ang.compute(ps)
+        np.testing.assert_allclose(fb.sum(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(fa.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BondTerm(np.array([0]), np.array([0]), k=1.0, r0=1.0)
+        with pytest.raises(ValueError):
+            BondTerm(np.array([0]), np.array([1]), k=-1.0, r0=1.0)
+        with pytest.raises(ValueError):
+            AngleTerm(np.array([0]), np.array([1]), np.array([2, 3]),
+                      k=1.0, theta0=1.0)
+
+
+class TestNve:
+    def test_energy_conservation(self):
+        ps = lj_gas()
+        sim = DdcMD(ps, PairProcessor(LennardJones()), dt=0.002)
+        sim.step()
+        e0 = sim.total_energy()
+        sim.run(400)
+        drift = abs(sim.total_energy() - e0) / abs(e0)
+        assert drift < 0.02
+
+    def test_momentum_conservation(self):
+        ps = lj_gas(seed=7)
+        sim = DdcMD(ps, PairProcessor(LennardJones()), dt=0.002)
+        sim.run(200)
+        np.testing.assert_allclose(ps.momentum(), 0.0, atol=1e-10)
+
+    def test_smaller_dt_conserves_better(self):
+        drifts = []
+        for dt in (0.004, 0.001):
+            ps = lj_gas(seed=3)
+            sim = DdcMD(ps, PairProcessor(LennardJones()), dt=dt)
+            sim.step()
+            e0 = sim.total_energy()
+            sim.run(int(0.4 / dt))
+            drifts.append(abs(sim.total_energy() - e0) / abs(e0))
+        assert drifts[1] < drifts[0]
+
+
+class TestThermostatBarostat:
+    def test_langevin_reaches_target_temperature(self):
+        ps = lj_gas(n=125, box_l=8.0, t=0.1, seed=2)
+        therm = LangevinThermostat(temperature=0.8, friction=5.0, seed=0)
+        sim = DdcMD(ps, PairProcessor(LennardJones()), dt=0.002,
+                    thermostat=therm)
+        sim.run(1500)
+        temps = []
+        for _ in range(500):
+            sim.step()
+            temps.append(ps.temperature())
+        assert np.mean(temps) == pytest.approx(0.8, rel=0.2)
+
+    def test_langevin_zero_temperature_damps(self):
+        ps = lj_gas(t=1.0, seed=4)
+        therm = LangevinThermostat(temperature=0.0, friction=10.0)
+        ke0 = ps.kinetic_energy()
+        for _ in range(100):
+            therm.apply(ps, 0.01)
+        assert ps.kinetic_energy() < 0.01 * ke0
+
+    def test_berendsen_moves_pressure_toward_target(self):
+        ps = lj_gas(n=125, box_l=6.5, t=0.5, seed=5)
+        baro = BerendsenBarostat(pressure=0.1, tau=5.0)
+        proc = PairProcessor(LennardJones())
+        sim = DdcMD(ps, proc, dt=0.002, barostat=baro,
+                    thermostat=LangevinThermostat(0.5, 2.0, seed=1))
+        sim.run(50)
+        p_start = baro.measure_pressure(ps, sim.virial)
+        sim.run(800)
+        p_end = baro.measure_pressure(ps, sim.virial)
+        assert abs(p_end - 0.1) < abs(p_start - 0.1) + 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LangevinThermostat(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            LangevinThermostat(1.0, 0.0)
+        with pytest.raises(ValueError):
+            BerendsenBarostat(1.0, tau=0.0)
+        with pytest.raises(ValueError):
+            VelocityVerlet(lambda s: None, dt=0.0)
+
+
+class TestShake:
+    def test_constraints_enforced(self):
+        box = PeriodicBox((10.0,) * 3)
+        rng = np.random.default_rng(0)
+        x = np.array([[1.0, 1, 1], [2.1, 1, 1], [3.3, 1, 1]])
+        ps = ParticleSystem(x, box)
+        shake = ShakeConstraints(
+            np.array([0, 1]), np.array([1, 2]), np.array([1.0, 1.0])
+        )
+        ps.x += 0.05 * rng.random((3, 3))
+        shake.apply(ps)
+        assert shake.max_violation(ps) < 1e-4
+
+    def test_already_satisfied_zero_iterations(self):
+        box = PeriodicBox((10.0,) * 3)
+        ps = ParticleSystem(np.array([[1.0, 1, 1], [2.0, 1, 1]]), box)
+        shake = ShakeConstraints(np.array([0]), np.array([1]),
+                                 np.array([1.0]))
+        assert shake.apply(ps) == 0
+
+    def test_heavier_particle_moves_less(self):
+        box = PeriodicBox((10.0,) * 3)
+        ps = ParticleSystem(
+            np.array([[1.0, 1, 1], [2.2, 1, 1]]), box,
+            masses=np.array([10.0, 1.0]),
+        )
+        x_before = ps.x.copy()
+        shake = ShakeConstraints(np.array([0]), np.array([1]),
+                                 np.array([1.0]))
+        shake.apply(ps)
+        move0 = np.abs(ps.x[0] - x_before[0]).max()
+        move1 = np.abs(ps.x[1] - x_before[1]).max()
+        assert move0 < move1
+
+    def test_md_with_constraints_keeps_lengths(self):
+        box = PeriodicBox((8.0,) * 3)
+        ps = ParticleSystem.random_gas(16, box, temperature=0.3, seed=6,
+                                       min_separation=1.5)
+        pairs = np.arange(16).reshape(8, 2)
+        # put bonded partners adjacent
+        ps.x[pairs[:, 1]] = box.wrap(ps.x[pairs[:, 0]] + [0.9, 0, 0])
+        shake = ShakeConstraints(pairs[:, 0], pairs[:, 1],
+                                 np.full(8, 0.9), tol=1e-10)
+        sim = DdcMD(ps, PairProcessor(LennardJones(cutoff=2.0)), dt=0.002,
+                    constraints=shake)
+        sim.run(100)
+        assert shake.max_violation(ps) < 1e-4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShakeConstraints(np.array([0]), np.array([1]),
+                             np.array([0.0]))
+        with pytest.raises(ValueError):
+            ShakeConstraints(np.array([0]), np.array([1, 2]),
+                             np.array([1.0]))
+
+
+class TestMembrane:
+    def test_membrane_stays_bounded(self):
+        system, proc, bonds, angles = make_martini_membrane(9, 32, seed=0)
+        sim = DdcMD(system, proc, dt=0.002, bonds=bonds, angles=angles,
+                    thermostat=LangevinThermostat(1.0, 5.0, seed=1))
+        sim.run(400)
+        assert np.isfinite(system.x).all()
+        assert system.temperature() < 5.0
+
+    def test_bilayer_structure_persists(self):
+        """Heads stay outside tails along z after equilibration."""
+        system, proc, bonds, angles = make_martini_membrane(9, 32, seed=2)
+        z_mid = system.box.lengths[2] / 2
+        sim = DdcMD(system, proc, dt=0.002, bonds=bonds, angles=angles,
+                    thermostat=LangevinThermostat(0.5, 5.0, seed=3))
+        sim.run(300)
+        z = system.x[:, 2]
+        heads = np.abs(z[system.types == 0] - z_mid)
+        tails = np.abs(z[system.types == 1] - z_mid)
+        assert np.median(heads) > np.median(tails)
+
+    def test_composition(self):
+        system, _, bonds, angles = make_martini_membrane(4, 10)
+        # 4 lipids/leaflet * 2 leaflets * 3 beads + 10 water
+        assert system.n == 34
+        assert bonds.n_bonds == 16
+        assert angles.n_angles == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_martini_membrane(0)
+
+
+class TestDdcmdVsGromacs:
+    def test_kernel_counts(self):
+        assert DDCMD_KERNELS_PER_STEP == 46
+        assert GROMACS_KERNELS_PER_STEP == 8
+        ctx = ExecutionContext()
+        ps = lj_gas(n=27, box_l=5.0)
+        sim = DdcMD(ps, PairProcessor(LennardJones()), dt=0.002, ctx=ctx)
+        sim.run(2)
+        assert ctx.trace.total_launches == 2 * DDCMD_KERNELS_PER_STEP
+
+    def test_fp32_baseline_runs_same_physics(self):
+        system, proc, bonds, angles = make_martini_membrane(4, 10, seed=1)
+        sim = GromacsBaseline(system, proc, dt=0.002, bonds=bonds,
+                              angles=angles)
+        sim.run(50)
+        assert system.x.dtype == np.float32
+        assert np.isfinite(system.x).all()
+
+    def test_fp64_conserves_energy_better_than_fp32(self):
+        def drift(cls):
+            box = PeriodicBox((6.0,) * 3)
+            ps = ParticleSystem.random_gas(64, box, temperature=0.5,
+                                           seed=11, min_separation=1.0)
+            sim = cls(ps, PairProcessor(LennardJones()), dt=0.002)
+            sim.step()
+            e0 = sim.total_energy()
+            sim.run(300)
+            return abs(sim.total_energy() - e0) / abs(e0)
+
+        assert drift(DdcMD) <= drift(GromacsBaseline) * 1.5
+
+    def test_modeled_step_times_paper_shape(self):
+        """§4.6's comparison: ddcMD wins at 1 GPU (2.31 vs 2.88 ms),
+        still wins at 4 GPUs, wins bigger inside MuMMI."""
+        sierra = get_machine("sierra")
+        r1 = modeled_step_times(sierra, gpus=1, cpu_sockets_for_md=1.0)
+        assert r1["speedup"] > 1.1
+        assert 1.5e-3 < r1["ddcmd"] < 3.5e-3   # ~2.31 ms
+        assert 2.0e-3 < r1["gromacs"] < 4.0e-3  # ~2.88 ms
+        r4 = modeled_step_times(sierra, gpus=4, cpu_sockets_for_md=2.0)
+        assert r4["speedup"] > 1.1
+        rm = modeled_step_times(sierra, gpus=4, cpu_sockets_for_md=2.0,
+                                cpu_available_fraction=0.65)
+        assert rm["speedup"] > r4["speedup"]
+        assert 1.8 < rm["speedup"] < 3.5
+
+    def test_mummi_penalty_mechanism(self):
+        """GROMACS's MuMMI penalty exists because it is CPU-bound once
+        the macro model takes cores; ddcMD is unaffected."""
+        sierra = get_machine("sierra")
+        rm = modeled_step_times(sierra, gpus=4, cpu_sockets_for_md=2.0,
+                                cpu_available_fraction=0.5)
+        full = modeled_step_times(sierra, gpus=4, cpu_sockets_for_md=2.0)
+        assert rm["gromacs_cpu_bound"]
+        assert rm["ddcmd"] == full["ddcmd"]
+
+    def test_model_validation(self):
+        sierra = get_machine("sierra")
+        with pytest.raises(ValueError):
+            modeled_step_times(get_machine("cori-ii"))
+        with pytest.raises(ValueError):
+            modeled_step_times(sierra, gpus=0)
+        with pytest.raises(ValueError):
+            modeled_step_times(sierra, cpu_available_fraction=0.0)

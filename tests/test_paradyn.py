@@ -1,0 +1,247 @@
+"""Tests for the ParaDyn loop-IR, passes, and Fig 6 shape."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import get_machine
+from repro.paradyn.counters import count_memory_ops, modeled_time, report
+from repro.paradyn.ir import (
+    Assign,
+    Loop,
+    Program,
+    bin_op,
+    const,
+    expr_refs,
+    ref,
+    unary,
+)
+from repro.paradyn.kernels import paradyn_kernel
+from repro.paradyn.passes import (
+    dead_store_elimination,
+    merge_loops,
+    slnsp,
+)
+
+
+def tiny_program(n=8):
+    return Program(
+        n=n,
+        array_kinds={"x": "input", "t": "temp", "y": "output"},
+        loops=[
+            Loop("square", (Assign("t", bin_op("*", ref("x"), ref("x"))),)),
+            Loop("shift", (Assign("y", bin_op("+", ref("t"), const(1.0))),)),
+        ],
+    )
+
+
+class TestIr:
+    def test_run_computes(self):
+        prog = tiny_program()
+        out = prog.run({"x": np.arange(8.0)})
+        np.testing.assert_allclose(out["y"], np.arange(8.0) ** 2 + 1)
+
+    def test_expr_refs(self):
+        e = bin_op("*", ref("a"), bin_op("+", ref("b"), unary("sqrt", ref("a"))))
+        assert expr_refs(e) == ["a", "b", "a"]
+
+    def test_unary_ops(self):
+        prog = Program(
+            n=4,
+            array_kinds={"x": "input", "y": "output"},
+            loops=[Loop("l", (Assign("y", unary("sqrt", ref("x"))),))],
+        )
+        out = prog.run({"x": np.array([1.0, 4.0, 9.0, 16.0])})
+        np.testing.assert_allclose(out["y"], [1, 2, 3, 4])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bin_op("%", ref("a"), ref("b"))
+        with pytest.raises(ValueError):
+            unary("tanh", ref("a"))
+        with pytest.raises(ValueError):
+            Loop("empty", ())
+        with pytest.raises(ValueError):
+            Program(n=0, array_kinds={}, loops=[])
+        with pytest.raises(ValueError):
+            Program(
+                n=4, array_kinds={"x": "input"},
+                loops=[Loop("l", (Assign("x", const(1.0)),))],
+            )
+        with pytest.raises(ValueError):
+            Program(
+                n=4, array_kinds={},
+                loops=[Loop("l", (Assign("y", const(1.0)),))],
+            )
+
+    def test_missing_input(self):
+        with pytest.raises(KeyError):
+            tiny_program().run({})
+
+    def test_wrong_input_shape(self):
+        with pytest.raises(ValueError):
+            tiny_program(8).run({"x": np.zeros(4)})
+
+
+class TestPasses:
+    @pytest.fixture
+    def prog(self):
+        return paradyn_kernel(n=64)
+
+    @pytest.fixture
+    def inputs(self, prog):
+        rng = np.random.default_rng(0)
+        return {
+            name: rng.random(prog.n)
+            for name, kind in prog.array_kinds.items()
+            if kind == "input"
+        }
+
+    def _outputs_equal(self, a, b):
+        assert a.keys() == b.keys()
+        for k in a:
+            np.testing.assert_array_equal(a[k], b[k])
+
+    def test_merge_preserves_results(self, prog, inputs):
+        self._outputs_equal(prog.run(inputs), merge_loops(prog).run(inputs))
+
+    def test_merge_group_size(self, prog):
+        merged = merge_loops(prog, group_size=3)
+        assert merged.n_loops == 4
+        assert merged.n_statements == prog.n_statements
+
+    def test_slnsp_preserves_results_and_structure(self, prog, inputs):
+        s = slnsp(prog)
+        self._outputs_equal(prog.run(inputs), s.run(inputs))
+        assert s.n_loops == prog.n_loops  # no explicit fusion
+
+    def test_dse_preserves_outputs(self, prog, inputs):
+        d = dead_store_elimination(prog)
+        self._outputs_equal(prog.run(inputs), d.run(inputs))
+
+    def test_dse_removes_debug_stores(self, prog):
+        d = dead_store_elimination(prog)
+        assert d.n_statements == prog.n_statements - 3
+        remaining_targets = {
+            s.target for l in d.loops for s in l.body
+        }
+        assert not {"dbg1", "dbg2", "dbg3"} & remaining_targets
+
+    def test_dse_keeps_temp_read_later(self):
+        prog = tiny_program()
+        d = dead_store_elimination(prog)
+        assert d.n_statements == prog.n_statements  # t is read by y
+
+    def test_dse_removes_overwritten_store(self):
+        prog = Program(
+            n=4,
+            array_kinds={"x": "input", "t": "temp", "y": "output"},
+            loops=[
+                Loop("first", (Assign("t", ref("x")),)),
+                Loop("second", (Assign("t", bin_op("*", ref("x"), ref("x"))),)),
+                Loop("out", (Assign("y", ref("t")),)),
+            ],
+        )
+        d = dead_store_elimination(prog)
+        assert d.n_statements == 2
+
+    def test_dse_never_removes_output_stores(self):
+        prog = Program(
+            n=4,
+            array_kinds={"x": "input", "y": "output"},
+            loops=[Loop("l", (Assign("y", ref("x")),))],
+        )
+        assert dead_store_elimination(prog).n_statements == 1
+
+    def test_merge_validation(self, prog):
+        with pytest.raises(ValueError):
+            merge_loops(prog, group_size=-1)
+
+
+class TestCounters:
+    def test_baseline_counts(self):
+        prog = tiny_program()
+        ops = count_memory_ops(prog)
+        # loop1: load x (x*x reuses the register), store t
+        # loop2: load t (cold again), store y
+        assert ops.loads == 2
+        assert ops.stores == 2
+
+    def test_slnsp_removes_cross_loop_reload(self):
+        prog = tiny_program()
+        ops = count_memory_ops(slnsp(prog))
+        assert ops.loads == 1  # only x; t stays in registers
+        assert ops.stores == 2
+
+    def test_register_reuse_within_loop(self):
+        prog = Program(
+            n=4,
+            array_kinds={"x": "input", "y": "output", "z": "output"},
+            loops=[Loop("l", (
+                Assign("y", bin_op("*", ref("x"), ref("x"))),
+                Assign("z", bin_op("+", ref("x"), ref("y"))),
+            ))],
+        )
+        ops = count_memory_ops(prog)
+        assert ops.loads == 1  # x loaded once; y from registers
+        assert ops.stores == 2
+
+    def test_modeled_time_needs_gpu(self):
+        with pytest.raises(ValueError):
+            modeled_time(get_machine("cori-ii"), tiny_program())
+        with pytest.raises(ValueError):
+            modeled_time(get_machine("sierra"), tiny_program(),
+                         bandwidth_efficiency=0.0)
+
+    def test_report_fields(self):
+        r = report(paradyn_kernel(16), "base")
+        assert r["loops"] == 11
+        assert r["loads_per_iter"] > 0
+
+
+class TestFig6Shape:
+    """The paper's measured result: 'SLNSP improves performance by
+    almost 2X, which roughly matches the reduction in the number of
+    load operations.  Dead store elimination improves performance by
+    an additional 20%.'"""
+
+    def setup_method(self):
+        self.machine = get_machine("sierra")
+        # production-like trip count: launch overhead stays secondary
+        # (the modeled-time calls below never execute the program)
+        self.base = paradyn_kernel(n=5_000_000)
+        self.with_slnsp = slnsp(self.base)
+        self.with_dse = dead_store_elimination(self.with_slnsp)
+
+    def test_slnsp_near_2x(self):
+        t0 = modeled_time(self.machine, self.base)
+        t1 = modeled_time(self.machine, self.with_slnsp)
+        assert 1.6 < t0 / t1 < 2.4
+
+    def test_dse_additional_20_percent(self):
+        t1 = modeled_time(self.machine, self.with_slnsp)
+        t2 = modeled_time(self.machine, self.with_dse)
+        assert 1.1 < t1 / t2 < 1.35
+
+    def test_speedup_matches_memory_op_reduction(self):
+        ops0 = count_memory_ops(self.base)
+        ops1 = count_memory_ops(self.with_slnsp)
+        t0 = modeled_time(self.machine, self.base)
+        t1 = modeled_time(self.machine, self.with_slnsp)
+        assert t0 / t1 == pytest.approx(ops0.total / ops1.total, rel=0.1)
+
+    def test_all_variants_same_outputs(self):
+        rng = np.random.default_rng(1)
+        small = paradyn_kernel(n=32)
+        inputs = {
+            k: rng.random(32)
+            for k, v in small.array_kinds.items() if v == "input"
+        }
+        ref_out = small.run(inputs)
+        for variant in (
+            slnsp(small),
+            dead_store_elimination(slnsp(small)),
+            merge_loops(small),
+        ):
+            out = variant.run(inputs)
+            for k in ref_out:
+                np.testing.assert_array_equal(out[k], ref_out[k])

@@ -1,0 +1,148 @@
+"""Tests for the job-scheduler simulator (§4.7)."""
+
+import numpy as np
+import pytest
+
+from repro.sched.policies import Fcfs, Sjf, SjfWithQuota
+from repro.sched.simulator import ClusterSimulator, Job
+from repro.sched.workloads import (
+    batch_workload,
+    offered_load,
+    poisson_workload,
+)
+
+
+class TestJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job(0, arrival=-1.0, service=1.0)
+        with pytest.raises(ValueError):
+            Job(0, arrival=0.0, service=0.0)
+
+
+class TestSimulatorConservation:
+    """Event-simulator invariants: no job lost, capacity respected."""
+
+    def test_all_jobs_complete(self):
+        jobs = batch_workload(n_jobs=50, seed=0)
+        result = ClusterSimulator(4).run(jobs, Fcfs())
+        assert result.completed == 50
+
+    def test_single_gpu_serializes(self):
+        jobs = [Job(k, 0.0, 2.0) for k in range(5)]
+        result = ClusterSimulator(1).run(jobs, Fcfs())
+        assert result.makespan == pytest.approx(10.0)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_capacity_never_exceeded(self):
+        """Makespan can never beat total work / capacity."""
+        jobs = batch_workload(n_jobs=100, seed=1)
+        n_gpus = 8
+        result = ClusterSimulator(n_gpus).run(jobs, Sjf())
+        total = sum(j.service for j in jobs)
+        assert result.makespan >= total / n_gpus - 1e-9
+        assert result.utilization <= 1.0
+
+    def test_parallel_speedup(self):
+        jobs = batch_workload(n_jobs=64, seed=2)
+        slow = ClusterSimulator(2).run(jobs, Fcfs()).makespan
+        fast = ClusterSimulator(16).run(jobs, Fcfs()).makespan
+        assert fast < slow
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(2).run([], Fcfs())
+        with pytest.raises(ValueError):
+            ClusterSimulator(0)
+
+    def test_waits_nonnegative(self):
+        jobs = poisson_workload(n_jobs=80, arrival_rate=2.0, seed=3)
+        result = ClusterSimulator(4).run(jobs, Fcfs())
+        assert result.mean_wait >= 0
+        assert result.max_wait >= result.mean_wait
+
+
+class TestPolicies:
+    def test_fcfs_order(self):
+        jobs = [Job(0, 0.0, 10.0), Job(1, 1.0, 1.0), Job(2, 2.0, 1.0)]
+        result = ClusterSimulator(1).run(jobs, Fcfs())
+        # job 0 runs first, jobs 1,2 wait behind it
+        assert result.max_wait == pytest.approx(9.0)
+
+    def test_sjf_minimizes_mean_wait_on_batch(self):
+        jobs = batch_workload(n_jobs=200, seed=4)
+        sim = ClusterSimulator(8)
+        w_fcfs = sim.run(jobs, Fcfs()).mean_wait
+        w_sjf = sim.run(jobs, Sjf()).mean_wait
+        assert w_sjf < w_fcfs
+
+    def test_quota_restores_utilization(self):
+        """§4.7's conclusion for batch arrivals: plain SJF defers the
+        long tail (poor drain-out utilization); SJF with quota starts
+        long jobs early and beats both."""
+        jobs = batch_workload(n_jobs=300, long_fraction=0.1, seed=0)
+        sim = ClusterSimulator(16)
+        u = {
+            "fcfs": sim.run(jobs, Fcfs()).utilization,
+            "sjf": sim.run(jobs, Sjf()).utilization,
+            "quota": sim.run(jobs, SjfWithQuota(16, 0.25)).utilization,
+        }
+        assert u["quota"] > u["sjf"]
+        assert u["quota"] >= u["fcfs"] - 0.01
+
+    def test_quota_bounds_long_job_wait(self):
+        jobs = batch_workload(n_jobs=300, long_fraction=0.1, seed=0)
+        sim = ClusterSimulator(16)
+        m_sjf = sim.run(jobs, Sjf()).makespan
+        m_quota = sim.run(jobs, SjfWithQuota(16, 0.25)).makespan
+        assert m_quota < m_sjf
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            SjfWithQuota(4, long_quota=1.5)
+        with pytest.raises(ValueError):
+            SjfWithQuota(0)
+
+
+class TestThrottling:
+    """§4.7: 'job arrival rate should be throttled to less than the
+    aggregated processing capacity of the GPUs.'"""
+
+    def test_overload_grows_queue(self):
+        n_gpus = 16
+        mean_service = 10.0
+        sim = ClusterSimulator(n_gpus)
+        # overloaded: rate * service / gpus ~ 1.7
+        over = poisson_workload(n_jobs=400, arrival_rate=2.7,
+                                mean_service=mean_service, seed=1)
+        # throttled: ~0.7 (the long-job tail inflates effective service)
+        throttled = poisson_workload(n_jobs=400, arrival_rate=0.85,
+                                     mean_service=mean_service, seed=1)
+        r_over = sim.run(over, Fcfs())
+        r_thr = sim.run(throttled, Fcfs())
+        assert offered_load(over, n_gpus) > 1.2
+        assert offered_load(throttled, n_gpus) < 1.0
+        assert r_over.peak_queue > 3 * r_thr.peak_queue
+        assert r_over.mean_wait > 3 * r_thr.mean_wait
+
+    def test_queue_series_recorded(self):
+        jobs = poisson_workload(n_jobs=50, arrival_rate=1.0, seed=2)
+        result = ClusterSimulator(4).run(jobs, Fcfs())
+        assert len(result.queue_series) > 0
+        times = [t for t, _ in result.queue_series]
+        assert times == sorted(times)
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            batch_workload(n_jobs=0)
+        with pytest.raises(ValueError):
+            poisson_workload(arrival_rate=0.0)
+        with pytest.raises(ValueError):
+            poisson_workload(mean_service=-1.0)
+
+    def test_workloads_deterministic(self):
+        a = poisson_workload(n_jobs=10, seed=9)
+        b = poisson_workload(n_jobs=10, seed=9)
+        assert [(j.arrival, j.service) for j in a] == [
+            (j.arrival, j.service) for j in b
+        ]

@@ -1,0 +1,288 @@
+"""Tests for coarsening, interpolation, and the BoomerAMG proxy."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.core.forall import ExecutionContext
+from repro.solvers.boomeramg import BoomerAMG
+from repro.solvers.coarsen import (
+    C_POINT,
+    F_POINT,
+    coarse_fine_counts,
+    pmis_coarsen,
+    rs_coarsen,
+    strength_graph,
+)
+from repro.solvers.csr import CsrMatrix
+from repro.solvers.interp import direct_interpolation, interpolation_quality
+from repro.solvers.krylov import pcg
+from repro.solvers.problems import anisotropic_2d, poisson_2d, poisson_3d
+
+
+class TestStrengthGraph:
+    def test_poisson_all_neighbors_strong(self):
+        a = poisson_2d(5)
+        s = strength_graph(a, theta=0.25)
+        # 5-point Laplacian: every off-diagonal is equally strong
+        offdiag_nnz = a.nnz - a.shape[0]
+        assert s.nnz == offdiag_nnz
+
+    def test_anisotropy_drops_weak_direction(self):
+        a = anisotropic_2d(8, epsilon=0.01)
+        s = strength_graph(a, theta=0.25)
+        # weak (epsilon) couplings must be filtered out
+        assert s.nnz < (a.nnz - a.shape[0])
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            strength_graph(poisson_2d(3), theta=0.0)
+        with pytest.raises(ValueError):
+            strength_graph(poisson_2d(3), theta=1.5)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            strength_graph(np.ones((2, 3)))
+
+    def test_positive_offdiagonals_not_strong(self):
+        a = np.array([[2.0, 1.0], [1.0, 2.0]])  # positive coupling
+        s = strength_graph(a)
+        assert s.nnz == 0
+
+
+class TestCoarsening:
+    @pytest.mark.parametrize("coarsen", [rs_coarsen, pmis_coarsen])
+    def test_labels_are_binary(self, coarsen):
+        s = strength_graph(poisson_2d(10))
+        labels = coarsen(s)
+        assert set(np.unique(labels)) <= {C_POINT, F_POINT}
+
+    @pytest.mark.parametrize("coarsen", [rs_coarsen, pmis_coarsen])
+    def test_reasonable_coarsening_ratio(self, coarsen):
+        s = strength_graph(poisson_2d(16))
+        n_c, n_f = coarse_fine_counts(coarsen(s))
+        frac = n_c / (n_c + n_f)
+        assert 0.15 < frac < 0.75  # 2D Poisson coarsens to ~1/4..1/2
+
+    def test_rs_every_f_has_strong_c_neighbor(self):
+        a = poisson_2d(12)
+        s = strength_graph(a)
+        labels = rs_coarsen(s)
+        s_csr = sp.csr_matrix(s)
+        for i in np.flatnonzero(labels == F_POINT):
+            nbrs = s_csr.indices[s_csr.indptr[i]:s_csr.indptr[i + 1]]
+            assert any(labels[j] == C_POINT for j in nbrs), f"F point {i} isolated"
+
+    def test_pmis_c_points_independent(self):
+        """No two C points may be strong neighbors (MIS property)."""
+        a = poisson_2d(12)
+        s = strength_graph(a)
+        labels = pmis_coarsen(s)
+        sym = sp.csr_matrix(((s + s.T) > 0).astype(float))
+        c_set = labels == C_POINT
+        coo = sym.tocoo()
+        both_c = c_set[coo.row] & c_set[coo.col]
+        assert not both_c.any()
+
+    @pytest.mark.parametrize("coarsen", [rs_coarsen, pmis_coarsen])
+    def test_deterministic_given_seed(self, coarsen):
+        s = strength_graph(poisson_2d(9))
+        np.testing.assert_array_equal(coarsen(s, seed=4), coarsen(s, seed=4))
+
+    def test_isolated_points_become_f(self):
+        a = sp.identity(5, format="csr")
+        s = strength_graph(a)
+        for coarsen in (rs_coarsen, pmis_coarsen):
+            labels = coarsen(s)
+            assert (labels == F_POINT).all()
+
+
+class TestInterpolation:
+    def test_shapes(self):
+        a = poisson_2d(8)
+        s = strength_graph(a)
+        labels = rs_coarsen(s)
+        p = direct_interpolation(a, s, labels)
+        n_c, _ = coarse_fine_counts(labels)
+        assert p.shape == (64, n_c)
+
+    def test_c_points_inject(self):
+        a = poisson_2d(8)
+        s = strength_graph(a)
+        labels = rs_coarsen(s)
+        p = direct_interpolation(a, s, labels)
+        c_rows = np.flatnonzero(labels == C_POINT)
+        sub = p[c_rows]
+        assert (sub.getnnz(axis=1) == 1).all()
+        assert np.allclose(sub.data, 1.0)
+
+    def test_preserves_constants(self):
+        """Direct interpolation on an M-matrix with zero row sums in the
+        interior preserves the constant vector where rows are fully
+        interior."""
+        a = poisson_2d(10)
+        s = strength_graph(a)
+        labels = rs_coarsen(s)
+        p = direct_interpolation(a, s, labels)
+        err, zero_frac = interpolation_quality(p)
+        # boundary rows have nonzero row sums in a, so allow slack, but
+        # interpolation must be well-scaled and nearly-complete
+        assert zero_frac < 0.05
+        assert err < 1.5
+
+    def test_label_length_mismatch(self):
+        a = poisson_2d(4)
+        s = strength_graph(a)
+        with pytest.raises(ValueError):
+            direct_interpolation(a, s, np.zeros(3, dtype=int))
+
+    def test_no_coarse_points_raises(self):
+        a = sp.identity(4, format="csr")
+        s = strength_graph(a)
+        labels = np.full(4, F_POINT)
+        with pytest.raises(ValueError):
+            direct_interpolation(a, s, labels)
+
+
+class TestBoomerAMG:
+    @pytest.mark.parametrize("coarsening", ["rs", "pmis"])
+    def test_solver_converges_2d(self, coarsening):
+        a = poisson_2d(24)
+        amg = BoomerAMG(coarsening=coarsening)
+        amg.setup(a)
+        b = np.ones(a.shape[0])
+        x, info = amg.solve(b, tol=1e-8, max_iter=100)
+        assert info.converged
+        assert np.linalg.norm(a @ x - b) < 1e-6 * np.linalg.norm(b)
+
+    def test_solver_converges_3d(self):
+        a = poisson_3d(8)
+        amg = BoomerAMG()
+        amg.setup(a)
+        b = np.ones(a.shape[0])
+        x, info = amg.solve(b, tol=1e-8)
+        assert info.converged
+
+    def test_hierarchy_properties(self):
+        a = poisson_2d(32)
+        amg = BoomerAMG()
+        h = amg.setup(a)
+        assert h.num_levels >= 3
+        assert 1.0 < h.operator_complexity < 4.0
+        assert 1.0 < h.grid_complexity < 3.0
+        # levels strictly shrink
+        sizes = [lvl.a.n_rows for lvl in h.levels]
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_preconditions_pcg(self):
+        a = poisson_2d(24)
+        amg = BoomerAMG()
+        amg.setup(a)
+        b = np.ones(a.shape[0])
+        _, plain = pcg(CsrMatrix(a), b, tol=1e-8, max_iter=1000)
+        _, prec = pcg(CsrMatrix(a), b, preconditioner=amg.as_preconditioner(),
+                      tol=1e-8, max_iter=1000)
+        assert prec.converged
+        assert prec.iterations < plain.iterations / 2
+
+    def test_solve_before_setup_raises(self):
+        amg = BoomerAMG()
+        with pytest.raises(RuntimeError):
+            amg.solve(np.ones(4))
+        with pytest.raises(RuntimeError):
+            amg.vcycle(np.ones(4))
+        with pytest.raises(RuntimeError):
+            amg.as_preconditioner()
+
+    def test_solve_phase_records_spmv_kernels(self):
+        """The ported solve phase is matvec-only: the trace must contain
+        SpMV kernels and nothing from setup."""
+        ctx = ExecutionContext()
+        a = poisson_2d(16)
+        amg = BoomerAMG(ctx=ctx)
+        amg.setup(a)
+        setup_kernels = len(ctx.trace.kernels)
+        amg.vcycle(np.ones(a.shape[0]))
+        solve_kernels = len(ctx.trace.kernels) - setup_kernels
+        assert solve_kernels > 0
+        assert all(
+            k.name.startswith(("spmv", "spmvT"))
+            for k in ctx.trace.kernels[setup_kernels:]
+        )
+
+    def test_anisotropic_converges(self):
+        a = anisotropic_2d(16, epsilon=0.01)
+        amg = BoomerAMG(theta=0.25)
+        amg.setup(a)
+        b = np.ones(a.shape[0])
+        x, info = amg.solve(b, tol=1e-8, max_iter=100)
+        assert info.converged
+
+    def test_bad_options(self):
+        with pytest.raises(ValueError):
+            BoomerAMG(coarsening="hmm")
+        with pytest.raises(ValueError):
+            BoomerAMG(smoother="sor")
+        with pytest.raises(ValueError):
+            BoomerAMG(max_levels=0)
+
+    def test_tiny_matrix_direct_solve(self):
+        a = poisson_2d(3)  # 9 unknowns < coarse_size
+        amg = BoomerAMG()
+        amg.setup(a)
+        assert amg.hierarchy.num_levels == 1
+        b = np.ones(9)
+        x, info = amg.solve(b)
+        assert info.converged
+        np.testing.assert_allclose(a @ x, b, atol=1e-8)
+
+
+class TestSetupPhaseAccounting:
+    """§5 future work: what porting the AMG setup phase to GPUs costs."""
+
+    def test_setup_trace_populated(self):
+        amg = BoomerAMG(coarsening="pmis")
+        amg.setup(poisson_2d(24))
+        names = {k.name for k in amg.setup_trace.kernels}
+        assert {"setup-strength", "setup-pmis", "setup-interp",
+                "setup-galerkin"} <= names
+        assert amg.setup_gpu_portable
+
+    def test_rs_setup_not_gpu_portable(self):
+        amg = BoomerAMG(coarsening="rs")
+        amg.setup(poisson_2d(24))
+        names = {k.name for k in amg.setup_trace.kernels}
+        assert "setup-pmis" not in names
+        assert not amg.setup_gpu_portable
+
+    def test_galerkin_dominates_setup_flops(self):
+        """The spgemm triple product is the setup phase's heavy kernel —
+        the reason the port is research, not a weekend."""
+        amg = BoomerAMG(coarsening="pmis")
+        amg.setup(poisson_2d(32))
+        by_name = {}
+        for k in amg.setup_trace.kernels:
+            by_name[k.name] = by_name.get(k.name, 0.0) + k.flops * k.launches
+        assert by_name["setup-galerkin"] > sum(
+            v for n, v in by_name.items() if n != "setup-galerkin"
+        ) / 2
+
+    def test_setup_vs_solve_gpu_amenability(self):
+        """Setup kernels run at a much lower fraction of peak than the
+        SpMV-only solve phase (why the solve was ported first)."""
+        from repro.core.machine import get_machine
+        from repro.core.roofline import RooflineModel
+        from repro.core.forall import ExecutionContext
+
+        ctx = ExecutionContext()
+        amg = BoomerAMG(coarsening="pmis", ctx=ctx)
+        amg.setup(poisson_2d(32))
+        amg.vcycle(np.ones(1024))
+        model = RooflineModel(get_machine("sierra"))
+        setup_eff = min(k.bandwidth_efficiency
+                        for k in amg.setup_trace.kernels)
+        solve_eff = min(k.bandwidth_efficiency for k in ctx.trace.kernels)
+        assert setup_eff < solve_eff
+        # both are still finite GPU work: the port is possible
+        assert model.run_on_gpu(amg.setup_trace).total > 0

@@ -1,0 +1,98 @@
+"""Tests for the CSR wrapper and SpMV accounting."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.forall import ExecutionContext
+from repro.solvers.csr import CsrMatrix, spmv_spec
+from repro.solvers.problems import poisson_2d
+
+
+class TestSpmvSpec:
+    def test_flops_two_per_nnz(self):
+        k = spmv_spec(100, 500)
+        assert k.flops == 1000
+
+    def test_traffic_scales_with_nnz(self):
+        assert spmv_spec(10, 1000).bytes_total > spmv_spec(10, 100).bytes_total
+
+    def test_tuned_flag_changes_efficiency(self):
+        assert (
+            spmv_spec(10, 100, tuned=True).bandwidth_efficiency
+            > spmv_spec(10, 100, tuned=False).bandwidth_efficiency
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spmv_spec(-1, 10)
+
+
+class TestCsrMatrix:
+    def test_matvec_matches_scipy(self):
+        a = poisson_2d(8)
+        x = np.arange(64, dtype=float)
+        m = CsrMatrix(a)
+        np.testing.assert_allclose(m.matvec(x), a @ x)
+
+    def test_matvec_dim_mismatch(self):
+        m = CsrMatrix(np.eye(3))
+        with pytest.raises(ValueError):
+            m.matvec(np.ones(4))
+
+    def test_rmatvec(self):
+        a = sp.random(5, 7, density=0.5, random_state=np.random.default_rng(0))
+        m = CsrMatrix(a)
+        x = np.ones(5)
+        np.testing.assert_allclose(m.rmatvec(x), a.T @ x)
+
+    def test_rmatvec_dim_mismatch(self):
+        m = CsrMatrix(np.ones((3, 4)))
+        with pytest.raises(ValueError):
+            m.rmatvec(np.ones(4))
+
+    def test_matvec_records_kernel(self):
+        ctx = ExecutionContext()
+        m = CsrMatrix(poisson_2d(4), ctx=ctx)
+        m.matvec(np.ones(16))
+        assert len(ctx.trace.kernels) == 1
+        assert ctx.trace.kernels[0].flops == 2 * m.nnz
+
+    def test_no_ctx_no_recording(self):
+        m = CsrMatrix(poisson_2d(4))
+        m.matvec(np.ones(16))  # must not raise
+
+    def test_galerkin_is_ptap(self):
+        a = poisson_2d(6)
+        rng = np.random.default_rng(1)
+        p = sp.random(36, 9, density=0.3, random_state=rng)
+        ma, mp = CsrMatrix(a), CsrMatrix(p)
+        coarse = ma.galerkin(mp)
+        np.testing.assert_allclose(
+            coarse.toarray(), (p.T @ a @ p).toarray(), atol=1e-12
+        )
+
+    def test_matmul_operator(self):
+        a, b = CsrMatrix(np.eye(3) * 2), CsrMatrix(np.eye(3) * 3)
+        np.testing.assert_allclose((a @ b).toarray(), np.eye(3) * 6)
+        np.testing.assert_allclose(a @ np.ones(3), 2 * np.ones(3))
+
+    def test_transpose(self):
+        m = CsrMatrix(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        np.testing.assert_allclose(
+            m.transpose().toarray(), np.array([[1.0, 0.0], [2.0, 3.0]])
+        )
+
+    def test_residual(self):
+        a = np.diag([2.0, 4.0])
+        m = CsrMatrix(a)
+        r = m.residual(np.array([2.0, 4.0]), np.ones(2))
+        np.testing.assert_allclose(r, 0.0)
+
+    def test_row_abs_sums(self):
+        m = CsrMatrix(np.array([[1.0, -2.0], [3.0, 0.0]]))
+        np.testing.assert_allclose(m.row_abs_sums(), [3.0, 3.0])
+
+    def test_diagonal(self):
+        m = CsrMatrix(poisson_2d(3))
+        np.testing.assert_allclose(m.diagonal(), 4.0)

@@ -1,0 +1,117 @@
+"""Tests for relaxation methods."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.csr import CsrMatrix
+from repro.solvers.problems import poisson_2d, random_spd
+from repro.solvers.smoothers import (
+    gauss_seidel,
+    jacobi,
+    l1_jacobi,
+    smoother_by_name,
+    weighted_jacobi,
+)
+
+SMOOTHERS = [jacobi, weighted_jacobi, l1_jacobi, gauss_seidel]
+
+
+@pytest.fixture
+def system():
+    a = poisson_2d(10)
+    rng = np.random.default_rng(0)
+    x_true = rng.random(a.shape[0])
+    return a, a @ x_true, x_true
+
+
+class TestSmootherContracts:
+    @pytest.mark.parametrize("smoother", SMOOTHERS)
+    def test_error_decreases(self, smoother, system):
+        a, b, x_true = system
+        x = np.zeros_like(b)
+        e0 = np.linalg.norm(x - x_true)
+        x = smoother(a, b, x, sweeps=10)
+        assert np.linalg.norm(x - x_true) < e0
+
+    @pytest.mark.parametrize("smoother", SMOOTHERS)
+    def test_fixed_point_is_solution(self, smoother, system):
+        a, b, x_true = system
+        x = smoother(a, b, x_true.copy(), sweeps=3)
+        np.testing.assert_allclose(x, x_true, atol=1e-12)
+
+    @pytest.mark.parametrize("smoother", SMOOTHERS)
+    def test_zero_sweeps_identity(self, smoother, system):
+        a, b, _ = system
+        x0 = np.full(b.shape, 0.5)
+        x = smoother(a, b, x0.copy(), sweeps=0)
+        np.testing.assert_array_equal(x, x0)
+
+    @pytest.mark.parametrize("smoother", SMOOTHERS)
+    def test_negative_sweeps_raises(self, smoother, system):
+        a, b, _ = system
+        with pytest.raises(ValueError):
+            smoother(a, b, np.zeros_like(b), sweeps=-1)
+
+    @pytest.mark.parametrize("smoother", SMOOTHERS)
+    def test_accepts_csrmatrix_wrapper(self, smoother, system):
+        a, b, _ = system
+        x = smoother(CsrMatrix(a), b, np.zeros_like(b), sweeps=1)
+        assert np.isfinite(x).all()
+
+
+class TestJacobiFamily:
+    def test_weighted_jacobi_damps_high_frequency(self, system):
+        """Damped Jacobi must kill the highest-frequency mode fast —
+        the property multigrid relies on."""
+        a, _, _ = system
+        n = 10
+        xs = np.arange(1, n + 1)
+        mode = np.outer(
+            np.sin(np.pi * n / (n + 1) * xs), np.sin(np.pi * n / (n + 1) * xs)
+        ).ravel()
+        b = np.zeros(n * n)
+        x = weighted_jacobi(a, b, mode.copy(), sweeps=5)
+        assert np.linalg.norm(x) < 0.2 * np.linalg.norm(mode)
+
+    def test_l1_jacobi_convergent_on_spd_without_weight(self):
+        a = random_spd(100, density=0.08, seed=5)
+        b = np.ones(100)
+        x = np.zeros(100)
+        r0 = np.linalg.norm(b)
+        x = l1_jacobi(a, b, x, sweeps=100)
+        assert np.linalg.norm(b - a @ x) < r0
+
+    def test_zero_diagonal_raises(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            jacobi(a, np.ones(2), np.zeros(2))
+
+
+class TestGaussSeidel:
+    def test_converges_faster_than_jacobi(self, system):
+        a, b, x_true = system
+        xj = jacobi(a, b, np.zeros_like(b), sweeps=10)
+        xg = gauss_seidel(a, b, np.zeros_like(b), sweeps=10)
+        assert np.linalg.norm(xg - x_true) < np.linalg.norm(xj - x_true)
+
+    def test_backward_sweep(self, system):
+        a, b, x_true = system
+        x = gauss_seidel(a, b, np.zeros_like(b), sweeps=10, backward=True)
+        assert np.linalg.norm(x - x_true) < np.linalg.norm(x_true)
+
+    def test_single_sweep_matches_manual(self):
+        a = np.array([[4.0, -1.0], [-1.0, 4.0]])
+        b = np.array([3.0, 3.0])
+        x = gauss_seidel(a, b, np.zeros(2), sweeps=1)
+        # manual: x0 = 3/4; x1 = (3 + x0)/4
+        np.testing.assert_allclose(x, [0.75, 0.9375])
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert smoother_by_name("l1-jacobi") is l1_jacobi
+        assert smoother_by_name("gauss-seidel") is gauss_seidel
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown smoother"):
+            smoother_by_name("sor")

@@ -1,0 +1,222 @@
+"""Tests for Box, BoxLoop and the PFMG structured solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.forall import ExecPolicy, ExecutionContext
+from repro.solvers.structured import (
+    Box,
+    BoxLoop,
+    StructGrid,
+    _prolong_bilinear,
+    _restrict_full_weighting,
+    pfmg_solve,
+)
+
+
+class TestBox:
+    def test_shape_and_size(self):
+        b = Box((0, 0), (4, 5))
+        assert b.shape == (4, 5)
+        assert b.size == 20
+        assert b.ndim == 2
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Box((3,), (1,))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1,))
+
+    def test_empty_rank(self):
+        with pytest.raises(ValueError):
+            Box((), ())
+
+    def test_contains(self):
+        outer = Box((0, 0), (10, 10))
+        assert outer.contains(Box((2, 3), (5, 6)))
+        assert not outer.contains(Box((2, 3), (5, 11)))
+
+    def test_intersect(self):
+        a = Box((0, 0), (5, 5))
+        b = Box((3, 3), (8, 8))
+        assert a.intersect(b) == Box((3, 3), (5, 5))
+
+    def test_intersect_disjoint_none(self):
+        assert Box((0,), (2,)).intersect(Box((5,), (7,))) is None
+
+    def test_grow(self):
+        assert Box((1, 1), (3, 3)).grow(1) == Box((0, 0), (4, 4))
+
+    def test_coarsen_refine_roundtrip(self):
+        b = Box((0, 0), (8, 8))
+        assert b.coarsen(2).refine(2) == b
+
+    def test_coarsen_rounds_up_hi(self):
+        assert Box((0,), (5,)).coarsen(2) == Box((0,), (3,))
+
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError):
+            Box((0,), (4,)).coarsen(0)
+        with pytest.raises(ValueError):
+            Box((0,), (4,)).refine(0)
+
+    def test_slices(self):
+        b = Box((2, 3), (4, 6))
+        arr = np.zeros((10, 10))
+        arr[b.slices()] = 1.0
+        assert arr.sum() == b.size
+
+    @given(
+        lo=st.integers(-10, 10), width=st.integers(0, 10),
+        ratio=st.integers(1, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_refine_preserves_containment(self, lo, width, ratio):
+        b = Box((lo,), (lo + width,))
+        fine = b.refine(ratio)
+        assert fine.coarsen(ratio).contains(b) or width == 0
+
+
+class TestBoxLoop:
+    @pytest.mark.parametrize("policy", list(ExecPolicy))
+    def test_backend_equivalence(self, policy):
+        box = Box((0, 0), (4, 6))
+        out = np.zeros((4, 6))
+
+        def body(i, j):
+            out[i, j] = 3 * i + j
+
+        BoxLoop(policy=policy).run("fill", box, body)
+        expect = np.add.outer(3 * np.arange(4), np.arange(6))
+        np.testing.assert_array_equal(out, expect)
+
+    def test_records_kernel(self):
+        ctx = ExecutionContext()
+        loop = BoxLoop(ctx=ctx)
+        loop.run("k", Box((0,), (10,)), lambda i: None, flops_per_point=2,
+                 bytes_per_point=8)
+        assert ctx.trace.total_flops == 20
+
+
+class TestStructGrid:
+    def test_laplacian_of_linear_is_zero_inside(self):
+        g = StructGrid(8, h=0.1)
+        # u = x-index: Laplacian is zero except at the Dirichlet ring
+        u = np.broadcast_to(
+            np.arange(10, dtype=float)[:, None], (10, 10)
+        ).copy()
+        out = g.new_field()
+        g.apply_laplacian(BoxLoop(), u, out)
+        np.testing.assert_allclose(out[2:-2, 2:-2], 0.0, atol=1e-12)
+
+    def test_residual_consistent_with_apply(self):
+        g = StructGrid(6)
+        rng = np.random.default_rng(0)
+        u, b = g.new_field(), g.new_field()
+        u[1:-1, 1:-1] = rng.random((6, 6))
+        b[1:-1, 1:-1] = rng.random((6, 6))
+        au, r = g.new_field(), g.new_field()
+        loop = BoxLoop()
+        g.apply_laplacian(loop, u, au)
+        g.residual(loop, b, u, r)
+        np.testing.assert_allclose(
+            r[1:-1, 1:-1], (b - au)[1:-1, 1:-1], atol=1e-13
+        )
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            StructGrid(0)
+        with pytest.raises(ValueError):
+            StructGrid(4, 0)
+
+    def test_jacobi_reduces_residual(self):
+        g = StructGrid(10)
+        b = g.new_field()
+        b[1:-1, 1:-1] = 1.0
+        u = g.new_field()
+        r = g.new_field()
+        loop = BoxLoop()
+        g.residual(loop, b, u, r)
+        r0 = np.linalg.norm(r[1:-1, 1:-1])
+        for _ in range(20):
+            u = g.jacobi_sweep(loop, b, u)
+        g.residual(loop, b, u, r)
+        assert np.linalg.norm(r[1:-1, 1:-1]) < r0
+
+
+class TestTransfers:
+    def test_restrict_constant_is_constant(self):
+        fine = np.zeros(17 * 17).reshape(17, 17)
+        fine[1:-1, 1:-1] = 1.0
+        coarse = _restrict_full_weighting(fine)
+        # interior coarse points away from the boundary see all-ones
+        np.testing.assert_allclose(coarse[2:-2, 2:-2], 1.0)
+
+    def test_restrict_needs_odd_interior(self):
+        with pytest.raises(ValueError):
+            _restrict_full_weighting(np.zeros((10, 10)))
+
+    def test_prolong_constant_is_constant_inside(self):
+        coarse = np.zeros((9, 9))
+        coarse[1:-1, 1:-1] = 2.0
+        fine = _prolong_bilinear(coarse, (17, 17))
+        np.testing.assert_allclose(fine[3:-3, 3:-3], 2.0)
+
+    def test_transfer_adjointness(self):
+        """<R u, v>_coarse == <u, P v>_fine / 4 (vertex-centered FW/BL
+        pair in 2D)."""
+        rng = np.random.default_rng(1)
+        u = np.zeros((17, 17))
+        u[1:-1, 1:-1] = rng.random((15, 15))
+        v = np.zeros((9, 9))
+        v[1:-1, 1:-1] = rng.random((7, 7))
+        ru = _restrict_full_weighting(u)
+        pv = _prolong_bilinear(v, (17, 17))
+        lhs = float((ru * v).sum())
+        rhs = float((u * pv).sum()) / 4.0
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+class TestPfmg:
+    @pytest.mark.parametrize("n", [15, 31, 63])
+    def test_mesh_independent_convergence(self, n):
+        g = StructGrid(n)
+        b = g.new_field()
+        b[1:-1, 1:-1] = 1.0
+        _, hist = pfmg_solve(g, b, tol=1e-9)
+        assert hist[-1] <= 1e-9 * hist[0]
+        assert len(hist) - 1 <= 15  # cycles, not sweeps
+
+    def test_matches_manufactured_solution(self):
+        n = 31
+        h = 1.0 / (n + 1)
+        g = StructGrid(n, h=h)
+        xs = np.arange(0, n + 2) * h
+        xg, yg = np.meshgrid(xs, xs, indexing="ij")
+        exact = np.sin(np.pi * xg) * np.sin(np.pi * yg)
+        b = g.new_field()
+        b[1:-1, 1:-1] = (
+            2 * np.pi**2 * np.sin(np.pi * xg) * np.sin(np.pi * yg)
+        )[1:-1, 1:-1]
+        u, hist = pfmg_solve(g, b, tol=1e-10)
+        err = np.abs(u - exact)[1:-1, 1:-1].max()
+        assert err < 5 * h**2  # second-order discretization error
+
+    def test_device_policy_traces_kernels(self):
+        ctx = ExecutionContext()
+        loop = BoxLoop(ctx=ctx, policy=ExecPolicy.CUDA)
+        g = StructGrid(15)
+        b = g.new_field()
+        b[1:-1, 1:-1] = 1.0
+        pfmg_solve(g, b, loop=loop, tol=1e-6)
+        assert ctx.trace.total_launches > 10
+        assert ctx.trace.total_flops > 0
+
+    def test_zero_rhs_returns_zero(self):
+        g = StructGrid(15)
+        u, hist = pfmg_solve(g, g.new_field(), tol=1e-10)
+        np.testing.assert_allclose(u, 0.0)
+        assert len(hist) == 1

@@ -1,0 +1,133 @@
+"""Tests for the mini Spark engine and JVM stack model."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import get_machine
+from repro.spark.engine import SparkEngine, _payload_bytes
+from repro.spark.jvm import DEFAULT_STACK, OPTIMIZED_STACK, JvmStack
+
+
+class TestJvmStack:
+    def test_presets_ordered(self):
+        assert (
+            OPTIMIZED_STACK.ser_seconds_per_byte
+            < DEFAULT_STACK.ser_seconds_per_byte
+        )
+        assert OPTIMIZED_STACK.gc_overhead < DEFAULT_STACK.gc_overhead
+        assert OPTIMIZED_STACK.lock_contention < DEFAULT_STACK.lock_contention
+
+    def test_compute_time_inflated_by_gc(self):
+        assert DEFAULT_STACK.compute_time(1.0) > 1.0
+        assert OPTIMIZED_STACK.compute_time(1.0) < DEFAULT_STACK.compute_time(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JvmStack("x", ser_seconds_per_byte=-1, gc_overhead=0.1,
+                     lock_contention=1.0)
+        with pytest.raises(ValueError):
+            JvmStack("x", ser_seconds_per_byte=0, gc_overhead=1.0,
+                     lock_contention=1.0)
+        with pytest.raises(ValueError):
+            JvmStack("x", ser_seconds_per_byte=0, gc_overhead=0.1,
+                     lock_contention=0.5)
+
+
+class TestPayloadBytes:
+    def test_ndarray(self):
+        assert _payload_bytes(np.zeros(10)) == 80.0
+
+    def test_nested(self):
+        assert _payload_bytes([np.zeros(2), np.zeros(3)]) == pytest.approx(72.0)
+
+    def test_scalar_boxed(self):
+        assert _payload_bytes(1.5) == 48.0
+
+
+class TestEngine:
+    def test_parallelize_round_robin(self):
+        eng = SparkEngine(3)
+        parts = eng.parallelize(list(range(10)))
+        assert [len(p) for p in parts] == [4, 3, 3]
+        assert sorted(sum(parts, [])) == list(range(10))
+
+    def test_map_partitions_results_and_timing(self):
+        eng = SparkEngine(4)
+        parts = eng.parallelize(list(range(8)))
+        out = eng.map_partitions(parts, lambda p: [x * 2 for x in p],
+                                 flops_per_record=1e6)
+        assert sorted(sum(out, [])) == [0, 2, 4, 6, 8, 10, 12, 14]
+        assert eng.timers.total("compute") > 0
+
+    def test_shuffle_regroups_by_key(self):
+        eng = SparkEngine(4)
+        parts = eng.parallelize([(k, k * 10) for k in range(20)])
+        grouped = eng.shuffle(parts, key_fn=lambda rec: rec[0])
+        for pid, part in enumerate(grouped):
+            assert all(rec[0] % 4 == pid for rec in part)
+        assert sum(len(p) for p in grouped) == 20
+
+    def test_shuffle_hash_slower_than_adaptive(self):
+        """The adaptive shuffle is the §4.4 optimization: fewer, larger
+        messages."""
+        records = [(k, np.zeros(1000)) for k in range(64)]
+        times = {}
+        for alg in ("hash", "adaptive"):
+            eng = SparkEngine(16)
+            parts = eng.parallelize(records)
+            eng.shuffle(parts, key_fn=lambda rec: rec[0], algorithm=alg)
+            times[alg] = eng.timers.total("shuffle")
+        assert times["adaptive"] < times["hash"]
+
+    def test_aggregate_result_exact(self):
+        eng = SparkEngine(5)
+        parts = eng.parallelize(list(range(100)))
+        total = eng.aggregate(
+            parts, seq_fn=lambda a, r: a + r, comb_fn=lambda a, b: a + b,
+            zero=0, algorithm="tree",
+        )
+        assert total == 4950
+
+    def test_tree_aggregate_faster_than_flat(self):
+        payload = 1e6
+        times = {}
+        for alg in ("flat", "tree"):
+            eng = SparkEngine(64)
+            parts = [[np.zeros(1)] for _ in range(64)]
+            eng.aggregate(parts, lambda a, r: a, lambda a, b: a,
+                          zero=None, algorithm=alg, payload_bytes=payload)
+            times[alg] = eng.timers.total("aggregate")
+        assert times["tree"] < times["flat"]
+
+    def test_optimized_stack_cheaper_everywhere(self):
+        records = [(k, np.zeros(500)) for k in range(32)]
+        totals = {}
+        for stack in (DEFAULT_STACK, OPTIMIZED_STACK):
+            eng = SparkEngine(8, stack=stack)
+            parts = eng.parallelize(records)
+            parts = eng.map_partitions(parts, lambda p: p,
+                                       flops_per_record=1e7)
+            eng.shuffle(parts, key_fn=lambda rec: rec[0])
+            eng.aggregate(parts, lambda a, r: a, lambda a, b: a, zero=None,
+                          payload_bytes=1e5)
+            totals[stack.name] = sum(eng.timers.as_dict().values())
+        assert totals["optimized"] < totals["default"]
+
+    def test_broadcast_scales_log(self):
+        eng2 = SparkEngine(2)
+        eng64 = SparkEngine(64)
+        t2 = eng2.broadcast_time(1e6)
+        t64 = eng64.broadcast_time(1e6)
+        assert t64 < 8 * t2  # log2(64)=6 rounds vs 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparkEngine(0)
+        with pytest.raises(ValueError):
+            SparkEngine(2, worker_rate=0)
+        eng = SparkEngine(2)
+        with pytest.raises(ValueError):
+            eng.shuffle([[]], key_fn=lambda r: 0, algorithm="sort")
+        with pytest.raises(ValueError):
+            eng.aggregate([[]], lambda a, r: a, lambda a, b: a, zero=None,
+                          algorithm="ring")

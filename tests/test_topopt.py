@@ -1,0 +1,184 @@
+"""Tests for the topology-optimization proxy (§4.7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import get_machine
+from repro.topopt.fe2d import (
+    Cantilever2D,
+    assemble_stiffness,
+    element_stiffness,
+    matrix_free_apply,
+    solve_displacement,
+)
+from repro.topopt.simp import SimpOptimizer
+from repro.topopt.texture import texture_ablation
+
+
+class TestElementStiffness:
+    def test_symmetric(self):
+        ke = element_stiffness()
+        np.testing.assert_allclose(ke, ke.T, atol=1e-14)
+
+    def test_positive_semidefinite_with_rigid_modes(self):
+        ke = element_stiffness()
+        evals = np.linalg.eigvalsh(ke)
+        assert evals[0] > -1e-12
+        # exactly three rigid-body modes in 2D (two translations + rotation)
+        assert (np.abs(evals) < 1e-10).sum() == 3
+
+    def test_translation_is_null_vector(self):
+        ke = element_stiffness()
+        tx = np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=float)
+        np.testing.assert_allclose(ke @ tx, 0.0, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            element_stiffness(young=-1.0)
+        with pytest.raises(ValueError):
+            element_stiffness(poisson=0.6)
+
+
+class TestDomain:
+    def test_dof_counts(self):
+        dom = Cantilever2D(4, 3)
+        assert dom.n_nodes == 20
+        assert dom.n_dofs == 40
+        assert dom.n_elements == 12
+        assert dom.edof.shape == (12, 8)
+
+    def test_clamped_edge(self):
+        dom = Cantilever2D(4, 3)
+        assert dom.fixed.size == 2 * 4  # (nely+1) nodes * 2 dofs
+        assert np.intersect1d(dom.fixed, dom.free).size == 0
+
+    def test_load_at_tip(self):
+        dom = Cantilever2D(4, 3, load="tip")
+        assert (dom.force != 0).sum() == 1
+        assert dom.force.min() == -1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cantilever2D(0, 3)
+        with pytest.raises(ValueError):
+            Cantilever2D(3, 3, load="corner")
+
+
+class TestMatrixFree:
+    def test_matches_assembled(self):
+        dom = Cantilever2D(6, 4)
+        ke = element_stiffness()
+        rng = np.random.default_rng(0)
+        scale = 0.1 + rng.random(dom.n_elements)
+        u = rng.random(dom.n_dofs)
+        u[dom.fixed] = 0.0
+        k = assemble_stiffness(dom, ke, scale)
+        np.testing.assert_allclose(
+            matrix_free_apply(dom, ke, scale, u), k @ u, atol=1e-12
+        )
+
+    def test_solve_satisfies_equations(self):
+        dom = Cantilever2D(10, 6)
+        ke = element_stiffness()
+        scale = np.full(dom.n_elements, 0.5)
+        u, iters = solve_displacement(dom, ke, scale, tol=1e-10)
+        r = matrix_free_apply(dom, ke, scale, u)
+        f = dom.force.copy()
+        f[dom.fixed] = 0.0
+        assert np.abs(r - f).max() < 1e-7
+        assert iters > 0
+
+    def test_tip_deflects_downward(self):
+        dom = Cantilever2D(12, 4)
+        ke = element_stiffness()
+        u, _ = solve_displacement(dom, ke, np.ones(dom.n_elements))
+        loaded = int(np.flatnonzero(dom.force)[0])
+        assert u[loaded] < 0  # deflection follows the load
+
+    def test_stiffer_material_deflects_less(self):
+        dom = Cantilever2D(8, 4)
+        ke = element_stiffness()
+        u_soft, _ = solve_displacement(dom, ke,
+                                       np.full(dom.n_elements, 0.25))
+        u_stiff, _ = solve_displacement(dom, ke,
+                                        np.ones(dom.n_elements))
+        loaded = int(np.flatnonzero(dom.force)[0])
+        assert abs(u_stiff[loaded]) < abs(u_soft[loaded])
+
+    def test_validation(self):
+        dom = Cantilever2D(3, 3)
+        ke = element_stiffness()
+        with pytest.raises(ValueError):
+            matrix_free_apply(dom, ke, np.ones(dom.n_elements),
+                              np.zeros(3))
+        with pytest.raises(ValueError):
+            matrix_free_apply(dom, ke, np.ones(2), np.zeros(dom.n_dofs))
+
+
+class TestSimp:
+    @pytest.fixture(scope="class")
+    def result(self):
+        dom = Cantilever2D(20, 10)
+        opt = SimpOptimizer(dom, volume_fraction=0.4)
+        return opt.optimize(n_iters=15)
+
+    def test_compliance_decreases(self, result):
+        h = result.compliance_history
+        assert h[-1] < 0.5 * h[0]
+        # broadly monotone (small OC oscillations allowed)
+        assert h[-1] <= min(h[:3])
+
+    def test_volume_constraint_held(self, result):
+        assert result.volume_fraction == pytest.approx(0.4, abs=0.01)
+
+    def test_densities_in_bounds(self, result):
+        assert result.density.min() >= 0.0
+        assert result.density.max() <= 1.0
+
+    def test_structure_forms(self, result):
+        """SIMP should polarize: a meaningful fraction of elements near
+        solid and near void."""
+        x = result.density
+        assert (x > 0.8).mean() > 0.1
+        assert (x < 0.1).mean() > 0.2
+
+    def test_chords_form_under_bending(self, result):
+        """A tip-loaded cantilever develops solid top and bottom chords
+        (tension/compression flanges) denser than the web between."""
+        x = result.density
+        chords = 0.5 * (x[:, 0].mean() + x[:, -1].mean())
+        web = x[:, 3:-3].mean()
+        assert chords > web
+
+    def test_validation(self):
+        dom = Cantilever2D(4, 4)
+        with pytest.raises(ValueError):
+            SimpOptimizer(dom, volume_fraction=1.5)
+        with pytest.raises(ValueError):
+            SimpOptimizer(dom, penalty=0.5)
+        with pytest.raises(ValueError):
+            SimpOptimizer(dom, filter_radius=0.0)
+        with pytest.raises(ValueError):
+            SimpOptimizer(dom).optimize(n_iters=0)
+
+
+class TestTextureAblation:
+    def test_pascal_needs_texture(self):
+        """On the EA system the texture path is a real win — the reason
+        CUDA was necessary early (§4.7)."""
+        r = texture_ablation(get_machine("ea-minsky"))
+        assert r["needs_texture_path"]
+        assert r["texture_benefit"] > 1.5
+
+    def test_volta_does_not(self):
+        """On Sierra, Volta's unified L1 removes the gap — 'RAJA would
+        have been sufficient'."""
+        r = texture_ablation(get_machine("sierra"))
+        assert not r["needs_texture_path"]
+        assert r["texture_benefit"] == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            texture_ablation(get_machine("cori-ii"))
+        with pytest.raises(ValueError):
+            texture_ablation(get_machine("sierra"), n_elements=0)

@@ -1,0 +1,193 @@
+"""Tests for repro.util: RNG determinism, tables, timers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import Stopwatch, Table, TimerRegistry, format_seconds, format_si
+from repro.util.rng import make_rng, permutation_with_fixed_sum, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).random(16)
+        b = make_rng(42).random(16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).random(16)
+        b = make_rng(2).random(16)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(7)
+        assert make_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        rng = make_rng(seq)
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_independent(self):
+        rngs = spawn_rngs(0, 3)
+        draws = [r.random(8) for r in rngs]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic(self):
+        a = [r.random(4) for r in spawn_rngs(9, 2)]
+        b = [r.random(4) for r in spawn_rngs(9, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestPermutationWithFixedSum:
+    @given(
+        total=st.floats(min_value=1.0, max_value=1e6),
+        n=st.integers(min_value=1, max_value=64),
+    )
+    def test_sums_to_total_and_positive(self, total, n):
+        parts = permutation_with_fixed_sum(make_rng(0), total, n)
+        assert parts.shape == (n,)
+        assert np.all(parts > 0)
+        assert np.isclose(parts.sum(), total, rtol=1e-10)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            permutation_with_fixed_sum(make_rng(0), 1.0, 0)
+        with pytest.raises(ValueError):
+            permutation_with_fixed_sum(make_rng(0), -1.0, 3)
+
+
+class TestFormatters:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (2.31e-3, "2.31 ms"),
+            (0.0, "0 s"),
+            (1.5, "1.5 s"),
+            (3600.0, "60 min"),
+            (8000.0, "2.22 h"),
+            (5e-7, "500 ns"),
+        ],
+    )
+    def test_format_seconds(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_format_seconds_negative(self):
+        assert format_seconds(-1.5).startswith("-")
+
+    @pytest.mark.parametrize(
+        "value,unit,expected",
+        [
+            (67.258e9, "TEPS", "67.3 GTEPS"),
+            (0, "B", "0 B"),
+            (1.25e3, "B/s", "1.25 kB/s"),
+        ],
+    )
+    def test_format_si(self, value, unit, expected):
+        assert format_si(value, unit) == expected
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        t = Table(["machine", "GTEPs"], title="Table 2")
+        t.add_row("sierra", 67.258)
+        t.add_row("catalyst", 4.175)
+        text = str(t)
+        assert "Table 2" in text
+        assert "sierra" in text
+        assert "67.26" in text
+
+    def test_wrong_arity(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_alignment_numeric_right(self):
+        t = Table(["name", "n"])
+        t.add_row("x", 1)
+        t.add_row("longer", 100)
+        lines = str(t).splitlines()
+        # numeric column is right aligned: '1' ends the cell
+        assert lines[-2].rstrip().endswith("1")
+
+
+class TestStopwatch:
+    def test_basic(self):
+        sw = Stopwatch()
+        sw.start()
+        elapsed = sw.stop()
+        assert elapsed >= 0
+
+    def test_double_start_raises(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch().start()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+    def test_elapsed_while_running(self):
+        sw = Stopwatch().start()
+        assert sw.elapsed >= 0.0
+        sw.stop()
+
+
+class TestTimerRegistry:
+    def test_phase_accumulates(self):
+        t = TimerRegistry()
+        with t.phase("a"):
+            pass
+        with t.phase("a"):
+            pass
+        assert t.count("a") == 2
+        assert t.total("a") >= 0
+
+    def test_add_modeled_time(self):
+        t = TimerRegistry()
+        t.add("solve", 1.5)
+        t.add("solve", 0.5)
+        assert t.total("solve") == pytest.approx(2.0)
+
+    def test_missing_phase_zero(self):
+        t = TimerRegistry()
+        assert t.total("nope") == 0.0
+        assert t.count("nope") == 0
+
+    def test_merge(self):
+        a, b = TimerRegistry(), TimerRegistry()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.total("x") == pytest.approx(3.0)
+        assert a.total("y") == pytest.approx(3.0)
+
+    def test_as_dict(self):
+        t = TimerRegistry()
+        t.add("p", 1.0)
+        assert t.as_dict() == {"p": 1.0}

@@ -1,0 +1,187 @@
+"""Tests for the VBL proxy: split-step optics, transpose, transfers."""
+
+import numpy as np
+import pytest
+
+from repro.core.forall import ExecPolicy, ExecutionContext
+from repro.core.machine import get_machine
+from repro.core.memory import UM_PAGE_BYTES
+from repro.core.roofline import RooflineModel
+from repro.vbl.defects import (
+    apply_phase_defects,
+    fig9_experiment,
+    ripple_contrast,
+)
+from repro.vbl.splitstep import BeamGrid, SplitStepPropagator, gaussian_beam
+from repro.vbl.transfer import TransferPath, crossover_size, transfer_time
+from repro.vbl.transpose import transpose_cuda_style, transpose_raja_style
+
+
+@pytest.fixture
+def grid():
+    return BeamGrid(n=128, length=8e-3)
+
+
+class TestBeamGrid:
+    def test_properties(self, grid):
+        assert grid.dx == pytest.approx(8e-3 / 128)
+        assert grid.k0 == pytest.approx(2 * np.pi / grid.wavelength)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BeamGrid(n=2, length=1.0)
+        with pytest.raises(ValueError):
+            BeamGrid(n=64, length=-1.0)
+        with pytest.raises(ValueError):
+            gaussian_beam(BeamGrid(64, 1e-3), waist=0.0)
+
+
+class TestSplitStep:
+    def test_gaussian_spreading_matches_analytic(self, grid):
+        """The canonical validation: w(z) = w0 sqrt(1 + (z/zR)^2)."""
+        prop = SplitStepPropagator(grid)
+        w0 = 0.5e-3
+        beam = gaussian_beam(grid, w0)
+        for frac in (0.5, 1.0, 1.5):
+            z = frac * prop.rayleigh_range(w0)
+            out = prop.propagate(beam, z, n_steps=8)
+            assert prop.beam_radius(out) == pytest.approx(
+                prop.analytic_waist(w0, z), rel=1e-6
+            )
+
+    def test_diffraction_conserves_energy(self, grid):
+        prop = SplitStepPropagator(grid)
+        beam = gaussian_beam(grid, 0.6e-3)
+        out = prop.propagate(beam, 5.0, n_steps=10)
+        assert prop.energy(out) == pytest.approx(prop.energy(beam),
+                                                 rel=1e-12)
+
+    def test_zero_distance_identity(self, grid):
+        prop = SplitStepPropagator(grid)
+        beam = gaussian_beam(grid, 0.5e-3)
+        out = prop.diffraction_step(beam, 0.0)
+        np.testing.assert_allclose(out, beam, atol=1e-12)
+
+    def test_amplifier_multiplies_fluence(self, grid):
+        prop = SplitStepPropagator(grid)
+        beam = gaussian_beam(grid, 0.5e-3)
+        gain = np.full((128, 128), 4.0)
+        out = prop.amplifier_step(beam, gain)
+        assert prop.energy(out) == pytest.approx(4 * prop.energy(beam),
+                                                 rel=1e-12)
+
+    def test_amplifier_uses_kernel_api(self, grid):
+        ctx = ExecutionContext()
+        prop = SplitStepPropagator(grid, ctx=ctx)
+        beam = gaussian_beam(grid, 0.5e-3)
+        prop.amplifier_step(beam, np.ones((128, 128)))
+        assert any(k.name == "vbl-amplifier" for k in ctx.trace.kernels)
+
+    def test_fft_kernels_recorded(self, grid):
+        ctx = ExecutionContext()
+        prop = SplitStepPropagator(grid, ctx=ctx)
+        prop.diffraction_step(gaussian_beam(grid, 0.5e-3), 1.0)
+        ffts = [k for k in ctx.trace.kernels if k.name == "vbl-fft"]
+        assert len(ffts) == 1 and ffts[0].launches == 2
+
+    def test_validation(self, grid):
+        prop = SplitStepPropagator(grid)
+        beam = gaussian_beam(grid, 0.5e-3)
+        with pytest.raises(ValueError):
+            prop.diffraction_step(np.zeros((4, 4)), 1.0)
+        with pytest.raises(ValueError):
+            prop.amplifier_step(beam, -np.ones((128, 128)))
+        with pytest.raises(ValueError):
+            prop.propagate(beam, 1.0, n_steps=0)
+        with pytest.raises(ValueError):
+            prop.beam_radius(np.zeros((128, 128), dtype=complex))
+
+
+class TestTranspose:
+    def test_both_styles_exact(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((96, 160))
+        np.testing.assert_array_equal(transpose_raja_style(a), a.T)
+        np.testing.assert_array_equal(transpose_cuda_style(a), a.T)
+
+    def test_complex_supported(self):
+        a = np.arange(64, dtype=complex).reshape(8, 8) * (1 + 2j)
+        np.testing.assert_array_equal(transpose_cuda_style(a), a.T)
+
+    def test_cuda_significantly_faster_modeled(self):
+        """§4.11: 'the native CUDA transpose significantly outperformed
+        the RAJA one.'"""
+        model = RooflineModel(get_machine("sierra"))
+        a = np.zeros((1024, 1024))
+        ctx_r, ctx_c = ExecutionContext(), ExecutionContext()
+        transpose_raja_style(a, ctx_r)
+        transpose_cuda_style(a, ctx_c)
+        t_raja = model.run_on_gpu(ctx_r.trace).kernel_time
+        t_cuda = model.run_on_gpu(ctx_c.trace).kernel_time
+        assert t_raja / t_cuda > 2.0
+
+
+class TestDefects:
+    def test_phase_defect_preserves_fluence_instantly(self, grid):
+        beam = gaussian_beam(grid, 1e-3)
+        out = apply_phase_defects(beam, grid, [(0.0, 0.0)], 150e-6)
+        np.testing.assert_allclose(np.abs(out), np.abs(beam), atol=1e-12)
+
+    def test_fig9_ripples_appear_after_propagation(self):
+        res = fig9_experiment(n=128, n_steps=8)
+        # phase-only defects: initial fluence identical
+        assert res["contrast_defect_initial"] == pytest.approx(
+            res["contrast_clean_initial"], rel=1e-9
+        )
+        # after 10 m the defective beam shows extra modulation
+        assert res["contrast_defect_final"] > 1.1 * res["contrast_clean_final"]
+        # and nothing was lost
+        assert res["energy_final"] == pytest.approx(res["energy_initial"],
+                                                    rel=1e-10)
+
+    def test_validation(self, grid):
+        beam = gaussian_beam(grid, 1e-3)
+        with pytest.raises(ValueError):
+            apply_phase_defects(beam, grid, [(0, 0)], radius=0.0)
+        with pytest.raises(ValueError):
+            ripple_contrast(np.zeros((16, 16)))
+
+
+class TestTransferModel:
+    def test_h2d_crossover_few_kilobytes(self):
+        """'cudaMemcpy ... will overtake GPUDirect for transfers of a
+        few kilobytes or more' (H2D)."""
+        c = crossover_size("h2d")
+        assert 1e3 < c < 10e3
+
+    def test_d2h_crossover_few_hundred_bytes(self):
+        c = crossover_size("d2h")
+        assert 100 < c < 1e3
+
+    def test_crossover_is_real(self):
+        for direction in ("h2d", "d2h"):
+            c = crossover_size(direction)
+            below = 0.2 * c
+            above = 5.0 * c
+            assert transfer_time(TransferPath.GPUDIRECT, below, direction) < (
+                transfer_time(TransferPath.MEMCPY, below, direction)
+            )
+            assert transfer_time(TransferPath.MEMCPY, above, direction) < (
+                transfer_time(TransferPath.GPUDIRECT, above, direction)
+            )
+
+    def test_um_block_granularity(self):
+        """UM cost is flat within one 64 KiB block and steps at block
+        boundaries."""
+        t_small = transfer_time(TransferPath.UNIFIED, 100.0)
+        t_one_block = transfer_time(TransferPath.UNIFIED, UM_PAGE_BYTES)
+        t_two_blocks = transfer_time(TransferPath.UNIFIED,
+                                     UM_PAGE_BYTES + 1)
+        assert t_small == pytest.approx(t_one_block)
+        assert t_two_blocks == pytest.approx(2 * t_one_block)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transfer_time(TransferPath.MEMCPY, -1.0)
+        with pytest.raises(ValueError):
+            transfer_time(TransferPath.MEMCPY, 1.0, direction="sideways")
