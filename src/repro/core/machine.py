@@ -93,6 +93,44 @@ class NetworkSpec:
     latency: float
 
 
+#: seconds per year, used by the MTBF catalog below
+YEAR_SECONDS = 365.0 * 24.0 * 3600.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Calibrated failure rates for one node type.
+
+    MTBFs are *per component* (one node, one GPU); the aggregate
+    system rate scales with the component count
+    (:meth:`system_mtbf`).  Rates are the calibration knobs of the
+    resilience layer (:mod:`repro.resilience`), the same way roofline
+    efficiencies calibrate the performance model.
+    """
+
+    #: mean seconds between fatal failures of one node
+    node_mtbf: float
+    #: mean seconds between fatal failures of one GPU
+    gpu_mtbf: float = float("inf")
+    #: silent-data-corruption events per GPU-hour
+    sdc_per_gpu_hour: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf <= 0 or self.gpu_mtbf <= 0:
+            raise ValueError("MTBFs must be positive")
+        if self.sdc_per_gpu_hour < 0:
+            raise ValueError("SDC rate must be non-negative")
+
+    def system_mtbf(self, nodes: int, gpus_per_node: int = 0) -> float:
+        """Aggregate MTBF of *nodes* nodes (failures combine as rates)."""
+        if nodes < 1 or gpus_per_node < 0:
+            raise ValueError("bad component counts")
+        rate = nodes / self.node_mtbf
+        if gpus_per_node:
+            rate += nodes * gpus_per_node / self.gpu_mtbf
+        return 1.0 / rate
+
+
 @dataclass(frozen=True)
 class Machine:
     """A full node type plus its system-level context."""
@@ -112,6 +150,9 @@ class Machine:
     #: NVMe read bandwidth (B/s)
     nvme_bw: float = 0.0
     max_nodes: int = 1
+    #: calibrated failure rates; None falls back to the year-based
+    #: heuristic in :func:`repro.resilience.faults.fault_spec_for`
+    faults: Optional[FaultSpec] = None
 
     @property
     def cpu_peak_flops(self) -> float:
@@ -216,6 +257,34 @@ GEMINI = NetworkSpec(name="Cray Gemini", injection_bw=6e9, latency=2.2e-6)
 
 
 # --------------------------------------------------------------------------
+# Fault-rate catalog.
+#
+# Per-node MTBFs are in the published range for each machine class
+# (tens of node-years for production systems, less for early-access
+# and end-of-life hardware); per-GPU MTBFs follow the Titan/Sierra
+# experience that GPUs fail a few times more often than the rest of
+# the node combined.  At 4320 Sierra nodes these yield a system-level
+# hard-fault every ~13 hours — the multi-day-campaign regime the
+# resilience layer exists for.
+# --------------------------------------------------------------------------
+
+SIERRA_FAULTS = FaultSpec(
+    node_mtbf=25 * YEAR_SECONDS, gpu_mtbf=15 * YEAR_SECONDS,
+    sdc_per_gpu_hour=2e-5,
+)
+EA_FAULTS = FaultSpec(
+    node_mtbf=10 * YEAR_SECONDS, gpu_mtbf=6 * YEAR_SECONDS,
+    sdc_per_gpu_hour=5e-5,
+)
+COMMODITY_GPU_FAULTS = FaultSpec(
+    node_mtbf=8 * YEAR_SECONDS, gpu_mtbf=5 * YEAR_SECONDS,
+    sdc_per_gpu_hour=8e-5,
+)
+CPU_ONLY_FAULTS = FaultSpec(node_mtbf=20 * YEAR_SECONDS)
+BGQ_FAULTS = FaultSpec(node_mtbf=60 * YEAR_SECONDS)
+
+
+# --------------------------------------------------------------------------
 # Machine catalog.
 # --------------------------------------------------------------------------
 
@@ -233,6 +302,7 @@ SIERRA = _register(Machine(
     gpu=V100, gpus_per_node=4, host_device_link=NVLINK2,
     network=EDR_IB, node_mem_bytes=256 * 2**30,
     nvme_bytes=1.6e12, nvme_bw=5.5e9, max_nodes=4320,
+    faults=SIERRA_FAULTS,
 ))
 
 #: Early-access system: Minsky nodes (P8 + P100, NVLink1).
@@ -240,6 +310,7 @@ EA_MINSKY = _register(Machine(
     name="ea-minsky", year=2016, cpu=POWER8, cpu_sockets=2,
     gpu=P100, gpus_per_node=4, host_device_link=NVLINK1,
     network=EDR_IB, node_mem_bytes=256 * 2**30, max_nodes=54,
+    faults=EA_FAULTS,
 ))
 
 #: Cori-II at NERSC (KNL): the SW4 comparison machine.
@@ -247,6 +318,7 @@ CORI_II = _register(Machine(
     name="cori-ii", year=2016, cpu=KNL, cpu_sockets=1,
     gpu=None, gpus_per_node=0, host_device_link=None,
     network=ARIES, node_mem_bytes=96 * 2**30, max_nodes=9688,
+    faults=CPU_ONLY_FAULTS,
 ))
 
 #: On-site visualization cluster used for early exploration.
@@ -254,6 +326,7 @@ SURFACE = _register(Machine(
     name="surface", year=2014, cpu=SANDYBRIDGE, cpu_sockets=2,
     gpu=K40, gpus_per_node=2, host_device_link=PCIE3,
     network=FDR_IB, node_mem_bytes=256 * 2**30, max_nodes=162,
+    faults=COMMODITY_GPU_FAULTS,
 ))
 
 #: Dedicated development machine (Haswell + K80).
@@ -261,6 +334,7 @@ RZHASGPU = _register(Machine(
     name="rzhasgpu", year=2015, cpu=HASWELL, cpu_sockets=2,
     gpu=K80, gpus_per_node=4, host_device_link=PCIE3,
     network=FDR_IB, node_mem_bytes=256 * 2**30, max_nodes=20,
+    faults=COMMODITY_GPU_FAULTS,
 ))
 
 #: Blue Gene/Q (Sequoia class): the prior-generation scalable platform.
@@ -268,6 +342,7 @@ BGQ = _register(Machine(
     name="bgq", year=2012, cpu=BGQ_CPU, cpu_sockets=1,
     gpu=None, gpus_per_node=0, host_device_link=None,
     network=BGQ_TORUS, node_mem_bytes=16 * 2**30, max_nodes=98304,
+    faults=BGQ_FAULTS,
 ))
 
 # Historical machines from Table 2 (graph analytics).  Specs are

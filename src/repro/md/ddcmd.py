@@ -15,8 +15,9 @@ shifted-LJ nonbonded interactions, harmonic bonds, and cosine angles.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -70,6 +71,8 @@ class DdcMD:
         self.potential_energy = 0.0
         self.virial = 0.0
         self.steps_taken = 0
+        #: total energy recorded at the end of the last step (ABFT ref)
+        self._abft_energy: Optional[float] = None
 
     def _forces(self, system: ParticleSystem
                 ) -> Tuple[np.ndarray, float, float]:
@@ -125,6 +128,7 @@ class DdcMD:
                                 self.integrator.dt)
             self.integrator.invalidate_forces()
         self.steps_taken += 1
+        self._abft_energy = self.total_energy()
         self._record_step_kernels()
 
     def run(self, n_steps: int) -> None:
@@ -132,6 +136,102 @@ class DdcMD:
             raise ValueError("n_steps must be >= 0")
         for _ in range(n_steps):
             self.step()
+
+    # ------------------------------------------------------------------
+    # resilience protocol (checkpoint/restart + ABFT)
+    # ------------------------------------------------------------------
+
+    @property
+    def progress(self) -> int:
+        return self.steps_taken
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Snapshot everything the trajectory depends on.
+
+        Beyond positions/velocities this must include the neighbor
+        list (its skin-reuse decision depends on reference positions,
+        and a different pair ordering changes force summation order —
+        enough to break bit-for-bit replay), the integrator's cached
+        forces, and the thermostat's RNG state.
+        """
+        sys = self.system
+        cached = self.integrator._cached
+        return {
+            "x": sys.x.copy(),
+            "v": sys.v.copy(),
+            "box": tuple(sys.box.lengths),
+            "steps_taken": self.steps_taken,
+            "potential_energy": self.potential_energy,
+            "virial": self.virial,
+            "abft_energy": self._abft_energy,
+            "cached_forces": (
+                None if cached is None
+                else (cached[0].copy(), cached[1], cached[2])
+            ),
+            "nlist": {
+                "pairs_i": self.nlist.pairs_i.copy(),
+                "pairs_j": self.nlist.pairs_j.copy(),
+                "x_ref": (
+                    None if self.nlist._x_ref is None
+                    else self.nlist._x_ref.copy()
+                ),
+                "box_ref": (
+                    None if self.nlist._box_ref is None
+                    else self.nlist._box_ref.copy()
+                ),
+                "builds": self.nlist.builds,
+                "reuses": self.nlist.reuses,
+            },
+            "thermostat_rng": (
+                None if self.thermostat is None
+                else copy.deepcopy(self.thermostat.rng.bit_generator.state)
+            ),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        sys = self.system
+        sys.box = PeriodicBox(tuple(state["box"]))
+        sys.x = state["x"].copy()
+        sys.v = state["v"].copy()
+        self.steps_taken = state["steps_taken"]
+        self.potential_energy = state["potential_energy"]
+        self.virial = state["virial"]
+        self._abft_energy = state["abft_energy"]
+        cached = state["cached_forces"]
+        self.integrator._cached = (
+            None if cached is None
+            else (cached[0].copy(), cached[1], cached[2])
+        )
+        nl = state["nlist"]
+        self.nlist.pairs_i = nl["pairs_i"].copy()
+        self.nlist.pairs_j = nl["pairs_j"].copy()
+        self.nlist._x_ref = (
+            None if nl["x_ref"] is None else nl["x_ref"].copy()
+        )
+        self.nlist._box_ref = (
+            None if nl["box_ref"] is None else nl["box_ref"].copy()
+        )
+        self.nlist.builds = nl["builds"]
+        self.nlist.reuses = nl["reuses"]
+        if self.thermostat is not None and state["thermostat_rng"] is not None:
+            self.thermostat.rng.bit_generator.state = copy.deepcopy(
+                state["thermostat_rng"]
+            )
+
+    def abft_error(self) -> float:
+        """Relative jump of the live total energy from the value
+        recorded at the end of the last step.  Physics moves this a
+        few percent per step at most; a silent corruption of positions
+        or velocities moves it by orders of magnitude."""
+        if self._abft_energy is None:
+            return 0.0
+        e_now = self.total_energy()
+        return abs(e_now - self._abft_energy) / (abs(self._abft_energy) + 1.0)
+
+    def corrupt(self, rng, magnitude: float = 100.0) -> None:
+        """Inject a silent corruption into one velocity component."""
+        k = int(rng.integers(self.system.v.size))
+        self.system.v.reshape(-1)[k] += magnitude
 
 
 def make_martini_membrane(

@@ -1,0 +1,131 @@
+"""Generic checkpoint protocol and the in-memory checkpoint store.
+
+A *checkpointable* object exposes two methods::
+
+    checkpoint_state() -> dict   # a deep snapshot of all live state
+    restore_state(state) -> None # rewind to exactly that snapshot
+
+The contract is strict: after ``restore_state``, re-running the same
+steps must reproduce the original trajectory bit-for-bit, so the
+snapshot must capture *everything* that feeds the computation —
+arrays, counters, cached forces, neighbor lists, and RNG states.
+The stepwise PCG/AMG solvers, :class:`~repro.md.ddcmd.DdcMD`, and
+:class:`~repro.workflow.mummi.MummiCampaign` all implement it; the
+property tests in ``tests/test_resilience.py`` enforce the contract.
+
+:class:`CheckpointStore` keeps the latest snapshot (plus write
+accounting) and can price the write against a machine's NVMe — the
+number the checkpoint-cadence/overhead benchmark trades off against
+MTBF.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.core.machine import Machine
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """Anything that can snapshot and rewind its full live state."""
+
+    def checkpoint_state(self) -> Dict[str, Any]: ...
+
+    def restore_state(self, state: Dict[str, Any]) -> None: ...
+
+
+#: leaf types that are immutable and safe to share between snapshots
+_IMMUTABLE = (int, float, complex, bool, str, bytes, type(None))
+
+
+def snapshot(state: Any) -> Any:
+    """Deep-copy a state dict (arrays, nested dicts, rng states).
+
+    Hand-rolled rather than ``copy.deepcopy``: the generic machinery
+    costs several PCG iterations per call, which would blow the <10%
+    checkpoint-overhead budget at the default cadence.  Containers and
+    arrays are copied structurally; immutable leaves are shared."""
+    if isinstance(state, _IMMUTABLE):
+        return state
+    if isinstance(state, np.ndarray):
+        return state.copy()
+    if isinstance(state, dict):
+        return {k: snapshot(v) for k, v in state.items()}
+    if isinstance(state, list):
+        return [snapshot(v) for v in state]
+    if isinstance(state, tuple):
+        return tuple(snapshot(v) for v in state)
+    return copy.deepcopy(state)
+
+
+def state_nbytes(state: Any) -> int:
+    """Total array payload of a snapshot, in bytes."""
+    if isinstance(state, np.ndarray):
+        return int(state.nbytes)
+    if isinstance(state, dict):
+        return sum(state_nbytes(v) for v in state.values())
+    if isinstance(state, (list, tuple)):
+        return sum(state_nbytes(v) for v in state)
+    return 0
+
+
+class CheckpointStore:
+    """Holds the most recent checkpoint of one checkpointable object.
+
+    ``save`` snapshots (deep-copies) the state so later mutation of
+    the live object cannot corrupt the checkpoint; ``load`` returns a
+    fresh copy for the same reason — a rollback must not alias the
+    stored arrays, or the next rollback would see a half-replayed
+    state.
+    """
+
+    def __init__(self) -> None:
+        self._state: Optional[Dict[str, Any]] = None
+        self.step: int = -1
+        self.saves = 0
+        self.loads = 0
+        self.bytes_written = 0
+
+    @property
+    def has_checkpoint(self) -> bool:
+        return self._state is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the currently held checkpoint."""
+        return state_nbytes(self._state) if self._state is not None else 0
+
+    def save(self, step: int, state: Dict[str, Any],
+             copy: bool = True) -> None:
+        """Store *state* as the current checkpoint.
+
+        ``copy=False`` takes ownership of *state* without the defensive
+        snapshot — only safe when the caller guarantees it holds no
+        aliases into live data, as ``checkpoint_state()`` does (it
+        returns fresh copies).  The resilient driver uses this to
+        avoid paying for every array twice."""
+        if step < 0:
+            raise ValueError("step must be >= 0")
+        self._state = snapshot(state) if copy else state
+        self.step = step
+        self.saves += 1
+        self.bytes_written += self.nbytes
+
+    def load(self) -> Tuple[int, Dict[str, Any]]:
+        if self._state is None:
+            raise RuntimeError("no checkpoint saved")
+        self.loads += 1
+        return self.step, snapshot(self._state)
+
+    def modeled_write_time(self, machine: Machine) -> float:
+        """Seconds one checkpoint write would take on *machine*'s
+        node-local NVMe (falls back to the network injection path when
+        the node has no NVMe)."""
+        bw = machine.nvme_bw if machine.nvme_bw > 0 else (
+            machine.network.injection_bw
+        )
+        return self.nbytes / bw

@@ -1,0 +1,70 @@
+"""Retry policies for fault-killed jobs.
+
+A policy answers one question: after a job's ``attempt``-th failure
+(1-based), how long should the scheduler wait before re-queuing it —
+or should it give up (``None``)?  The three shapes below are the ones
+production resource managers actually ship: retry-now, retry a bounded
+number of times, and exponential backoff (which keeps a flapping node
+from monopolizing the queue with instant re-submissions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ImmediateRetry:
+    """Re-queue the killed job right away, forever."""
+
+    def requeue_delay(self, attempt: int) -> Optional[float]:
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return 0.0
+
+
+class CappedRetry:
+    """Re-queue after a fixed *delay*, at most *max_retries* times."""
+
+    def __init__(self, max_retries: int = 3, delay: float = 0.0):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self.max_retries = max_retries
+        self.delay = delay
+
+    def requeue_delay(self, attempt: int) -> Optional[float]:
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        if attempt > self.max_retries:
+            return None
+        return self.delay
+
+
+class ExponentialBackoff:
+    """Re-queue after ``base * factor**(attempt-1)``, capped and bounded."""
+
+    def __init__(
+        self,
+        base: float = 1.0,
+        factor: float = 2.0,
+        max_delay: float = float("inf"),
+        max_retries: int = 16,
+    ):
+        if base < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.base = base
+        self.factor = factor
+        self.max_delay = max_delay
+        self.max_retries = max_retries
+
+    def requeue_delay(self, attempt: int) -> Optional[float]:
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        if attempt > self.max_retries:
+            return None
+        return min(self.base * self.factor ** (attempt - 1), self.max_delay)

@@ -1,18 +1,20 @@
 """Event-driven GPU-cluster simulator.
 
 Jobs request one GPU each (the topology-optimization jobs are
-single-GPU solves); the simulator advances through arrival and
-completion events, consulting the policy whenever GPUs free up or jobs
+single-GPU solves); the simulator advances through arrival, completion,
+and fault events, consulting the policy whenever GPUs free up or jobs
 arrive.  Everything observable is accounted: per-job waits and
-turnaround, cluster utilization, makespan, and the queue-length
-time series (the signal behind the throttling recommendation).
+turnaround, cluster utilization and goodput, makespan, the queue-length
+time series (the signal behind the throttling recommendation), and —
+when a :class:`~repro.resilience.faults.FaultInjector` is bound —
+failure/retry counts and the GPU-time destroyed by faults.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,14 +36,38 @@ class Job:
 
 @dataclass
 class SimResult:
-    """Aggregated simulation metrics."""
+    """Aggregated simulation metrics.
+
+    ``completed`` counts jobs that finished their full service within
+    the simulated window; under a ``horizon`` truncation, jobs still
+    running when the clock stopped appear in ``in_flight`` (and in
+    ``started``), not in ``completed``.  ``utilization`` is the
+    fraction of GPU-time occupied within ``[0, makespan]`` — including
+    work later destroyed by faults — while ``goodput`` counts only the
+    service of jobs that completed.
+    """
 
     makespan: float
     utilization: float
     mean_wait: float
     max_wait: float
     mean_turnaround: float
+    #: jobs whose full service finished within the simulated window
     completed: int
+    #: job attempts started (each retry of a killed job counts again)
+    started: int = 0
+    #: attempts still running when the simulation stopped
+    in_flight: int = 0
+    #: hard-fault events that killed a running job
+    failures: int = 0
+    #: killed attempts that were re-queued by the retry policy
+    retries: int = 0
+    #: killed jobs abandoned after the retry policy gave up
+    dropped: int = 0
+    #: GPU-seconds of work destroyed by faults
+    wasted_time: float = 0.0
+    #: useful GPU-time fraction: completed service / (n_gpus * makespan)
+    goodput: float = 0.0
     #: (time, queue length) samples at every event
     queue_series: List[Tuple[float, int]] = field(default_factory=list)
 
@@ -59,7 +85,9 @@ class ClusterSimulator:
 
     The policy object must implement
     ``select(queue, n_free, running) -> list of queue indices`` —
-    which queued jobs to start now.
+    which queued jobs to start now.  Out-of-range and duplicate
+    indices are ignored (a buggy policy cannot corrupt the event
+    state, it can only schedule suboptimally).
     """
 
     def __init__(self, n_gpus: int):
@@ -67,57 +95,127 @@ class ClusterSimulator:
             raise ValueError("need at least one GPU")
         self.n_gpus = n_gpus
 
-    def run(self, jobs: Sequence[Job], policy,
-            horizon: Optional[float] = None) -> SimResult:
+    def run(
+        self,
+        jobs: Sequence[Job],
+        policy,
+        horizon: Optional[float] = None,
+        fault_injector=None,
+        retry_policy=None,
+    ) -> SimResult:
+        """Run the event loop until every job is resolved.
+
+        With a *fault_injector*, hard faults arrive as a Poisson
+        process (the injector's MTBF); each fault kills one running
+        job, whose work so far is wasted.  The *retry_policy*
+        (``requeue_delay(attempt) -> delay | None``) decides whether
+        and when the killed job re-enters the queue; ``None`` retries
+        immediately and forever.  A job is *resolved* when it
+        completes or is dropped by the retry policy.
+        """
         if not jobs:
             raise ValueError("no jobs to schedule")
         jobs = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
         n = len(jobs)
         arrivals = [(j.arrival, j.job_id, j) for j in jobs]
         next_arrival = 0
-        #: (finish_time, job_id, job)
-        running: List[Tuple[float, int, Job]] = []
+        #: re-queued attempts of killed jobs: (ready_time, seq, job)
+        requeues: List[Tuple[float, int, Job]] = []
+        requeue_seq = 0
+        #: (finish_time, job_id, job, start_time)
+        running: List[Tuple[float, int, Job, float]] = []
         queue: List[Job] = []
         waits: List[float] = []
         turnarounds: List[float] = []
-        busy_time = 0.0
+        busy_time = 0.0   # occupied GPU-time, incl. work later wasted
+        useful_time = 0.0  # service of completed jobs only
+        wasted_time = 0.0
         t = 0.0
         queue_series: List[Tuple[float, int]] = []
         completed = 0
+        dropped = 0
+        failures = 0
+        retries = 0
+        started = 0
+        attempts: Dict[int, int] = {}
+        inf = float("inf")
+        next_fault = (
+            fault_injector.next_fault_after(0.0)
+            if fault_injector is not None else inf
+        )
 
         def start_ready(now: float) -> None:
-            nonlocal busy_time
+            nonlocal started
             while queue and len(running) < self.n_gpus:
                 free = self.n_gpus - len(running)
                 picks = policy.select(queue, free,
-                                      [j for _, _, j in running])
+                                      [j for _, _, j, _ in running])
+                picks = [
+                    i for i in sorted(set(picks), reverse=True)
+                    if 0 <= i < len(queue)
+                ]
                 if not picks:
                     break
-                picks = sorted(set(picks), reverse=True)
                 for idx in picks[:free]:
                     job = queue.pop(idx)
                     waits.append(now - job.arrival)
                     turnarounds.append(now - job.arrival + job.service)
-                    busy_time += job.service
                     heapq.heappush(
-                        running, (now + job.service, job.job_id, job)
+                        running,
+                        (now + job.service, job.job_id, job, now),
                     )
+                    started += 1
 
-        while completed < n:
-            # next event: arrival or completion
+        while completed + dropped < n:
+            # next event: arrival, re-queue, completion, or fault
             t_arr = (
                 arrivals[next_arrival][0]
-                if next_arrival < len(arrivals) else np.inf
+                if next_arrival < len(arrivals) else inf
             )
-            t_fin = running[0][0] if running else np.inf
-            t_next = min(t_arr, t_fin)
+            t_req = requeues[0][0] if requeues else inf
+            t_fin = running[0][0] if running else inf
+            t_fault = next_fault if fault_injector is not None else inf
+            t_work = min(t_arr, t_req, t_fin)
+            if t_work == inf:
+                # Only fault events (or nothing) remain: the policy is
+                # refusing to start the leftover queue, so no further
+                # progress is possible.
+                break
+            t_next = min(t_work, t_fault)
             if horizon is not None and t_next > horizon:
                 t = horizon
                 break
             t = t_next
-            if t_fin <= t_arr and running:
-                heapq.heappop(running)
+            if t_fin <= t_next and running:
+                finish, _, job, start = heapq.heappop(running)
                 completed += 1
+                busy_time += finish - start
+                useful_time += job.service
+            elif t_fault <= t_next and fault_injector is not None:
+                next_fault = fault_injector.next_fault_after(t)
+                if running:
+                    victim = fault_injector.pick_victim(len(running))
+                    _, job_id, job, start = running.pop(victim)
+                    heapq.heapify(running)
+                    failures += 1
+                    lost = t - start
+                    busy_time += lost
+                    wasted_time += lost
+                    attempt = attempts.get(job_id, 0) + 1
+                    attempts[job_id] = attempt
+                    delay = (
+                        0.0 if retry_policy is None
+                        else retry_policy.requeue_delay(attempt)
+                    )
+                    if delay is None:
+                        dropped += 1
+                    else:
+                        retries += 1
+                        requeue_seq += 1
+                        heapq.heappush(requeues, (
+                            t + delay, requeue_seq,
+                            replace(job, arrival=t + delay),
+                        ))
             else:
                 while (
                     next_arrival < len(arrivals)
@@ -125,11 +223,18 @@ class ClusterSimulator:
                 ):
                     queue.append(arrivals[next_arrival][2])
                     next_arrival += 1
+                while requeues and requeues[0][0] <= t:
+                    queue.append(heapq.heappop(requeues)[2])
             start_ready(t)
             queue_series.append((t, len(queue)))
 
         makespan = t
-        util = busy_time / (self.n_gpus * makespan) if makespan > 0 else 0.0
+        # attempts still on a GPU delivered occupancy up to the clock stop
+        for finish, _, job, start in running:
+            busy_time += max(0.0, min(finish, makespan) - start)
+        capacity = self.n_gpus * makespan
+        util = busy_time / capacity if makespan > 0 else 0.0
+        goodput = useful_time / capacity if makespan > 0 else 0.0
         return SimResult(
             makespan=makespan,
             utilization=min(util, 1.0),
@@ -139,5 +244,12 @@ class ClusterSimulator:
                 float(np.mean(turnarounds)) if turnarounds else 0.0
             ),
             completed=completed,
+            started=started,
+            in_flight=len(running),
+            failures=failures,
+            retries=retries,
+            dropped=dropped,
+            wasted_time=wasted_time,
+            goodput=min(goodput, 1.0),
             queue_series=queue_series,
         )

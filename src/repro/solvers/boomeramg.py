@@ -232,22 +232,19 @@ class BoomerAMG:
         max_iter: int = 100,
     ) -> "tuple[np.ndarray, ConvergenceInfo]":
         """Stand-alone AMG iteration: repeat V-cycles to tolerance."""
+        return self.solve_session(b, x0=x0, tol=tol, max_iter=max_iter).solve()
+
+    def solve_session(
+        self,
+        b: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+        tol: float = 1e-8,
+        max_iter: int = 100,
+    ) -> "AmgSolve":
+        """Stepwise (checkpointable) stand-alone AMG solve."""
         if self.hierarchy is None:
             raise RuntimeError("call setup() before solve()")
-        a = self.hierarchy.levels[0].a
-        x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
-        bnorm = float(np.linalg.norm(b))
-        target = tol * (bnorm if bnorm > 0 else 1.0)
-        norms = [float(np.linalg.norm(a.residual(b, x)))]
-        if norms[0] <= target:
-            return x, ConvergenceInfo(True, 0, norms)
-        for it in range(1, max_iter + 1):
-            x = self.vcycle(b, x)
-            rnorm = float(np.linalg.norm(a.residual(b, x)))
-            norms.append(rnorm)
-            if rnorm <= target:
-                return x, ConvergenceInfo(True, it, norms)
-        return x, ConvergenceInfo(False, max_iter, norms)
+        return AmgSolve(self, b, x0=x0, tol=tol, max_iter=max_iter)
 
     # ------------------------------------------------------------------
 
@@ -260,3 +257,97 @@ class BoomerAMG:
             return self.vcycle(r)
 
         return apply
+
+
+class AmgSolve:
+    """One stand-alone AMG solve, advanced one V-cycle at a time.
+
+    The cross-iteration state is just the iterate (the hierarchy is
+    immutable after setup), so a checkpoint is cheap: ``x`` plus the
+    residual history.  Restoring and replaying V-cycles reproduces the
+    uninterrupted solve bit-for-bit — V-cycles are deterministic.
+    """
+
+    def __init__(
+        self,
+        amg: BoomerAMG,
+        b: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+        tol: float = 1e-8,
+        max_iter: int = 100,
+    ):
+        if amg.hierarchy is None:
+            raise RuntimeError("call setup() before AmgSolve")
+        if max_iter < 0:
+            raise ValueError("max_iter must be >= 0")
+        self.amg = amg
+        self.b = np.asarray(b, dtype=np.float64)
+        self.max_iter = max_iter
+        self.x = (
+            np.zeros_like(self.b) if x0 is None
+            else np.array(x0, dtype=np.float64)
+        )
+        a = amg.hierarchy.levels[0].a
+        bnorm = float(np.linalg.norm(self.b))
+        self._bnorm = bnorm if bnorm > 0 else 1.0
+        self.target = tol * self._bnorm
+        self.norms: List[float] = [
+            float(np.linalg.norm(a.residual(self.b, self.x)))
+        ]
+        self.it = 0
+        self.converged = self.norms[0] <= self.target
+        self.done = self.converged or max_iter == 0
+
+    @property
+    def progress(self) -> int:
+        return self.it
+
+    def step(self) -> bool:
+        """One V-cycle; returns True when the solve is finished."""
+        if self.done:
+            return True
+        a = self.amg.hierarchy.levels[0].a
+        self.x = self.amg.vcycle(self.b, self.x)
+        rnorm = float(np.linalg.norm(a.residual(self.b, self.x)))
+        self.norms.append(rnorm)
+        self.it += 1
+        if rnorm <= self.target:
+            self.converged = True
+            self.done = True
+        elif self.it >= self.max_iter:
+            self.done = True
+        return self.done
+
+    def info(self) -> ConvergenceInfo:
+        return ConvergenceInfo(self.converged, self.it, list(self.norms))
+
+    def solve(self) -> "tuple[np.ndarray, ConvergenceInfo]":
+        while not self.done:
+            self.step()
+        return self.x, self.info()
+
+    # -- resilience protocol -------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        return {
+            "x": self.x.copy(), "it": self.it, "norms": np.asarray(self.norms),
+            "done": self.done, "converged": self.converged,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.x = state["x"].copy()
+        self.it = state["it"]
+        self.norms = [float(v) for v in state["norms"]]
+        self.done = state["done"]
+        self.converged = state["converged"]
+
+    def abft_error(self) -> float:
+        """Relative drift between the recorded and true residual norms."""
+        a = self.amg.hierarchy.levels[0].a
+        true_r = float(np.linalg.norm(a.residual(self.b, self.x)))
+        return abs(true_r - self.norms[-1]) / self._bnorm
+
+    def corrupt(self, rng, magnitude: float = 1e4) -> None:
+        """Inject a silent corruption into the live iterate."""
+        k = int(rng.integers(self.x.size))
+        self.x[k] += magnitude

@@ -44,6 +44,131 @@ class ConvergenceInfo:
         return self.residual_norms[-1] / self.residual_norms[0]
 
 
+class PcgSolver:
+    """Stepwise preconditioned CG with checkpoint/restart support.
+
+    Same numerics as :func:`pcg` (which is now a thin loop over this
+    class), but one iteration at a time, so the resilience layer can
+    snapshot the cross-iteration state (``x, r, p, rz``) between
+    steps, roll back after an injected fault, and replay to a
+    bit-identical result.  The ABFT check compares the recurrence
+    residual norm against the true residual ``||b - Ax||`` — silent
+    corruption of the iterate breaks their agreement.
+    """
+
+    def __init__(
+        self,
+        a: Operator,
+        b: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+        preconditioner: Optional[Operator] = None,
+        tol: float = 1e-8,
+        max_iter: int = 500,
+    ):
+        if max_iter < 0:
+            raise ValueError("max_iter must be >= 0")
+        self.a = a
+        self.preconditioner = preconditioner
+        self.b = np.asarray(b, dtype=np.float64)
+        self.max_iter = max_iter
+        self.x = (
+            np.zeros_like(self.b) if x0 is None
+            else np.array(x0, dtype=np.float64)
+        )
+        self.r = self.b - _apply(a, self.x)
+        bnorm = float(np.linalg.norm(self.b))
+        self._bnorm = bnorm if bnorm > 0 else 1.0
+        self.target = tol * self._bnorm
+        self.norms: List[float] = [float(np.linalg.norm(self.r))]
+        self.it = 0
+        self.converged = self.norms[0] <= self.target
+        self.done = self.converged or max_iter == 0
+        if not self.converged:
+            z = (
+                _apply(preconditioner, self.r)
+                if preconditioner is not None else self.r.copy()
+            )
+            self.p = z.copy()
+            self.rz = float(self.r @ z)
+        else:
+            self.p = np.zeros_like(self.b)
+            self.rz = 0.0
+
+    @property
+    def progress(self) -> int:
+        return self.it
+
+    def step(self) -> bool:
+        """One CG iteration; returns True when the solve is finished."""
+        if self.done:
+            return True
+        ap = _apply(self.a, self.p)
+        pap = float(self.p @ ap)
+        if pap <= 0:
+            # not SPD (or breakdown): stop with current iterate
+            self.done = True
+            return True
+        alpha = self.rz / pap
+        self.x += alpha * self.p
+        self.r -= alpha * ap
+        rnorm = float(np.linalg.norm(self.r))
+        self.norms.append(rnorm)
+        self.it += 1
+        if rnorm <= self.target:
+            self.converged = True
+            self.done = True
+            return True
+        if self.it >= self.max_iter:
+            self.done = True
+            return True
+        z = (
+            _apply(self.preconditioner, self.r)
+            if self.preconditioner is not None else self.r
+        )
+        rz_new = float(self.r @ z)
+        beta = rz_new / self.rz
+        self.rz = rz_new
+        self.p = z + beta * self.p
+        return False
+
+    def info(self) -> ConvergenceInfo:
+        return ConvergenceInfo(self.converged, self.it, list(self.norms))
+
+    # -- resilience protocol -------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        return {
+            "x": self.x.copy(), "r": self.r.copy(), "p": self.p.copy(),
+            "rz": self.rz, "it": self.it, "norms": np.asarray(self.norms),
+            "done": self.done, "converged": self.converged,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.x = state["x"].copy()
+        self.r = state["r"].copy()
+        self.p = state["p"].copy()
+        self.rz = state["rz"]
+        self.it = state["it"]
+        self.norms = [float(v) for v in state["norms"]]
+        self.done = state["done"]
+        self.converged = state["converged"]
+
+    def abft_error(self) -> float:
+        """Relative drift between recurrence and true residual norms."""
+        true_r = float(np.linalg.norm(self.b - _apply(self.a, self.x)))
+        return abs(true_r - self.norms[-1]) / self._bnorm
+
+    def corrupt(self, rng, magnitude: float = 1e4) -> None:
+        """Inject a silent corruption into the live iterate."""
+        k = int(rng.integers(self.x.size))
+        self.x[k] += magnitude
+
+    def solve(self) -> "tuple[np.ndarray, ConvergenceInfo]":
+        while not self.done:
+            self.step()
+        return self.x, self.info()
+
+
 def pcg(
     a: Operator,
     b: np.ndarray,
@@ -57,38 +182,10 @@ def pcg(
     Convergence test: ||r||_2 <= tol * ||b||_2 (hypre's default
     relative criterion).
     """
-    b = np.asarray(b, dtype=np.float64)
-    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
-    if max_iter < 0:
-        raise ValueError("max_iter must be >= 0")
-    r = b - _apply(a, x)
-    bnorm = float(np.linalg.norm(b))
-    target = tol * (bnorm if bnorm > 0 else 1.0)
-    norms = [float(np.linalg.norm(r))]
-    if norms[0] <= target:
-        return x, ConvergenceInfo(True, 0, norms)
-    z = _apply(preconditioner, r) if preconditioner is not None else r.copy()
-    p = z.copy()
-    rz = float(r @ z)
-    for it in range(1, max_iter + 1):
-        ap = _apply(a, p)
-        pap = float(p @ ap)
-        if pap <= 0:
-            # not SPD (or breakdown): stop with current iterate
-            return x, ConvergenceInfo(False, it - 1, norms)
-        alpha = rz / pap
-        x += alpha * p
-        r -= alpha * ap
-        rnorm = float(np.linalg.norm(r))
-        norms.append(rnorm)
-        if rnorm <= target:
-            return x, ConvergenceInfo(True, it, norms)
-        z = _apply(preconditioner, r) if preconditioner is not None else r
-        rz_new = float(r @ z)
-        beta = rz_new / rz
-        rz = rz_new
-        p = z + beta * p
-    return x, ConvergenceInfo(False, max_iter, norms)
+    return PcgSolver(
+        a, b, x0=x0, preconditioner=preconditioner, tol=tol,
+        max_iter=max_iter,
+    ).solve()
 
 
 def gmres(

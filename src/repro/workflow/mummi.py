@@ -12,8 +12,9 @@ analysis summary back into the macro state.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -74,6 +75,8 @@ class MummiCampaign:
         steps_per_sim: int = 25_000,
         jobs_per_cycle: int = 24,
         seed: int = 0,
+        fault_injector=None,
+        retry_policy=None,
     ):
         if md_code not in ("ddcmd", "gromacs"):
             raise ValueError("md_code must be 'ddcmd' or 'gromacs'")
@@ -86,10 +89,16 @@ class MummiCampaign:
         self.jobs_per_cycle = jobs_per_cycle
         self.macro = MacroModel(seed=seed)
         self.rng = make_rng(seed + 1)
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
         self.explored: List[float] = []
         self.results: List[MicroResult] = []
         self.gpu_hours = 0.0
         self.wall_time = 0.0
+        self.cycles_done = 0
+        self.failures = 0
+        self.job_retries = 0
+        self.wasted_gpu_hours = 0.0
         # per-simulation GPU time from the §4.6 model.  Each micro sim
         # owns one GPU; the node's sockets are shared between the
         # concurrent sims on that node, and the macro model + in-situ
@@ -128,7 +137,11 @@ class MummiCampaign:
                 service=service * float(self.rng.uniform(0.9, 1.1)))
             for k in range(candidates.size)
         ]
-        result = ClusterSimulator(self.n_gpus).run(jobs, Fcfs())
+        result = ClusterSimulator(self.n_gpus).run(
+            jobs, Fcfs(),
+            fault_injector=self.fault_injector,
+            retry_policy=self.retry_policy,
+        )
         # in-situ analysis: summarize each micro sim and feed back
         for patch_idx in candidates:
             comp = float(comps[patch_idx])
@@ -139,10 +152,16 @@ class MummiCampaign:
             ))
         self.gpu_hours += sum(j.service for j in jobs) / 3600.0
         self.wall_time += result.makespan
+        self.cycles_done += 1
+        self.failures += result.failures
+        self.job_retries += result.retries
+        self.wasted_gpu_hours += result.wasted_time / 3600.0
         return {
             "simulations": float(len(jobs)),
             "makespan": result.makespan,
             "utilization": result.utilization,
+            "goodput": result.goodput,
+            "failures": float(result.failures),
         }
 
     def run(self, n_cycles: int) -> None:
@@ -164,3 +183,78 @@ class MummiCampaign:
             return 0.0
         hist, _ = np.histogram(self.explored, bins=bins, range=(0.0, 1.0))
         return float((hist > 0).mean())
+
+    # ------------------------------------------------------------------
+    # resilience protocol (checkpoint/restart + ABFT)
+    # ------------------------------------------------------------------
+
+    @property
+    def progress(self) -> int:
+        return self.cycles_done
+
+    def step(self) -> Dict[str, float]:
+        """One campaign cycle (the unit the resilient driver advances)."""
+        return self.run_cycle()
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Snapshot the full campaign: macro field, both RNG streams,
+        the explored/novelty history, accounting, and the fault
+        injector's stream (so a restart replays the same downstream
+        fault schedule)."""
+        return {
+            "field": self.macro.field.copy(),
+            "macro_rng": copy.deepcopy(self.macro.rng.bit_generator.state),
+            "rng": copy.deepcopy(self.rng.bit_generator.state),
+            "explored": list(self.explored),
+            "results": [
+                (r.composition, r.observable) for r in self.results
+            ],
+            "gpu_hours": self.gpu_hours,
+            "wall_time": self.wall_time,
+            "cycles_done": self.cycles_done,
+            "failures": self.failures,
+            "job_retries": self.job_retries,
+            "wasted_gpu_hours": self.wasted_gpu_hours,
+            "injector": (
+                None if self.fault_injector is None
+                else self.fault_injector.checkpoint_state()
+            ),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.macro.field = state["field"].copy()
+        self.macro.rng.bit_generator.state = copy.deepcopy(
+            state["macro_rng"]
+        )
+        self.rng.bit_generator.state = copy.deepcopy(state["rng"])
+        self.explored = list(state["explored"])
+        self.results = [
+            MicroResult(composition=c, observable=o)
+            for c, o in state["results"]
+        ]
+        self.gpu_hours = state["gpu_hours"]
+        self.wall_time = state["wall_time"]
+        self.cycles_done = state["cycles_done"]
+        self.failures = state["failures"]
+        self.job_retries = state["job_retries"]
+        self.wasted_gpu_hours = state["wasted_gpu_hours"]
+        if self.fault_injector is not None and state["injector"] is not None:
+            self.fault_injector.restore_state(state["injector"])
+
+    #: composition values live in O(1) territory; anything near this
+    #: bound can only come from corrupted state
+    ABFT_FIELD_BOUND = 1e3
+
+    def abft_error(self) -> float:
+        """Macro-field range check: compositions are O(1) physical
+        quantities, so a non-finite or huge entry means the field was
+        corrupted in flight."""
+        f = self.macro.field
+        if not np.isfinite(f).all():
+            return float("inf")
+        return float(np.abs(f).max()) / self.ABFT_FIELD_BOUND
+
+    def corrupt(self, rng, magnitude: float = 1e6) -> None:
+        """Inject a silent corruption into the macro field."""
+        k = int(rng.integers(self.macro.field.size))
+        self.macro.field.reshape(-1)[k] += magnitude

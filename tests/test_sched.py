@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.sched.policies import Fcfs, Sjf, SjfWithQuota
-from repro.sched.simulator import ClusterSimulator, Job
+from repro.sched.simulator import ClusterSimulator, Job, SimResult
 from repro.sched.workloads import (
     batch_workload,
     offered_load,
@@ -146,3 +146,86 @@ class TestThrottling:
         assert [(j.arrival, j.service) for j in a] == [
             (j.arrival, j.service) for j in b
         ]
+
+class TestHorizonAccounting:
+    """Horizon truncation: utilization counts busy time only within
+    [0, makespan], and in-flight work is visible in the result."""
+
+    def test_horizon_mid_service(self):
+        """2 GPUs, one job of service 10, horizon 5: the job is still
+        in flight at the horizon, so utilization is (5 busy GPU-sec)
+        over (2 GPUs * 5 sec) = 0.5 — not the pre-fix 10/10 = 1.0."""
+        jobs = [Job(0, 0.0, 10.0)]
+        result = ClusterSimulator(2).run(jobs, Fcfs(), horizon=5.0)
+        assert result.makespan == pytest.approx(5.0)
+        assert result.utilization == pytest.approx(0.5)
+        assert result.completed == 0
+        assert result.started == 1
+        assert result.in_flight == 1
+
+    def test_horizon_counts_only_completed(self):
+        """`completed` means finished within the horizon; started-but-
+        unfinished jobs show up in `in_flight` instead."""
+        jobs = [Job(k, 0.0, 4.0) for k in range(3)]
+        result = ClusterSimulator(1).run(jobs, Fcfs(), horizon=6.0)
+        assert result.completed == 1
+        assert result.in_flight == 1
+        assert result.started == 2
+
+    def test_no_horizon_all_in_flight_zero(self):
+        jobs = batch_workload(n_jobs=20, seed=5)
+        result = ClusterSimulator(4).run(jobs, Fcfs())
+        assert result.in_flight == 0
+        assert result.started == 20
+        assert result.completed == 20
+
+    def test_utilization_never_above_one_with_horizon(self):
+        jobs = poisson_workload(n_jobs=60, arrival_rate=3.0, seed=6)
+        for horizon in (1.0, 5.0, 20.0):
+            result = ClusterSimulator(4).run(jobs, Fcfs(), horizon=horizon)
+            assert result.utilization <= 1.0 + 1e-12
+
+
+class _BadIndexPolicy:
+    """Policy returning out-of-range and duplicate indices; the
+    simulator must filter/dedupe them rather than crash or double-
+    start a job."""
+
+    def __init__(self, picks):
+        self.picks = picks
+
+    def select(self, queue, free_gpus, running):
+        return list(self.picks)
+
+
+class TestPolicyIndexSanitization:
+    def test_out_of_range_indices_filtered(self):
+        jobs = [Job(k, 0.0, 1.0) for k in range(3)]
+        policy = _BadIndexPolicy([0, 99, -1])
+        result = ClusterSimulator(2).run(jobs, policy)
+        assert result.completed == 3
+        assert result.utilization <= 1.0 + 1e-12
+
+    def test_duplicate_indices_deduped(self):
+        jobs = [Job(k, 0.0, 2.0) for k in range(4)]
+        policy = _BadIndexPolicy([0, 0, 0])
+        result = ClusterSimulator(4).run(jobs, policy)
+        # duplicates collapse to one start per call; the fill loop
+        # re-invokes the policy, so each job still starts exactly once
+        assert result.completed == 4
+        assert result.started == 4
+        assert result.makespan == pytest.approx(2.0)
+        assert result.utilization == pytest.approx(1.0)
+
+
+class TestQueueSeriesProperties:
+    def test_zero_length_queue_series(self):
+        """peak_queue / final_queue on an empty series are 0, not an
+        IndexError."""
+        result = SimResult(
+            makespan=0.0, utilization=0.0, mean_wait=0.0, max_wait=0.0,
+            mean_turnaround=0.0, completed=0,
+        )
+        assert result.queue_series == []
+        assert result.peak_queue == 0
+        assert result.final_queue == 0
