@@ -1,0 +1,404 @@
+#!/usr/bin/env python
+"""Perf-regression harness: time the hot paths, emit BENCH_N.json.
+
+Runs a curated subset of the repo's performance-critical kernels with
+fixed seeds, timing both the SEQ reference implementation and the
+vectorized fast path of each:
+
+- ``gauss_seidel``   — lexicographic triangular-solve sweeps vs the
+  multicolor (red-black) vectorized sweeps.
+- ``md_neighbor``    — per-cell Python-loop neighbor build vs the
+  compiled periodic kd-tree build.
+- ``md_forces``      — ``np.add.at`` force scatter vs the per-component
+  ``np.bincount`` scatter.
+- ``sched_events``   — policy.select over a list (O(queue) per event)
+  vs the heap-backed fast queue engine.
+- ``trace_pricing``  — per-entry roofline pricing (memo disabled) of a
+  plain trace vs pricing the record-time-compacted trace with memoized
+  per-launch times; totals must agree.
+- ``jit_warm_start`` — cold render+compile vs warm start from the
+  persistent on-disk JIT cache.
+
+Each case records ``wall_s`` (fast path), ``ref_wall_s`` (reference),
+``speedup``, and — where the workload has a roofline trace —
+``modeled_s``, the modeled execution time on the sierra node.  Modeled
+times come from the performance model, not the host clock, so they are
+bit-stable across machines; wall times are what the regression gate
+checks.
+
+Output is ``BENCH_<n>.json`` in the repo root (next free index, or
+``--output``).  When an earlier ``BENCH_*.json`` exists, each case's
+``wall_s`` is compared against the most recent baseline with the same
+mode; a slowdown beyond ``--tolerance`` (default 1.5x, wall clocks are
+noisy) fails the run with exit code 1.
+
+``--smoke`` shrinks every case for CI (< ~1 minute total); full mode
+uses the sizes the acceptance numbers quote (10^4-row Gauss-Seidel,
+8000-particle neighbor build, 10^4-job schedule, 10^5-launch trace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SCHEMA = 1
+
+
+def _timed(fn: Callable[[], object]) -> Tuple[object, float]:
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _case(name: str, wall_s: float, ref_wall_s: Optional[float] = None,
+          modeled_s: Optional[float] = None, check: str = "ok") -> Dict:
+    rec = {
+        "name": name,
+        "wall_s": round(wall_s, 6),
+        "ref_wall_s": None if ref_wall_s is None else round(ref_wall_s, 6),
+        "speedup": (
+            None if ref_wall_s is None or wall_s == 0
+            else round(ref_wall_s / wall_s, 2)
+        ),
+        "modeled_s": None if modeled_s is None else float(modeled_s),
+        "check": check,
+    }
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# cases
+# ---------------------------------------------------------------------------
+
+
+def case_gauss_seidel(smoke: bool) -> Dict:
+    from repro.core.forall import ExecutionContext
+    from repro.core.machine import get_machine
+    from repro.core.roofline import RooflineModel
+    from repro.solvers import (
+        gauss_seidel,
+        gauss_seidel_multicolor,
+        poisson_2d,
+    )
+    from repro.solvers.csr import CsrMatrix
+
+    grid = 40 if smoke else 100
+    sweeps = 4 if smoke else 10
+    ctx = ExecutionContext()
+    a = CsrMatrix(poisson_2d(grid), ctx=ctx)
+    n = a.shape[0]
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(n)
+    x0 = np.zeros(n)
+
+    ref, t_ref = _timed(lambda: gauss_seidel(a, b, x0, sweeps=sweeps))
+    gauss_seidel_multicolor(a, b, x0, sweeps=1)  # build/cache the coloring
+    fast, t_fast = _timed(
+        lambda: gauss_seidel_multicolor(a, b, x0, sweeps=sweeps)
+    )
+    r_ref = float(np.linalg.norm(b - a.tocsr() @ ref))
+    r_fast = float(np.linalg.norm(b - a.tocsr() @ fast))
+    ok = r_fast <= 1.5 * r_ref
+    # modeled cost of the sweeps' SpMV work on sierra (1 GPU)
+    ctx.trace.clear()
+    for _ in range(sweeps):
+        a.matvec(x0)
+    model = RooflineModel(get_machine("sierra"))
+    modeled = model.run_on_gpu(ctx.trace, compact=True).total
+    return _case(
+        "gauss_seidel", t_fast, t_ref, modeled,
+        "ok" if ok else f"residual {r_fast:.3e} vs ref {r_ref:.3e}",
+    )
+
+
+def _md_setup(smoke: bool):
+    from repro.md.particles import ParticleSystem, PeriodicBox
+
+    n = 1200 if smoke else 8000
+    rho = 0.5
+    side = (n / rho) ** (1.0 / 3.0)
+    box = PeriodicBox([side, side, side])
+    return ParticleSystem.random_gas(n, box, seed=11)
+
+
+def case_md_neighbor(smoke: bool) -> Dict:
+    from repro.md.neighbor import NeighborList
+
+    system = _md_setup(smoke)
+    ref_nl = NeighborList(cutoff=2.5, skin=0.3, method="reference")
+    fast_nl = NeighborList(cutoff=2.5, skin=0.3, method="fast")
+    _, t_ref = _timed(lambda: ref_nl.build(system))
+    _, t_fast = _timed(lambda: fast_nl.build(system))
+    ref_pairs = set(zip(np.minimum(ref_nl.pairs_i, ref_nl.pairs_j).tolist(),
+                        np.maximum(ref_nl.pairs_i, ref_nl.pairs_j).tolist()))
+    fast_pairs = set(zip(np.minimum(fast_nl.pairs_i, fast_nl.pairs_j).tolist(),
+                         np.maximum(fast_nl.pairs_i, fast_nl.pairs_j).tolist()))
+    ok = ref_pairs == fast_pairs
+    return _case(
+        "md_neighbor", t_fast, t_ref, None,
+        "ok" if ok else "pair sets differ",
+    )
+
+
+def case_md_forces(smoke: bool) -> Dict:
+    from repro.md.neighbor import NeighborList
+    from repro.md.potentials import LennardJones, PairProcessor
+
+    system = _md_setup(smoke)
+    nl = NeighborList(cutoff=2.5, skin=0.3)
+    nl.build(system)
+    proc = PairProcessor(LennardJones(cutoff=2.5))
+    reps = 3 if smoke else 5
+
+    def run(method: str):
+        for _ in range(reps):
+            out = proc.compute(system, nl.pairs_i, nl.pairs_j, method=method)
+        return out
+
+    (f_ref, e_ref, _), t_ref = _timed(lambda: run("reference"))
+    (f_fast, e_fast, _), t_fast = _timed(lambda: run("fast"))
+    ok = np.allclose(f_ref, f_fast, atol=1e-9) and np.isclose(e_ref, e_fast)
+    return _case(
+        "md_forces", t_fast, t_ref, None,
+        "ok" if ok else "forces differ",
+    )
+
+
+def case_sched_events(smoke: bool) -> Dict:
+    from repro.sched import ClusterSimulator, Sjf, batch_workload
+
+    n_jobs = 1500 if smoke else 10_000
+    jobs = batch_workload(n_jobs=n_jobs, seed=7)
+    sim = ClusterSimulator(16)
+    policy = Sjf()
+    r_ref, t_ref = _timed(lambda: sim.run(jobs, policy, engine="reference"))
+    r_fast, t_fast = _timed(lambda: sim.run(jobs, policy, engine="fast"))
+    ok = (
+        r_ref.makespan == r_fast.makespan
+        and r_ref.mean_wait == r_fast.mean_wait
+        and r_ref.queue_series == r_fast.queue_series
+    )
+    return _case(
+        "sched_events", t_fast, t_ref, None,
+        "ok" if ok else "schedules differ",
+    )
+
+
+def case_trace_pricing(smoke: bool) -> Dict:
+    from repro.core.kernels import KernelSpec, KernelTrace, TransferSpec
+    from repro.core.machine import get_machine
+    from repro.core.roofline import RooflineModel
+
+    n_launches = 10_000 if smoke else 100_000
+    specs = [
+        KernelSpec(name=f"k{i}", flops=1e9 + i * 1e7, bytes_read=4e8,
+                   bytes_written=2e8, compute_efficiency=0.4,
+                   bandwidth_efficiency=0.6)
+        for i in range(8)
+    ]
+
+    def record_into(trace: KernelTrace) -> None:
+        # blocks of repeated launches: the hot-loop shape compaction
+        # targets (same kernel re-launched every sweep/step)
+        i = 0
+        for spec in specs:
+            for _ in range(n_launches // len(specs)):
+                trace.record_kernel(spec)
+                if i % 100 == 0:
+                    trace.record_transfer(
+                        TransferSpec(name="halo", nbytes=1e6,
+                                     direction="h2d")
+                    )
+                i += 1
+
+    plain = KernelTrace()
+    record_into(plain)
+    compacting = KernelTrace(compacting=True)
+    record_into(compacting)
+
+    machine = get_machine("sierra")
+    ref_model = RooflineModel(machine, memo_size=0)
+    fast_model = RooflineModel(machine)
+    rep_ref, t_ref = _timed(lambda: ref_model.run_on_gpu(plain))
+    # the fast pricing is microseconds; average it for a stable wall
+    reps = 100
+
+    def price_fast():
+        rep = None
+        for _ in range(reps):
+            rep = fast_model.run_on_gpu(compacting, compact=True)
+        return rep
+
+    rep_fast, t_fast = _timed(price_fast)
+    t_fast /= reps
+    ok = (
+        np.isclose(rep_ref.total, rep_fast.total, rtol=1e-9)
+        and np.isclose(rep_ref.kernel_time, rep_fast.kernel_time, rtol=1e-9)
+    )
+    return _case(
+        "trace_pricing", t_fast, t_ref, rep_fast.total,
+        "ok" if ok else
+        f"totals differ: {rep_ref.total} vs {rep_fast.total}",
+    )
+
+
+def case_jit_warm_start(smoke: bool) -> Dict:
+    from repro.core.jit import JitCache
+
+    n_kernels = 12 if smoke else 40
+    template = "\n".join(
+        ["def kern(x):", "    acc = x"]
+        + [f"    acc = acc * $A + $B + {i}" for i in range(30)]
+        + ["    return acc"]
+    )
+    tmp = tempfile.mkdtemp(prefix="bench-jit-")
+    try:
+        def compile_all(cache: JitCache) -> float:
+            total = 0.0
+            for i in range(n_kernels):
+                k = cache.compile(
+                    "kern", template, {"A": 1.0 + i, "B": float(i)}
+                )
+                total += k(1.0)
+            return total
+
+        cold = JitCache(persist_dir=tmp)
+        v_cold, t_cold = _timed(lambda: compile_all(cold))
+        warm = JitCache(persist_dir=tmp)
+        v_warm, t_warm = _timed(lambda: compile_all(warm))
+        ok = v_cold == v_warm and warm.disk_hits == n_kernels
+        return _case(
+            "jit_warm_start", t_warm, t_cold, None,
+            "ok" if ok else
+            f"disk hits {warm.disk_hits}/{n_kernels}",
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
+    ("gauss_seidel", case_gauss_seidel),
+    ("md_neighbor", case_md_neighbor),
+    ("md_forces", case_md_forces),
+    ("sched_events", case_sched_events),
+    ("trace_pricing", case_trace_pricing),
+    ("jit_warm_start", case_jit_warm_start),
+]
+
+
+# ---------------------------------------------------------------------------
+# baseline comparison
+# ---------------------------------------------------------------------------
+
+
+def _bench_files(root: Path) -> List[Tuple[int, Path]]:
+    out = []
+    for p in root.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", p.name)
+        if m:
+            out.append((int(m.group(1)), p))
+    return sorted(out)
+
+
+def _next_output(root: Path) -> Path:
+    files = _bench_files(root)
+    nxt = max((i for i, _ in files), default=1) + 1
+    return root / f"BENCH_{nxt}.json"
+
+
+def compare(report: Dict, baseline: Dict, tolerance: float) -> List[str]:
+    """Regressions of *report* against *baseline* (empty list = clean)."""
+    problems: List[str] = []
+    if baseline.get("mode") != report.get("mode"):
+        # different sizes: nothing comparable, not a failure
+        return problems
+    base_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    for c in report["cases"]:
+        old = base_cases.get(c["name"])
+        if old is None or not old.get("wall_s"):
+            continue
+        ratio = c["wall_s"] / old["wall_s"]
+        if ratio > tolerance:
+            problems.append(
+                f"{c['name']}: wall {c['wall_s']:.4f}s vs baseline "
+                f"{old['wall_s']:.4f}s ({ratio:.2f}x > {tolerance:.2f}x)"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small sizes for CI (< ~1 minute)")
+    ap.add_argument("--output", type=Path, default=None,
+                    help="output JSON path (default: next BENCH_<n>.json)")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="explicit baseline JSON (default: newest BENCH_*)")
+    ap.add_argument("--tolerance", type=float, default=1.5,
+                    help="allowed wall-time ratio vs baseline (default 1.5)")
+    ap.add_argument("--only", action="append", default=None,
+                    help="run only the named case (repeatable)")
+    args = ap.parse_args(argv)
+
+    out_path = args.output or _next_output(REPO)
+    baseline_path = args.baseline
+    if baseline_path is None:
+        prior = [p for _, p in _bench_files(REPO) if p != out_path]
+        baseline_path = prior[-1] if prior else None
+
+    cases = []
+    failures = []
+    for name, fn in CASES:
+        if args.only and name not in args.only:
+            continue
+        rec = fn(args.smoke)
+        cases.append(rec)
+        speed = f"{rec['speedup']}x" if rec["speedup"] else "-"
+        print(f"{name:16s} wall {rec['wall_s']:.4f}s  "
+              f"ref {rec['ref_wall_s']}s  speedup {speed}  [{rec['check']}]")
+        if rec["check"] != "ok":
+            failures.append(f"{name}: {rec['check']}")
+
+    report = {
+        "schema": SCHEMA,
+        "mode": "smoke" if args.smoke else "full",
+        "cases": cases,
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    if failures:
+        print("CORRECTNESS FAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        return 2
+
+    if baseline_path is not None and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        problems = compare(report, baseline, args.tolerance)
+        if problems:
+            print(f"REGRESSIONS vs {baseline_path.name}:")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        print(f"no regressions vs {baseline_path.name}")
+    else:
+        print("no baseline found; skipping comparison")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

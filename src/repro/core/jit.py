@@ -23,9 +23,21 @@ folding), so the mechanism — not just the story — is measurable here.
 from __future__ import annotations
 
 import hashlib
+import importlib.util
+import marshal
+import os
+import pickle
+import tempfile
 import textwrap
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+#: Environment variable naming the default on-disk JIT cache directory.
+#: Unset (and no ``persist_dir`` argument) disables persistence.
+JIT_CACHE_ENV = "REPRO_JIT_CACHE_DIR"
+
+#: On-disk entry format version; bump on layout changes.
+_DISK_FORMAT = 1
 
 
 def _literal(value: Any) -> str:
@@ -84,18 +96,117 @@ class JitCache:
     ... )
     >>> kern(3.0, 1.0)
     7.0
+
+    Persistence
+    -----------
+    With ``persist_dir`` set (or the ``REPRO_JIT_CACHE_DIR``
+    environment variable), every compiled kernel is also stored on
+    disk — rendered source plus marshaled bytecode, keyed by the same
+    (entry, template, constants) hash — so DSL/codegen-heavy runs skip
+    both template rendering *and* ``compile()`` across processes.
+    Bytecode is interpreter-version-specific, so the interpreter magic
+    number is part of the entry and a mismatch is treated as a miss.
+    Any corruption (truncated pickle, bad marshal payload, wrong
+    entry) silently falls back to a fresh compile that overwrites the
+    bad entry.
     """
 
-    def __init__(self, globals_ns: Optional[Dict[str, Any]] = None):
+    def __init__(
+        self,
+        globals_ns: Optional[Dict[str, Any]] = None,
+        persist_dir: Optional[str] = None,
+    ):
         self._cache: Dict[str, JitKernel] = {}
         self._globals = dict(globals_ns or {})
         self.compile_count = 0
         self.hit_count = 0
+        if persist_dir is None:
+            persist_dir = os.environ.get(JIT_CACHE_ENV) or None
+        self.persist_dir = persist_dir
+        self.disk_hits = 0
+        self.disk_stores = 0
+        self.disk_errors = 0
 
     @staticmethod
     def cache_key(entry: str, template: str, constants: Mapping[str, Any]) -> str:
         blob = repr((entry, template, sorted(constants.items())))
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    # -- on-disk layer ---------------------------------------------------
+
+    def _disk_path(self, key: str) -> str:
+        assert self.persist_dir is not None
+        return os.path.join(self.persist_dir, f"jit-{key}.pkl")
+
+    def _disk_load(self, key: str, entry: str) -> Optional[Tuple[str, Any]]:
+        """Try the on-disk entry for *key*; (source, code) or None."""
+        if self.persist_dir is None:
+            return None
+        try:
+            with open(self._disk_path(key), "rb") as fh:
+                payload = pickle.load(fh)
+            if not isinstance(payload, dict):
+                raise ValueError("bad payload type")
+            if payload.get("format") != _DISK_FORMAT:
+                raise ValueError("format mismatch")
+            if payload.get("magic") != importlib.util.MAGIC_NUMBER:
+                raise ValueError("interpreter mismatch")
+            if payload.get("entry") != entry:
+                raise ValueError("entry mismatch")
+            source = payload["source"]
+            code = marshal.loads(payload["code"])
+            if not isinstance(source, str):
+                raise ValueError("bad source")
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupted / stale entry: recompile (and overwrite it).
+            self.disk_errors += 1
+            return None
+        self.disk_hits += 1
+        return source, code
+
+    def _disk_store(self, key: str, entry: str, source: str, code: Any) -> None:
+        if self.persist_dir is None:
+            return
+        payload = {
+            "format": _DISK_FORMAT,
+            "magic": importlib.util.MAGIC_NUMBER,
+            "entry": entry,
+            "source": source,
+            "code": marshal.dumps(code),
+        }
+        try:
+            os.makedirs(self.persist_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.persist_dir, prefix=f".jit-{key}."
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(payload, fh)
+                os.replace(tmp, self._disk_path(key))  # atomic publish
+            except BaseException:
+                os.unlink(tmp)
+                raise
+            self.disk_stores += 1
+        except OSError:
+            # Persistence is best-effort: an unwritable dir must never
+            # break compilation.
+            self.disk_errors += 1
+
+    # -- compile ---------------------------------------------------------
+
+    def _instantiate(
+        self, entry: str, code: Any,
+        extra_globals: Optional[Mapping[str, Any]],
+    ) -> Callable[..., Any]:
+        ns: Dict[str, Any] = dict(self._globals)
+        if extra_globals:
+            ns.update(extra_globals)
+        exec(code, ns)
+        if entry not in ns:
+            raise NameError(f"rendered source does not define {entry!r}")
+        return ns[entry]
 
     def compile(
         self,
@@ -107,6 +218,9 @@ class JitCache:
         """Render, compile, and cache; return the entry-point callable.
 
         *entry* names the function the rendered source must define.
+        Lookup order: in-memory cache, then the persistent store (if
+        configured), then a fresh render + compile (which repopulates
+        both layers).
         """
         constants = dict(constants or {})
         key = self.cache_key(entry, template, constants)
@@ -114,17 +228,19 @@ class JitCache:
         if hit is not None:
             self.hit_count += 1
             return hit
-        source = render_template(template, constants)
-        code = compile(source, filename=f"<jit:{entry}:{key}>", mode="exec")
-        ns: Dict[str, Any] = dict(self._globals)
-        if extra_globals:
-            ns.update(extra_globals)
-        exec(code, ns)
-        if entry not in ns:
-            raise NameError(f"rendered source does not define {entry!r}")
-        kernel = JitKernel(fn=ns[entry], source=source, key=key)
+        loaded = self._disk_load(key, entry)
+        if loaded is None:
+            source = render_template(template, constants)
+            code = compile(source, filename=f"<jit:{entry}:{key}>", mode="exec")
+            self.compile_count += 1
+            self._disk_store(key, entry, source, code)
+        else:
+            source, code = loaded
+        kernel = JitKernel(
+            fn=self._instantiate(entry, code, extra_globals),
+            source=source, key=key,
+        )
         self._cache[key] = kernel
-        self.compile_count += 1
         return kernel
 
     def __len__(self) -> int:

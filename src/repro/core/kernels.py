@@ -73,6 +73,31 @@ class KernelSpec:
         return self.bytes_read + self.bytes_written
 
     @property
+    def pricing_fingerprint(self) -> Tuple:
+        """Everything the roofline model's per-launch time depends on.
+
+        Excludes ``name`` (labels don't change time) and ``launches``
+        (pricing is linear in launches).  Used as the memoization key
+        by :class:`~repro.core.roofline.RooflineModel` and as the
+        grouping key for trace compaction.
+        """
+        return (
+            self.flops,
+            self.bytes_read,
+            self.bytes_written,
+            self.precision,
+            self.compute_efficiency,
+            self.bandwidth_efficiency,
+            self.uses_shared_memory,
+        )
+
+    @property
+    def identity(self) -> Tuple:
+        """Fingerprint plus name: two specs with equal identity are
+        interchangeable in a trace up to their launch counts."""
+        return (self.name,) + self.pricing_fingerprint
+
+    @property
     def arithmetic_intensity(self) -> float:
         """Flops per byte; ``inf`` for pure-compute kernels."""
         total = self.bytes_total
@@ -144,21 +169,92 @@ class KernelTrace:
 
     The trace is additive: the same kernel name may appear repeatedly
     (once per launch site) and is aggregated on demand.
+
+    With ``compacting=True`` the trace coalesces on the fly: a recorded
+    kernel identical to the previous one (same :attr:`KernelSpec.identity`,
+    any launch count) folds into it by summing launches, and likewise
+    for back-to-back identical transfers.  Hot loops that emit the same
+    spec 10^5 times then cost O(unique specs) memory and pricing time
+    instead of O(launches).  Compaction never changes modeled time:
+    pricing is linear in launches (see :meth:`compacted`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, compacting: bool = False) -> None:
         self.kernels: List[KernelSpec] = []
         self.transfers: List[TransferSpec] = []
+        self.compacting = compacting
+        #: kernels recorded (pre-compaction), for accounting
+        self.recorded_kernels = 0
 
     def record_kernel(self, spec: KernelSpec) -> None:
+        self.recorded_kernels += 1
+        if self.compacting and self.kernels:
+            last = self.kernels[-1]
+            if last.identity == spec.identity:
+                self.kernels[-1] = replace(
+                    last, launches=last.launches + spec.launches
+                )
+                return
         self.kernels.append(spec)
 
     def record_transfer(self, spec: TransferSpec) -> None:
+        if self.compacting and self.transfers:
+            last = self.transfers[-1]
+            if (last.name, last.nbytes, last.direction) == (
+                spec.name, spec.nbytes, spec.direction
+            ):
+                self.transfers[-1] = replace(
+                    last, count=last.count + spec.count
+                )
+                return
         self.transfers.append(spec)
 
     def extend(self, other: "KernelTrace") -> None:
-        self.kernels.extend(other.kernels)
-        self.transfers.extend(other.transfers)
+        if self.compacting:
+            for k in other.kernels:
+                self.record_kernel(k)
+            for t in other.transfers:
+                self.record_transfer(t)
+        else:
+            self.kernels.extend(other.kernels)
+            self.transfers.extend(other.transfers)
+            self.recorded_kernels += other.recorded_kernels
+
+    def compacted(self) -> "KernelTrace":
+        """Return a compacted copy: identical specs merged into
+        (spec, summed launches) groups, first-occurrence order.
+
+        Because per-launch time depends only on
+        :attr:`KernelSpec.pricing_fingerprint` and total time is linear
+        in launches (and transfer time linear in count), the compacted
+        trace prices identically to this one up to floating-point
+        summation order.
+        """
+        out = KernelTrace()
+        out.recorded_kernels = self.recorded_kernels
+        kpos: Dict[Tuple, int] = {}
+        for k in self.kernels:
+            key = k.identity
+            at = kpos.get(key)
+            if at is None:
+                kpos[key] = len(out.kernels)
+                out.kernels.append(k)
+            else:
+                prev = out.kernels[at]
+                out.kernels[at] = replace(
+                    prev, launches=prev.launches + k.launches
+                )
+        tpos: Dict[Tuple, int] = {}
+        for t in self.transfers:
+            key = (t.name, t.nbytes, t.direction)
+            at = tpos.get(key)
+            if at is None:
+                tpos[key] = len(out.transfers)
+                out.transfers.append(t)
+            else:
+                prev = out.transfers[at]
+                out.transfers[at] = replace(prev, count=prev.count + t.count)
+        return out
 
     # -- aggregate views -------------------------------------------------
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+from scipy.spatial import cKDTree
 
 from repro.md.particles import ParticleSystem, PeriodicBox
 
@@ -65,15 +66,28 @@ class CellList:
 
 
 class NeighborList:
-    """Verlet half neighbor list with skin-based reuse."""
+    """Verlet half neighbor list with skin-based reuse.
 
-    def __init__(self, cutoff: float, skin: float = 0.3):
+    ``method`` selects the build kernel: ``"fast"`` (default) bins and
+    queries in compiled code — a periodic :class:`scipy.spatial.cKDTree`
+    over the wrapped coordinates, the whole candidate enumeration and
+    distance cut in C; ``"reference"`` is the original per-cell Python
+    loop, kept as the slow trusted implementation the fast path is
+    tested against.  Both produce the same pair *set*; ordering may
+    differ, which only permutes floating-point force summation.
+    """
+
+    def __init__(self, cutoff: float, skin: float = 0.3,
+                 method: str = "fast"):
         if cutoff <= 0:
             raise ValueError("cutoff must be positive")
         if skin < 0:
             raise ValueError("skin must be non-negative")
+        if method not in ("fast", "reference"):
+            raise ValueError(f"unknown build method {method!r}")
         self.cutoff = cutoff
         self.skin = skin
+        self.method = method
         self.pairs_i: np.ndarray = np.empty(0, dtype=np.int64)
         self.pairs_j: np.ndarray = np.empty(0, dtype=np.int64)
         self._x_ref: Optional[np.ndarray] = None
@@ -102,9 +116,19 @@ class NeighborList:
             self.reuses += 1
 
     def build(self, system: ParticleSystem) -> None:
+        x = np.asarray(system.x, dtype=np.float64)
+        if self.method == "reference":
+            self._build_reference(system, x)
+        else:
+            self._build_fast(system, x)
+        self._x_ref = x.copy()
+        self._box_ref = system.box.array.copy()
+        self.builds += 1
+
+    def _build_reference(self, system: ParticleSystem, x: np.ndarray) -> None:
+        """Per-cell Python loop (the pre-vectorization implementation)."""
         reach = self.cutoff + self.skin
         cells = CellList(system.box, reach)
-        x = np.asarray(system.x, dtype=np.float64)
         cell_of = cells.assign(x)
         order = np.argsort(cell_of, kind="stable")
         sorted_cells = cell_of[order]
@@ -141,9 +165,31 @@ class NeighborList:
         else:
             self.pairs_i = np.empty(0, dtype=np.int64)
             self.pairs_j = np.empty(0, dtype=np.int64)
-        self._x_ref = x.copy()
-        self._box_ref = system.box.array.copy()
-        self.builds += 1
+
+    def _build_fast(self, system: ParticleSystem, x: np.ndarray) -> None:
+        """Tree-accelerated build: bin + query entirely in compiled code.
+
+        A broadcast rewrite of the per-cell loop (27-offset neighbor
+        ids for every cell at once, ragged all-pairs expansion, one
+        minimum-image pass) turns out memory-bound in NumPy: at
+        cell size = reach only ~10% of the candidate pairs survive the
+        distance cut, and streaming the other 90% through the gather /
+        wrap / reduce pipeline costs more than the reference's loop
+        overhead saves.  A periodic kd-tree keeps the whole candidate
+        walk in C and never materializes rejected candidates.  Pair
+        indices refer to the original (unwrapped) particle order;
+        wrapping the coordinates into the box only canonicalizes them
+        for the tree and cannot change periodic distances.
+        """
+        reach = self.cutoff + self.skin
+        lengths = np.asarray(system.box.lengths, dtype=np.float64)
+        xw = np.mod(x, lengths)
+        # mod can return L itself when x is a tiny negative number
+        xw[xw >= lengths] = 0.0
+        tree = cKDTree(xw, boxsize=lengths)
+        pairs = tree.query_pairs(reach, output_type="ndarray")
+        self.pairs_i = np.ascontiguousarray(pairs[:, 0], dtype=np.int64)
+        self.pairs_j = np.ascontiguousarray(pairs[:, 1], dtype=np.int64)
 
     def brute_force_reference(self, system: ParticleSystem
                               ) -> Tuple[np.ndarray, np.ndarray]:

@@ -18,7 +18,13 @@ Shortest Job First with Quota for batch arrivals.
   demands.
 """
 
-from repro.sched.simulator import ClusterSimulator, Job, SimResult
+from repro.sched.simulator import (
+    ClusterSimulator,
+    Job,
+    KeyedFastQueue,
+    QuotaFastQueue,
+    SimResult,
+)
 from repro.sched.policies import Fcfs, Sjf, SjfWithQuota
 from repro.sched.workloads import batch_workload, poisson_workload
 
@@ -26,6 +32,8 @@ __all__ = [
     "Job",
     "ClusterSimulator",
     "SimResult",
+    "KeyedFastQueue",
+    "QuotaFastQueue",
     "Fcfs",
     "Sjf",
     "SjfWithQuota",

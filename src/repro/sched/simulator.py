@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -80,6 +80,130 @@ class SimResult:
         return self.queue_series[-1][1] if self.queue_series else 0
 
 
+class _ReferenceQueue:
+    """List-backed queue driven by ``policy.select`` — the original
+    engine, O(queue) work per event.  Handles arbitrary policies and
+    sanitizes their indices (out-of-range / duplicates ignored)."""
+
+    def __init__(self, policy):
+        self.policy = policy
+        self.items: List[Job] = []
+
+    def push(self, job: Job) -> None:
+        self.items.append(job)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def select_starts(self, n_free: int,
+                      running_jobs: List[Job]) -> List[Job]:
+        picks = self.policy.select(self.items, n_free, running_jobs)
+        picks = [
+            i for i in sorted(set(picks), reverse=True)
+            if 0 <= i < len(self.items)
+        ]
+        return [self.items.pop(idx) for idx in picks[:n_free]]
+
+
+class KeyedFastQueue:
+    """Heap-ordered queue for policies whose selection is a total
+    order over queued jobs (FCFS, SJF): O(log queue) per start
+    instead of a full sort per event.
+
+    Selected jobs are emitted in descending insertion order — exactly
+    the order the reference engine pops its list indices — so fast and
+    reference runs are bit-identical, including fault victimization,
+    which depends on the running-heap layout.
+    """
+
+    def __init__(self, key: Callable[[Job], Tuple]):
+        self.key = key
+        self.heap: List[Tuple] = []
+        self.seq = 0
+
+    def push(self, job: Job) -> None:
+        heapq.heappush(self.heap, (self.key(job), self.seq, job))
+        self.seq += 1
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def select_starts(self, n_free: int,
+                      running_jobs: List[Job]) -> List[Job]:
+        picked = []
+        while len(picked) < n_free and self.heap:
+            _, seq, job = heapq.heappop(self.heap)
+            picked.append((seq, job))
+        picked.sort(key=lambda t: -t[0])
+        return [job for _, job in picked]
+
+
+class QuotaFastQueue:
+    """Two lazy-deletion heaps implementing SJF-with-long-quota: long
+    jobs ordered by arrival (the quota pulls the *oldest* long job),
+    everything ordered by service (the SJF fill).  A long job lives in
+    both heaps; the tombstone set lets whichever heap pops it first
+    invalidate the other copy."""
+
+    def __init__(self, n_gpus: int, long_quota: float):
+        self.n_gpus = n_gpus
+        self.long_quota = long_quota
+        self.by_service: List[Tuple] = []
+        self.long_by_arrival: List[Tuple] = []
+        self.dead: Set[int] = set()
+        self.seq = 0
+        self.n = 0
+
+    def push(self, job: Job) -> None:
+        seq = self.seq
+        self.seq += 1
+        heapq.heappush(self.by_service, (job.service, job.job_id, seq, job))
+        if job.is_long:
+            heapq.heappush(
+                self.long_by_arrival, (job.arrival, job.job_id, seq, job)
+            )
+        self.n += 1
+
+    def __len__(self) -> int:
+        return self.n
+
+    def _pop(self, heap: List[Tuple]) -> Optional[Tuple[int, Job]]:
+        while heap:
+            _, _, seq, job = heapq.heappop(heap)
+            if seq in self.dead:
+                self.dead.discard(seq)
+                continue
+            if job.is_long:  # invalidate the copy in the other heap
+                self.dead.add(seq)
+            self.n -= 1
+            return seq, job
+        return None
+
+    def select_starts(self, n_free: int,
+                      running_jobs: List[Job]) -> List[Job]:
+        reserved = int(self.long_quota * self.n_gpus)
+        long_running = sum(1 for j in running_jobs if j.is_long)
+        picked: List[Tuple[int, Job]] = []
+        picked_long = 0
+        # honor the quota first (oldest long jobs)
+        while (
+            long_running + picked_long < reserved and len(picked) < n_free
+        ):
+            item = self._pop(self.long_by_arrival)
+            if item is None:
+                break
+            picked.append(item)
+            picked_long += 1
+        # fill the rest by SJF
+        while len(picked) < n_free:
+            item = self._pop(self.by_service)
+            if item is None:
+                break
+            picked.append(item)
+        picked.sort(key=lambda t: -t[0])
+        return [job for _, job in picked]
+
+
 class ClusterSimulator:
     """Simulate *jobs* on ``n_gpus`` GPUs under *policy*.
 
@@ -88,12 +212,31 @@ class ClusterSimulator:
     which queued jobs to start now.  Out-of-range and duplicate
     indices are ignored (a buggy policy cannot corrupt the event
     state, it can only schedule suboptimally).
+
+    Policies may additionally expose ``fast_queue(n_gpus)`` returning
+    a heap-backed queue (:class:`KeyedFastQueue` /
+    :class:`QuotaFastQueue`); the ``engine="auto"`` default then skips
+    ``select`` entirely and runs the O(events·log queue) fast path,
+    which produces bit-identical results to the reference engine.
     """
 
     def __init__(self, n_gpus: int):
         if n_gpus < 1:
             raise ValueError("need at least one GPU")
         self.n_gpus = n_gpus
+
+    def _make_queue(self, policy, engine: str):
+        if engine not in ("auto", "fast", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        factory = getattr(policy, "fast_queue", None)
+        if engine == "reference" or (engine == "auto" and factory is None):
+            return _ReferenceQueue(policy)
+        if factory is None:
+            raise ValueError(
+                f"policy {type(policy).__name__} has no fast queue; "
+                "use engine='reference'"
+            )
+        return factory(self.n_gpus)
 
     def run(
         self,
@@ -102,6 +245,7 @@ class ClusterSimulator:
         horizon: Optional[float] = None,
         fault_injector=None,
         retry_policy=None,
+        engine: str = "auto",
     ) -> SimResult:
         """Run the event loop until every job is resolved.
 
@@ -112,6 +256,11 @@ class ClusterSimulator:
         and when the killed job re-enters the queue; ``None`` retries
         immediately and forever.  A job is *resolved* when it
         completes or is dropped by the retry policy.
+
+        ``engine`` selects the queue implementation: ``"reference"``
+        (policy.select over a list), ``"fast"`` (heap-backed, requires
+        the policy to provide ``fast_queue``), or ``"auto"`` — fast
+        when available, reference otherwise.
         """
         if not jobs:
             raise ValueError("no jobs to schedule")
@@ -124,7 +273,7 @@ class ClusterSimulator:
         requeue_seq = 0
         #: (finish_time, job_id, job, start_time)
         running: List[Tuple[float, int, Job, float]] = []
-        queue: List[Job] = []
+        queue = self._make_queue(policy, engine)
         waits: List[float] = []
         turnarounds: List[float] = []
         busy_time = 0.0   # occupied GPU-time, incl. work later wasted
@@ -146,18 +295,14 @@ class ClusterSimulator:
 
         def start_ready(now: float) -> None:
             nonlocal started
-            while queue and len(running) < self.n_gpus:
+            while len(queue) and len(running) < self.n_gpus:
                 free = self.n_gpus - len(running)
-                picks = policy.select(queue, free,
-                                      [j for _, _, j, _ in running])
-                picks = [
-                    i for i in sorted(set(picks), reverse=True)
-                    if 0 <= i < len(queue)
-                ]
-                if not picks:
+                batch = queue.select_starts(
+                    free, [j for _, _, j, _ in running]
+                )
+                if not batch:
                     break
-                for idx in picks[:free]:
-                    job = queue.pop(idx)
+                for job in batch:
                     waits.append(now - job.arrival)
                     turnarounds.append(now - job.arrival + job.service)
                     heapq.heappush(
@@ -221,10 +366,10 @@ class ClusterSimulator:
                     next_arrival < len(arrivals)
                     and arrivals[next_arrival][0] <= t
                 ):
-                    queue.append(arrivals[next_arrival][2])
+                    queue.push(arrivals[next_arrival][2])
                     next_arrival += 1
                 while requeues and requeues[0][0] <= t:
-                    queue.append(heapq.heappop(requeues)[2])
+                    queue.push(heapq.heappop(requeues)[2])
             start_ready(t)
             queue_series.append((t, len(queue)))
 

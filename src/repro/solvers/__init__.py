@@ -28,8 +28,10 @@ from repro.solvers.csr import CsrMatrix, spmv_spec
 from repro.solvers.krylov import ConvergenceInfo, gmres, pcg
 from repro.solvers.smoothers import (
     gauss_seidel,
+    gauss_seidel_multicolor,
     jacobi,
     l1_jacobi,
+    multicolor_ordering,
     weighted_jacobi,
 )
 from repro.solvers.coarsen import pmis_coarsen, rs_coarsen, strength_graph
@@ -48,6 +50,8 @@ __all__ = [
     "weighted_jacobi",
     "l1_jacobi",
     "gauss_seidel",
+    "gauss_seidel_multicolor",
+    "multicolor_ordering",
     "strength_graph",
     "rs_coarsen",
     "pmis_coarsen",

@@ -19,6 +19,11 @@ import scipy.sparse as sp
 from repro.core.forall import ExecutionContext
 from repro.core.kernels import KernelSpec
 
+try:  # scipy's compiled SpMV kernel, used for out=-style matvecs
+    from scipy.sparse import _sparsetools as _spt
+except ImportError:  # pragma: no cover - scipy always ships it
+    _spt = None
+
 
 def spmv_spec(
     n_rows: int,
@@ -71,6 +76,19 @@ class CsrMatrix:
         self.m.sum_duplicates()
         self.ctx = ctx
         self.name = name
+        #: KernelSpecs reused across matvecs: shape and nnz are fixed
+        #: for the matrix's lifetime, so the spec never changes —
+        #: rebuilding (and re-validating) it per call was measurable
+        #: on smoother-dominated AMG solves.
+        self._spec_cache: dict = {}
+
+    def _cached_spec(self, rows: int, name: str, tuned: bool) -> KernelSpec:
+        key = (rows, name, tuned)
+        spec = self._spec_cache.get(key)
+        if spec is None:
+            spec = spmv_spec(rows, self.nnz, name=name, tuned=tuned)
+            self._spec_cache[key] = spec
+        return spec
 
     # -- shape / structure -------------------------------------------------
 
@@ -101,17 +119,40 @@ class CsrMatrix:
 
     # -- algebra -------------------------------------------------------------
 
-    def matvec(self, x: np.ndarray, tuned: bool = True) -> np.ndarray:
-        """y = A x, recording an SpMV kernel when a context is bound."""
+    def matvec(self, x: np.ndarray, tuned: bool = True,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        """y = A x, recording an SpMV kernel when a context is bound.
+
+        ``out`` (shape ``(n_rows,)``, float64, contiguous) receives the
+        product without allocating — the scratch-reuse path smoother
+        sweeps depend on.  Falls back to an allocating product when
+        scipy's compiled SpMV is unavailable or dtypes don't line up.
+        """
         if x.shape[0] != self.shape[1]:
             raise ValueError(
                 f"matvec dimension mismatch: A is {self.shape}, x has {x.shape}"
             )
-        y = self.m @ x
+        if (
+            out is not None and _spt is not None
+            and x.ndim == 1 and out.ndim == 1
+            and out.shape[0] == self.n_rows
+            and out.dtype == self.m.dtype == x.dtype
+            and out.flags.c_contiguous
+        ):
+            out[:] = 0.0
+            _spt.csr_matvec(
+                self.n_rows, self.shape[1], self.m.indptr, self.m.indices,
+                self.m.data, np.ascontiguousarray(x), out,
+            )
+            y = out
+        else:
+            y = self.m @ x
+            if out is not None:
+                out[:] = y
+                y = out
         if self.ctx is not None:
             self.ctx.trace.record_kernel(
-                spmv_spec(self.n_rows, self.nnz,
-                          name=f"spmv:{self.name}", tuned=tuned)
+                self._cached_spec(self.n_rows, f"spmv:{self.name}", tuned)
             )
         return y
 
@@ -122,8 +163,7 @@ class CsrMatrix:
         y = self.m.T @ x
         if self.ctx is not None:
             self.ctx.trace.record_kernel(
-                spmv_spec(self.shape[1], self.nnz,
-                          name=f"spmvT:{self.name}", tuned=tuned)
+                self._cached_spec(self.shape[1], f"spmvT:{self.name}", tuned)
             )
         return y
 

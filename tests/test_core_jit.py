@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.jit import JitCache, render_template, _literal
+from repro.core.jit import JIT_CACHE_ENV, JitCache, render_template, _literal
 
 
 class TestLiteral:
@@ -141,3 +141,114 @@ class TestJitCache:
         # Allow noise: baked must not be significantly slower.
         assert t_baked < t_dyn * 1.5
         assert baked(x) == pytest.approx(dynamic(x))
+
+
+class TestPersistentCache:
+    TEMPLATE = """
+    def kern(x):
+        return $COEF * x + $OFFSET
+    """
+
+    def test_disk_round_trip_skips_compile(self, tmp_path):
+        d = str(tmp_path)
+        cold = JitCache(persist_dir=d)
+        k = cold.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        assert cold.compile_count == 1
+        assert cold.disk_stores == 1
+        warm = JitCache(persist_dir=d)
+        k2 = warm.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        assert warm.compile_count == 0  # no render, no compile
+        assert warm.disk_hits == 1
+        assert k2(2.0) == k(2.0) == 7.0
+        assert k2.source == k.source
+
+    def test_different_constants_do_not_collide(self, tmp_path):
+        d = str(tmp_path)
+        cold = JitCache(persist_dir=d)
+        cold.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        cold.compile("kern", self.TEMPLATE, {"COEF": 4.0, "OFFSET": 1.0})
+        warm = JitCache(persist_dir=d)
+        a = warm.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        b = warm.compile("kern", self.TEMPLATE, {"COEF": 4.0, "OFFSET": 1.0})
+        assert warm.disk_hits == 2
+        assert a(1.0) == 4.0
+        assert b(1.0) == 5.0
+
+    def test_prefix_placeholders_distinct_on_disk(self, tmp_path):
+        """$NP vs $NP2 must key differently through the disk path."""
+        d = str(tmp_path)
+        tpl = """
+        def kern():
+            return $NP2 * 10 + $NP
+        """
+        cold = JitCache(persist_dir=d)
+        cold.compile("kern", tpl, {"NP": 1, "NP2": 2})
+        warm = JitCache(persist_dir=d)
+        k = warm.compile("kern", tpl, {"NP": 1, "NP2": 2})
+        assert k() == 21
+        swapped = warm.compile("kern", tpl, {"NP": 2, "NP2": 1})
+        assert swapped() == 12  # a distinct entry, not the cached one
+        assert warm.disk_hits == 1
+
+    def test_corrupted_entry_falls_back_to_compile(self, tmp_path):
+        d = str(tmp_path)
+        cold = JitCache(persist_dir=d)
+        cold.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        (entry,) = list(tmp_path.glob("jit-*.pkl"))
+        entry.write_bytes(b"not a pickle")
+        warm = JitCache(persist_dir=d)
+        k = warm.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        assert k(2.0) == 7.0
+        assert warm.disk_errors == 1
+        assert warm.compile_count == 1
+        # the recompile rewrote the entry, so the next cache heals
+        healed = JitCache(persist_dir=d)
+        healed.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        assert healed.disk_hits == 1
+
+    def test_truncated_pickle_falls_back(self, tmp_path):
+        d = str(tmp_path)
+        cold = JitCache(persist_dir=d)
+        cold.compile("kern", self.TEMPLATE, {"COEF": 1.0, "OFFSET": 0.0})
+        (entry,) = list(tmp_path.glob("jit-*.pkl"))
+        entry.write_bytes(entry.read_bytes()[:10])
+        warm = JitCache(persist_dir=d)
+        k = warm.compile("kern", self.TEMPLATE, {"COEF": 1.0, "OFFSET": 0.0})
+        assert k(5.0) == 5.0
+        assert warm.disk_errors == 1
+
+    def test_env_var_configures_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(JIT_CACHE_ENV, str(tmp_path))
+        cache = JitCache()
+        cache.compile("kern", self.TEMPLATE, {"COEF": 2.0, "OFFSET": 0.0})
+        assert list(tmp_path.glob("jit-*.pkl"))
+
+    def test_no_persist_dir_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(JIT_CACHE_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        cache = JitCache()
+        cache.compile("kern", self.TEMPLATE, {"COEF": 2.0, "OFFSET": 0.0})
+        assert cache.disk_stores == 0
+        assert not list(tmp_path.glob("jit-*.pkl"))
+
+    def test_extra_globals_through_disk_path(self, tmp_path):
+        d = str(tmp_path)
+        tpl = """
+        def kern():
+            return helper() + $N
+        """
+        cold = JitCache(persist_dir=d)
+        cold.compile("kern", tpl, {"N": 1}, extra_globals={"helper": lambda: 10})
+        warm = JitCache(persist_dir=d)
+        k = warm.compile("kern", tpl, {"N": 1},
+                         extra_globals={"helper": lambda: 100})
+        assert warm.disk_hits == 1
+        assert k() == 101
+
+    def test_unwritable_dir_degrades_gracefully(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        cache = JitCache(persist_dir=str(blocked / "sub"))
+        k = cache.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
+        assert k(1.0) == 4.0
+        assert cache.disk_errors >= 1

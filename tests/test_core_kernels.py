@@ -139,3 +139,77 @@ class TestKernelTrace:
         tr.clear()
         assert len(tr) == 0
         assert tr.total_flops == 0
+
+
+class TestCompaction:
+    def test_compacting_trace_folds_repeats(self):
+        tr = KernelTrace(compacting=True)
+        for _ in range(100):
+            tr.record_kernel(spec("k"))
+        assert len(tr.kernels) == 1
+        assert tr.kernels[0].launches == 100
+        assert tr.recorded_kernels == 100
+        assert tr.total_launches == 100
+
+    def test_compacting_distinguishes_names(self):
+        tr = KernelTrace(compacting=True)
+        tr.record_kernel(spec("a"))
+        tr.record_kernel(spec("b"))
+        tr.record_kernel(spec("a"))
+        # a, b, a: the non-adjacent repeat starts a new entry
+        assert [k.name for k in tr.kernels] == ["a", "b", "a"]
+
+    def test_compacting_distinguishes_pricing_fields(self):
+        tr = KernelTrace(compacting=True)
+        tr.record_kernel(spec("k", flops=1e6))
+        tr.record_kernel(spec("k", flops=2e6))
+        assert len(tr.kernels) == 2
+
+    def test_compacting_transfers(self):
+        tr = KernelTrace(compacting=True)
+        for _ in range(10):
+            tr.record_transfer(TransferSpec("t", nbytes=100))
+        assert len(tr.transfers) == 1
+        assert tr.transfers[0].count == 10
+        assert tr.total_transfer_bytes == pytest.approx(1000)
+
+    def test_compacted_copy_preserves_totals(self):
+        tr = KernelTrace()
+        for i in range(60):
+            tr.record_kernel(spec(f"k{i % 3}", flops=1e6 * (i % 3 + 1)))
+            tr.record_transfer(TransferSpec("t", nbytes=10))
+        c = tr.compacted()
+        assert len(c.kernels) == 3
+        assert c.total_flops == pytest.approx(tr.total_flops)
+        assert c.total_bytes == pytest.approx(tr.total_bytes)
+        assert c.total_launches == tr.total_launches
+        assert c.total_transfer_bytes == pytest.approx(tr.total_transfer_bytes)
+
+    def test_compacted_preserves_first_occurrence_order(self):
+        tr = KernelTrace()
+        for name in ["b", "a", "b", "c", "a"]:
+            tr.record_kernel(spec(name))
+        assert [k.name for k in tr.compacted().kernels] == ["b", "a", "c"]
+
+    def test_compacted_of_compacting_trace_is_stable(self):
+        tr = KernelTrace(compacting=True)
+        for _ in range(5):
+            tr.record_kernel(spec("k"))
+        c = tr.compacted()
+        assert len(c.kernels) == 1
+        assert c.kernels[0].launches == 5
+
+    def test_extend_into_compacting_trace(self):
+        src = KernelTrace()
+        for _ in range(4):
+            src.record_kernel(spec("k"))
+        dst = KernelTrace(compacting=True)
+        dst.extend(src)
+        assert len(dst.kernels) == 1
+        assert dst.kernels[0].launches == 4
+
+    def test_identity_vs_pricing_fingerprint(self):
+        a, b = spec("a"), spec("b")
+        assert a.pricing_fingerprint == b.pricing_fingerprint
+        assert a.identity != b.identity
+        assert a.identity == spec("a", launches=7).identity  # launches excluded

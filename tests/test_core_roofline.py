@@ -209,3 +209,72 @@ class TestCollectives:
         m = get_machine("sierra")
         assert alltoall_time(m, 1e6, 32) > alltoall_time(m, 1e6, 4)
         assert alltoall_time(m, 1e6, 1) == 0.0
+
+
+class TestMemoization:
+    def _trace(self, reps=30):
+        tr = KernelTrace()
+        k = KernelSpec(name="k", flops=1e9, bytes_read=4e8, bytes_written=2e8)
+        for _ in range(reps):
+            tr.record_kernel(k)
+        return tr
+
+    def test_memo_price_equals_reference(self):
+        m = get_machine("sierra")
+        tr = self._trace()
+        memo = RooflineModel(m).run_on_gpu(tr).total
+        ref = RooflineModel(m, memo_size=0).run_on_gpu(tr).total
+        assert memo == pytest.approx(ref, rel=1e-14)
+
+    def test_hits_counted(self):
+        model = RooflineModel(get_machine("sierra"))
+        model.run_on_gpu(self._trace(reps=10))
+        assert model.memo_misses == 1
+        assert model.memo_hits == 9
+
+    def test_disabled_memo_never_hits(self):
+        model = RooflineModel(get_machine("sierra"), memo_size=0)
+        model.run_on_gpu(self._trace(reps=10))
+        assert model.memo_hits == 0
+        assert model.memo_misses == 0
+
+    def test_lru_eviction_bounded(self):
+        model = RooflineModel(get_machine("sierra"), memo_size=4)
+        tr = KernelTrace()
+        for i in range(10):
+            tr.record_kernel(KernelSpec(
+                name=f"k{i}", flops=1e9 + i, bytes_read=4e8, bytes_written=2e8
+            ))
+        model.run_on_gpu(tr)
+        assert len(model._memo) == 4
+
+    def test_clear_memo(self):
+        model = RooflineModel(get_machine("sierra"))
+        model.run_on_gpu(self._trace())
+        model.clear_memo()
+        assert model.memo_hits == 0
+        assert len(model._memo) == 0
+
+    def test_negative_memo_size_rejected(self):
+        with pytest.raises(ValueError):
+            RooflineModel(get_machine("sierra"), memo_size=-1)
+
+    def test_gpu_launches_scale_memoized_price(self):
+        model = RooflineModel(get_machine("sierra"))
+        one = KernelSpec(name="k", flops=1e9, bytes_read=4e8,
+                         bytes_written=2e8)
+        many = KernelSpec(name="k", flops=1e9, bytes_read=4e8,
+                          bytes_written=2e8, launches=50)
+        assert model.gpu_kernel_time(many) == pytest.approx(
+            50 * model.gpu_kernel_time(one), rel=1e-14
+        )
+
+    def test_cpu_memo_keyed_on_cores_and_working_set(self):
+        model = RooflineModel(get_machine("sierra"))
+        k = KernelSpec(name="k", flops=1e9, bytes_read=4e8, bytes_written=2e8)
+        t_all = model.cpu_kernel_time(k)
+        t_few = model.cpu_kernel_time(k, cores=4)
+        t_cached = model.cpu_kernel_time(k, working_set_bytes=1e6)
+        assert t_all != t_few
+        assert t_cached < t_all
+        assert model.memo_misses == 3

@@ -242,3 +242,94 @@ class TestPairProcessor:
         proc = PairProcessor(LennardJones(cutoff=2.0))
         f, e, _ = proc.compute(ps, np.array([0]), np.array([1]))
         assert e != 0.0
+
+
+def _pair_set(pi, pj):
+    return set(zip(np.minimum(pi, pj).tolist(), np.maximum(pi, pj).tolist()))
+
+
+class TestFastNeighborBuild:
+    """The vectorized build must enumerate exactly the reference pair
+    set in every box regime — large boxes, small boxes where periodic
+    wrap aliases neighbor cells, and single-cell boxes."""
+
+    REGIMES = [
+        (100, (8.0, 8.0, 8.0), 2.0),   # many cells
+        (60, (4.5, 4.5, 4.5), 2.0),    # 2x2x2 cells: heavy wrap aliasing
+        (40, (3.0, 3.0, 3.0), 2.0),    # single cell per axis
+        (50, (9.0, 4.0, 6.0), 1.5),    # anisotropic box
+        (3, (6.0, 6.0, 6.0), 2.0),     # nearly empty
+        (70, (6.0, 6.0, 6.0), 0.4),    # tiny cutoff, sparse pairs
+    ]
+
+    @pytest.mark.parametrize("n,lengths,cutoff", REGIMES)
+    def test_matches_reference(self, n, lengths, cutoff):
+        ps = ParticleSystem.random_gas(n, PeriodicBox(lengths), seed=13)
+        fast = NeighborList(cutoff=cutoff, skin=0.3, method="fast")
+        ref = NeighborList(cutoff=cutoff, skin=0.3, method="reference")
+        fast.build(ps)
+        ref.build(ps)
+        assert _pair_set(fast.pairs_i, fast.pairs_j) == _pair_set(
+            ref.pairs_i, ref.pairs_j
+        )
+
+    @pytest.mark.parametrize("n,lengths,cutoff", REGIMES[:3])
+    def test_matches_brute_force(self, n, lengths, cutoff):
+        ps = ParticleSystem.random_gas(n, PeriodicBox(lengths), seed=14)
+        nl = NeighborList(cutoff=cutoff, skin=0.3)
+        nl.build(ps)
+        bi, bj = nl.brute_force_reference(ps)
+        assert _pair_set(nl.pairs_i, nl.pairs_j) == _pair_set(bi, bj)
+
+    def test_no_self_or_duplicate_pairs(self):
+        ps = ParticleSystem.random_gas(80, PeriodicBox((5.0,) * 3), seed=15)
+        nl = NeighborList(cutoff=1.5, skin=0.3)
+        nl.build(ps)
+        assert (nl.pairs_i != nl.pairs_j).all()
+        assert len(_pair_set(nl.pairs_i, nl.pairs_j)) == nl.n_pairs
+
+    def test_method_validated(self):
+        with pytest.raises(ValueError, match="unknown build method"):
+            NeighborList(cutoff=1.0, method="gpu")
+
+    def test_default_is_fast(self):
+        assert NeighborList(cutoff=1.0).method == "fast"
+
+
+class TestFastForceScatter:
+    def test_bincount_matches_add_at(self):
+        ps = ParticleSystem.random_gas(120, PeriodicBox((6.0,) * 3), seed=16)
+        nl = NeighborList(cutoff=2.5, skin=0.3)
+        nl.build(ps)
+        proc = PairProcessor(LennardJones(cutoff=2.5))
+        f_fast, e_fast, w_fast = proc.compute(ps, nl.pairs_i, nl.pairs_j)
+        f_ref, e_ref, w_ref = proc.compute(
+            ps, nl.pairs_i, nl.pairs_j, method="reference"
+        )
+        np.testing.assert_allclose(f_fast, f_ref, atol=1e-10)
+        assert e_fast == pytest.approx(e_ref)
+        assert w_fast == pytest.approx(w_ref)
+
+    def test_mixed_type_table(self):
+        ps = ParticleSystem.random_gas(60, PeriodicBox((5.0,) * 3), seed=17)
+        ps.types[::2] = 1
+        table = {
+            (0, 0): LennardJones(cutoff=2.0),
+            (0, 1): LennardJones(epsilon=0.5, cutoff=2.0),
+            (1, 1): Exp6(cutoff=2.0),
+        }
+        nl = NeighborList(cutoff=2.0, skin=0.3)
+        nl.build(ps)
+        proc = PairProcessor(table)
+        f_fast, e_fast, _ = proc.compute(ps, nl.pairs_i, nl.pairs_j)
+        f_ref, e_ref, _ = proc.compute(
+            ps, nl.pairs_i, nl.pairs_j, method="reference"
+        )
+        np.testing.assert_allclose(f_fast, f_ref, atol=1e-10)
+        assert e_fast == pytest.approx(e_ref)
+
+    def test_method_validated(self):
+        ps = ParticleSystem.random_gas(10, PeriodicBox((5.0,) * 3), seed=0)
+        proc = PairProcessor(LennardJones())
+        with pytest.raises(ValueError, match="unknown accumulation"):
+            proc.compute(ps, np.array([0]), np.array([1]), method="gpu")

@@ -229,3 +229,86 @@ class TestQueueSeriesProperties:
         assert result.queue_series == []
         assert result.peak_queue == 0
         assert result.final_queue == 0
+
+
+class TestFastEngine:
+    """The heap-backed queue engine must reproduce the reference
+    engine bit-for-bit — same waits, same schedules, same fault
+    victims — it is purely an algorithmic substitution."""
+
+    POLICIES = [
+        ("fcfs", lambda: Fcfs()),
+        ("sjf", lambda: Sjf()),
+        ("quota", lambda: SjfWithQuota(8, 0.25)),
+    ]
+
+    @staticmethod
+    def _identical(a: SimResult, b: SimResult) -> None:
+        for f in ("makespan", "utilization", "mean_wait", "max_wait",
+                  "mean_turnaround", "completed", "started", "in_flight",
+                  "failures", "retries", "dropped", "wasted_time",
+                  "goodput"):
+            assert getattr(a, f) == getattr(b, f), f
+        assert a.queue_series == b.queue_series
+
+    @pytest.mark.parametrize("name,make", POLICIES)
+    def test_batch_equivalence(self, name, make):
+        jobs = batch_workload(n_jobs=200, seed=3)
+        sim = ClusterSimulator(8)
+        self._identical(
+            sim.run(jobs, make(), engine="fast"),
+            sim.run(jobs, make(), engine="reference"),
+        )
+
+    @pytest.mark.parametrize("name,make", POLICIES)
+    def test_poisson_equivalence(self, name, make):
+        jobs = poisson_workload(n_jobs=200, arrival_rate=2.0, seed=4)
+        sim = ClusterSimulator(8)
+        self._identical(
+            sim.run(jobs, make(), engine="fast"),
+            sim.run(jobs, make(), engine="reference"),
+        )
+
+    @pytest.mark.parametrize("name,make", POLICIES)
+    def test_horizon_equivalence(self, name, make):
+        jobs = batch_workload(n_jobs=150, seed=5)
+        sim = ClusterSimulator(8)
+        self._identical(
+            sim.run(jobs, make(), horizon=40.0, engine="fast"),
+            sim.run(jobs, make(), horizon=40.0, engine="reference"),
+        )
+
+    @pytest.mark.parametrize("name,make", POLICIES)
+    def test_fault_retry_equivalence(self, name, make):
+        from repro.resilience import CappedRetry, FaultInjector
+
+        jobs = batch_workload(n_jobs=120, seed=6)
+        sim = ClusterSimulator(8)
+        fast = sim.run(
+            jobs, make(), engine="fast",
+            fault_injector=FaultInjector(mtbf=4.0, seed=9),
+            retry_policy=CappedRetry(max_retries=2),
+        )
+        ref = sim.run(
+            jobs, make(), engine="reference",
+            fault_injector=FaultInjector(mtbf=4.0, seed=9),
+            retry_policy=CappedRetry(max_retries=2),
+        )
+        assert fast.failures > 0  # the fault path actually exercised
+        self._identical(fast, ref)
+
+    def test_auto_uses_reference_for_hookless_policy(self):
+        jobs = batch_workload(n_jobs=30, seed=0)
+        result = ClusterSimulator(4).run(jobs, _BadIndexPolicy([0, 0, 99]))
+        assert result.completed == 30  # sanitization still applies
+
+    def test_fast_engine_requires_hook(self):
+        jobs = batch_workload(n_jobs=5, seed=0)
+        with pytest.raises(ValueError, match="no fast queue"):
+            ClusterSimulator(4).run(jobs, _BadIndexPolicy([0]),
+                                    engine="fast")
+
+    def test_unknown_engine_rejected(self):
+        jobs = batch_workload(n_jobs=5, seed=0)
+        with pytest.raises(ValueError, match="unknown engine"):
+            ClusterSimulator(4).run(jobs, Fcfs(), engine="warp")

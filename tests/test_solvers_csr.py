@@ -96,3 +96,69 @@ class TestCsrMatrix:
     def test_diagonal(self):
         m = CsrMatrix(poisson_2d(3))
         np.testing.assert_allclose(m.diagonal(), 4.0)
+
+
+class TestMatvecOut:
+    def test_out_matches_allocating_path(self):
+        a = CsrMatrix(poisson_2d(9))
+        x = np.random.default_rng(0).random(a.shape[1])
+        out = np.empty(a.n_rows)
+        y = a.matvec(x, out=out)
+        assert y is out
+        np.testing.assert_allclose(out, a.tocsr() @ x, atol=1e-14)
+
+    def test_out_reused_across_calls(self):
+        a = CsrMatrix(poisson_2d(7))
+        rng = np.random.default_rng(1)
+        out = np.empty(a.n_rows)
+        for _ in range(3):
+            x = rng.random(a.shape[1])
+            a.matvec(x, out=out)
+            np.testing.assert_allclose(out, a.tocsr() @ x, atol=1e-14)
+
+    def test_out_wrong_dtype_falls_back(self):
+        a = CsrMatrix(poisson_2d(5))
+        x = np.random.default_rng(2).random(a.shape[1])
+        out = np.empty(a.n_rows, dtype=np.float32)
+        y = a.matvec(x, out=out)
+        assert y is out
+        np.testing.assert_allclose(
+            out, (a.tocsr() @ x).astype(np.float32), rtol=1e-6
+        )
+
+    def test_out_records_kernel(self):
+        ctx = ExecutionContext()
+        a = CsrMatrix(poisson_2d(5), ctx=ctx)
+        x = np.zeros(a.shape[1])
+        a.matvec(x, out=np.empty(a.n_rows))
+        assert len(ctx.trace.kernels) == 1
+
+
+class TestSpecCache:
+    def test_same_spec_object_reused(self):
+        ctx = ExecutionContext()
+        a = CsrMatrix(poisson_2d(6), ctx=ctx)
+        x = np.zeros(a.shape[1])
+        a.matvec(x)
+        a.matvec(x)
+        k0, k1 = ctx.trace.kernels
+        assert k0 is k1  # cached, not rebuilt
+
+    def test_tuned_flag_keys_separately(self):
+        ctx = ExecutionContext()
+        a = CsrMatrix(poisson_2d(6), ctx=ctx)
+        x = np.zeros(a.shape[1])
+        a.matvec(x, tuned=True)
+        a.matvec(x, tuned=False)
+        k0, k1 = ctx.trace.kernels
+        assert k0 is not k1
+        assert k0.bandwidth_efficiency != k1.bandwidth_efficiency
+
+    def test_rmatvec_spec_cached(self):
+        ctx = ExecutionContext()
+        a = CsrMatrix(poisson_2d(6), ctx=ctx)
+        y = np.zeros(a.shape[0])
+        a.rmatvec(y)
+        a.rmatvec(y)
+        k0, k1 = ctx.trace.kernels
+        assert k0 is k1

@@ -115,3 +115,101 @@ class TestLookup:
     def test_unknown_name(self):
         with pytest.raises(ValueError, match="unknown smoother"):
             smoother_by_name("sor")
+
+
+class TestMulticolor:
+    def _mc(self):
+        from repro.solvers.smoothers import (
+            gauss_seidel_multicolor,
+            multicolor_ordering,
+        )
+        return gauss_seidel_multicolor, multicolor_ordering
+
+    def test_coloring_is_proper(self, system):
+        _, multicolor_ordering = self._mc()
+        a, _, _ = system
+        colors = multicolor_ordering(a)
+        coo = a.tocoo()
+        off_diag = coo.row != coo.col
+        assert (colors[coo.row[off_diag]] != colors[coo.col[off_diag]]).all()
+
+    def test_poisson_color_count_small(self):
+        """Luby rounds give maximal independent sets, not the optimal
+        red-black 2-coloring — but on the 5-point stencil the count
+        must stay small (each color is a batched SpMV; few colors =
+        few launches)."""
+        _, multicolor_ordering = self._mc()
+        colors = multicolor_ordering(poisson_2d(12))
+        assert int(colors.max()) + 1 <= 5
+
+    def test_exact_equivalence_with_permuted_lexicographic(self, system):
+        """Processing colors in ascending order IS lexicographic GS on
+        the color-sorted permutation of A — exactly, not just to fp
+        tolerance of the final answer."""
+        gauss_seidel_multicolor, multicolor_ordering = self._mc()
+        a, b, _ = system
+        x0 = np.full(b.shape, 0.25)
+        colors = multicolor_ordering(a)
+        perm = np.argsort(colors, kind="stable")
+        ap = (a.tocsr()[perm][:, perm]).tocsr()
+        ref = gauss_seidel(ap, b[perm], x0[perm].copy(), sweeps=3)
+        fast = gauss_seidel_multicolor(a, b, x0, sweeps=3)
+        np.testing.assert_allclose(ref, fast[perm], rtol=0, atol=1e-13)
+
+    def test_backward_equivalence(self, system):
+        gauss_seidel_multicolor, multicolor_ordering = self._mc()
+        a, b, _ = system
+        x0 = np.zeros_like(b)
+        colors = multicolor_ordering(a)
+        perm = np.argsort(colors, kind="stable")
+        ap = (a.tocsr()[perm][:, perm]).tocsr()
+        ref = gauss_seidel(ap, b[perm], x0[perm].copy(), sweeps=2,
+                           backward=True)
+        fast = gauss_seidel_multicolor(a, b, x0, sweeps=2, backward=True)
+        np.testing.assert_allclose(ref, fast[perm], rtol=0, atol=1e-13)
+
+    def test_smoother_contract(self, system):
+        gauss_seidel_multicolor, _ = self._mc()
+        a, b, x_true = system
+        x = gauss_seidel_multicolor(a, b, np.zeros_like(b), sweeps=10)
+        assert np.linalg.norm(x - x_true) < np.linalg.norm(x_true)
+        x = gauss_seidel_multicolor(a, b, x_true.copy(), sweeps=3)
+        np.testing.assert_allclose(x, x_true, atol=1e-12)
+        x0 = np.full(b.shape, 0.5)
+        np.testing.assert_array_equal(
+            gauss_seidel_multicolor(a, b, x0.copy(), sweeps=0), x0
+        )
+        with pytest.raises(ValueError):
+            gauss_seidel_multicolor(a, b, np.zeros_like(b), sweeps=-1)
+
+    def test_plan_cached_on_wrapper(self, system):
+        gauss_seidel_multicolor, _ = self._mc()
+        a, b, _ = system
+        wrapped = CsrMatrix(a)
+        gauss_seidel_multicolor(wrapped, b, np.zeros_like(b))
+        plan = wrapped._mc_plan
+        gauss_seidel_multicolor(wrapped, b, np.zeros_like(b))
+        assert wrapped._mc_plan is plan
+
+    def test_coloring_deterministic(self, system):
+        _, multicolor_ordering = self._mc()
+        a, _, _ = system
+        np.testing.assert_array_equal(
+            multicolor_ordering(a, seed=3), multicolor_ordering(a, seed=3)
+        )
+
+    def test_random_spd_equivalence(self):
+        gauss_seidel_multicolor, multicolor_ordering = self._mc()
+        a = random_spd(80, density=0.1, seed=2).tocsr()
+        b = np.random.default_rng(1).random(80)
+        x0 = np.zeros(80)
+        colors = multicolor_ordering(a)
+        perm = np.argsort(colors, kind="stable")
+        ap = (a[perm][:, perm]).tocsr()
+        ref = gauss_seidel(ap, b[perm], x0[perm].copy(), sweeps=2)
+        fast = gauss_seidel_multicolor(a, b, x0, sweeps=2)
+        np.testing.assert_allclose(ref, fast[perm], rtol=0, atol=1e-12)
+
+    def test_by_name(self):
+        from repro.solvers.smoothers import gauss_seidel_multicolor
+        assert smoother_by_name("gauss-seidel-mc") is gauss_seidel_multicolor
