@@ -319,8 +319,36 @@ def _next_output(root: Path) -> Path:
     return root / f"BENCH_{nxt}.json"
 
 
+def _select_baseline(root: Path, out_path: Path, mode: str) -> Optional[Path]:
+    """Newest prior BENCH_<n>.json (by numeric index) with matching *mode*.
+
+    Numeric ordering matters (BENCH_10 is newer than BENCH_2, which
+    lexicographic name sorting gets wrong), and so does the mode: a
+    smoke run compared against a full-size baseline (or vice versa)
+    would either silently skip the gate or flag nonsense ratios.
+    Unreadable candidates are skipped rather than fatal.
+    """
+    for _, p in sorted(_bench_files(root), reverse=True):
+        if p == out_path:
+            continue
+        try:
+            prior = json.loads(p.read_text())
+        except (OSError, ValueError):
+            continue
+        if prior.get("mode") == mode:
+            return p
+    return None
+
+
 def compare(report: Dict, baseline: Dict, tolerance: float) -> List[str]:
-    """Regressions of *report* against *baseline* (empty list = clean)."""
+    """Regressions of *report* against *baseline* (empty list = clean).
+
+    Gates on wall-time ratios per case, and — when both reports carry a
+    counter snapshot and ran the same case set — on exact equality of
+    the semantic counters (events processed, rebuilds, cache hits, ...):
+    a fast path that got quicker by doing different *work* is a bug the
+    clock cannot see.
+    """
     problems: List[str] = []
     if baseline.get("mode") != report.get("mode"):
         # different sizes: nothing comparable, not a failure
@@ -336,6 +364,17 @@ def compare(report: Dict, baseline: Dict, tolerance: float) -> List[str]:
                 f"{c['name']}: wall {c['wall_s']:.4f}s vs baseline "
                 f"{old['wall_s']:.4f}s ({ratio:.2f}x > {tolerance:.2f}x)"
             )
+    base_counters = baseline.get("counters")
+    if base_counters is not None and report.get("counters") is not None:
+        base_names = {c["name"] for c in baseline.get("cases", [])}
+        if base_names == {c["name"] for c in report["cases"]}:
+            for key in sorted(set(base_counters) | set(report["counters"])):
+                old_v = base_counters.get(key)
+                new_v = report["counters"].get(key)
+                if old_v != new_v:
+                    problems.append(
+                        f"counter {key}: {new_v} vs baseline {old_v}"
+                    )
     return problems
 
 
@@ -353,12 +392,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="run only the named case (repeatable)")
     args = ap.parse_args(argv)
 
+    from repro.obs import reset_metrics, snapshot
+
+    mode = "smoke" if args.smoke else "full"
     out_path = args.output or _next_output(REPO)
     baseline_path = args.baseline
     if baseline_path is None:
-        prior = [p for _, p in _bench_files(REPO) if p != out_path]
-        baseline_path = prior[-1] if prior else None
+        baseline_path = _select_baseline(REPO, out_path, mode)
 
+    reset_metrics()
     cases = []
     failures = []
     for name, fn in CASES:
@@ -372,10 +414,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if rec["check"] != "ok":
             failures.append(f"{name}: {rec['check']}")
 
+    metrics = snapshot()
     report = {
         "schema": SCHEMA,
-        "mode": "smoke" if args.smoke else "full",
+        "mode": mode,
         "cases": cases,
+        "counters": metrics["counters"],
+        "gauges": metrics["gauges"],
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")

@@ -27,17 +27,25 @@ import importlib.util
 import marshal
 import os
 import pickle
+import sys
 import tempfile
 import textwrap
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+from repro.obs import validate as _validate
 
 #: Environment variable naming the default on-disk JIT cache directory.
 #: Unset (and no ``persist_dir`` argument) disables persistence.
 JIT_CACHE_ENV = "REPRO_JIT_CACHE_DIR"
 
 #: On-disk entry format version; bump on layout changes.
-_DISK_FORMAT = 1
+#: v2 added the interpreter ``cache_tag`` to the payload: the magic
+#: number alone does not identify the *implementation* that produced
+#: the bytecode (distinct builds can reuse a magic number), and
+#: loading foreign ``marshal`` payloads can crash or misbehave.
+_DISK_FORMAT = 2
 
 
 def _literal(value: Any) -> str:
@@ -104,8 +112,10 @@ class JitCache:
     disk — rendered source plus marshaled bytecode, keyed by the same
     (entry, template, constants) hash — so DSL/codegen-heavy runs skip
     both template rendering *and* ``compile()`` across processes.
-    Bytecode is interpreter-version-specific, so the interpreter magic
-    number is part of the entry and a mismatch is treated as a miss.
+    Bytecode is interpreter-version-specific, so both the interpreter
+    magic number and ``sys.implementation.cache_tag`` are part of the
+    entry and a mismatch of either is treated as a miss (the magic
+    number alone cannot distinguish implementations that share it).
     Any corruption (truncated pickle, bad marshal payload, wrong
     entry) silently falls back to a fresh compile that overwrites the
     bad entry.
@@ -151,6 +161,10 @@ class JitCache:
                 raise ValueError("format mismatch")
             if payload.get("magic") != importlib.util.MAGIC_NUMBER:
                 raise ValueError("interpreter mismatch")
+            if payload.get("tag") != sys.implementation.cache_tag:
+                # Same magic number does not imply the same bytecode
+                # producer; a foreign cache_tag is a miss, not a load.
+                raise ValueError("bytecode cache_tag mismatch")
             if payload.get("entry") != entry:
                 raise ValueError("entry mismatch")
             source = payload["source"]
@@ -162,8 +176,10 @@ class JitCache:
         except Exception:
             # Corrupted / stale entry: recompile (and overwrite it).
             self.disk_errors += 1
+            _metrics.counter("jit.cache.corrupt").add()
             return None
         self.disk_hits += 1
+        _metrics.counter("jit.cache.disk_hit").add()
         return source, code
 
     def _disk_store(self, key: str, entry: str, source: str, code: Any) -> None:
@@ -172,6 +188,7 @@ class JitCache:
         payload = {
             "format": _DISK_FORMAT,
             "magic": importlib.util.MAGIC_NUMBER,
+            "tag": sys.implementation.cache_tag,
             "entry": entry,
             "source": source,
             "code": marshal.dumps(code),
@@ -189,10 +206,12 @@ class JitCache:
                 os.unlink(tmp)
                 raise
             self.disk_stores += 1
+            _metrics.counter("jit.cache.disk_store").add()
         except OSError:
             # Persistence is best-effort: an unwritable dir must never
             # break compilation.
             self.disk_errors += 1
+            _metrics.counter("jit.cache.store_error").add()
 
     # -- compile ---------------------------------------------------------
 
@@ -227,15 +246,31 @@ class JitCache:
         hit = self._cache.get(key)
         if hit is not None:
             self.hit_count += 1
+            _metrics.counter("jit.cache.hit").add()
             return hit
         loaded = self._disk_load(key, entry)
         if loaded is None:
             source = render_template(template, constants)
             code = compile(source, filename=f"<jit:{entry}:{key}>", mode="exec")
             self.compile_count += 1
+            _metrics.counter("jit.cache.miss").add()
             self._disk_store(key, entry, source, code)
         else:
             source, code = loaded
+            if _validate.validation_enabled():
+                # warm-start contract: the disk payload must be
+                # byte-identical to a fresh render + compile
+                fresh_source = render_template(template, constants)
+                fresh_code = compile(
+                    fresh_source, filename=f"<jit:{entry}:{key}>",
+                    mode="exec",
+                )
+                _validate.check(
+                    "jit.disk",
+                    source == fresh_source
+                    and marshal.dumps(code) == marshal.dumps(fresh_code),
+                    f"on-disk entry {key} differs from fresh compile",
+                )
         kernel = JitKernel(
             fn=self._instantiate(entry, code, extra_globals),
             source=source, key=key,

@@ -32,6 +32,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.kernels import KernelSpec, KernelTrace, TransferSpec
 from repro.core.machine import Machine
+from repro.obs import metrics as _metrics
+from repro.obs import validate as _validate
 
 
 #: Effective bandwidth multiplier when a CPU kernel's working set is
@@ -90,17 +92,49 @@ class RooflineModel:
             raise ValueError("cpu_parallel_efficiency out of (0,1]")
         if memo_size < 0:
             raise ValueError("memo_size must be >= 0")
-        self.machine = machine
-        self.cpu_parallel_efficiency = cpu_parallel_efficiency
         #: LRU memo of per-launch kernel times keyed on
         #: (side, pricing fingerprint, placement); pricing a trace of
         #: 10^5 repeated launches then costs ~unique-specs arithmetic.
         #: ``memo_size=0`` disables memoization (the per-launch
         #: reference path used by equivalence tests and benchmarks).
+        #:
+        #: Memo validity rests on two invariants: :class:`Machine` is a
+        #: frozen dataclass (enforced below), and rebinding
+        #: ``self.machine`` or ``self.cpu_parallel_efficiency`` clears
+        #: the memo (enforced by the property setters) — so a memoized
+        #: per-launch time can never outlive the rates it priced.
         self.memo_size = memo_size
         self._memo: "OrderedDict[Tuple, float]" = OrderedDict()
         self.memo_hits = 0
         self.memo_misses = 0
+        self.machine = machine
+        self.cpu_parallel_efficiency = cpu_parallel_efficiency
+
+    @property
+    def machine(self) -> Machine:
+        return self._machine
+
+    @machine.setter
+    def machine(self, machine: Machine) -> None:
+        params = getattr(type(machine), "__dataclass_params__", None)
+        if params is None or not params.frozen:
+            raise TypeError(
+                "RooflineModel requires an immutable (frozen dataclass) "
+                f"machine; got {type(machine).__name__}"
+            )
+        self._machine = machine
+        self._memo.clear()
+
+    @property
+    def cpu_parallel_efficiency(self) -> float:
+        return self._cpu_parallel_efficiency
+
+    @cpu_parallel_efficiency.setter
+    def cpu_parallel_efficiency(self, value: float) -> None:
+        if not (0.0 < value <= 1.0):
+            raise ValueError("cpu_parallel_efficiency out of (0,1]")
+        self._cpu_parallel_efficiency = value
+        self._memo.clear()
 
     def _memoized(self, key: Tuple, compute) -> float:
         if self.memo_size == 0:
@@ -218,10 +252,13 @@ class RooflineModel:
 
         ``compact=True`` prices ``trace.compacted()`` instead — the
         fast path for long repetitive traces; totals agree with the
-        uncompacted pricing up to fp summation order.
+        uncompacted pricing up to fp summation order (enforced at
+        runtime under ``REPRO_OBS_VALIDATE``).
         """
+        original = trace
         if compact:
             trace = trace.compacted()
+        h0, m0 = self.memo_hits, self.memo_misses
         report = ExecutionReport(machine=self.machine.name, side="gpu")
         for k in trace.kernels:
             t = self.gpu_kernel_time(k, gpus=gpus)
@@ -230,6 +267,9 @@ class RooflineModel:
             report.per_kernel[k.name] = report.per_kernel.get(k.name, 0.0) + t
         for tr in trace.transfers:
             report.transfer_time += self.transfer_time(tr)
+        self._account_pricing(h0, m0)
+        if compact and _validate.validation_enabled():
+            self._validate_compacted(original, report, "gpu", gpus=gpus)
         return report
 
     def run_on_cpu(
@@ -240,8 +280,10 @@ class RooflineModel:
         compact: bool = False,
     ) -> ExecutionReport:
         """Model an entire trace on the CPU side (net transfers only)."""
+        original = trace
         if compact:
             trace = trace.compacted()
+        h0, m0 = self.memo_hits, self.memo_misses
         report = ExecutionReport(machine=self.machine.name, side="cpu")
         for k in trace.kernels:
             t = self.cpu_kernel_time(
@@ -252,7 +294,47 @@ class RooflineModel:
         for tr in trace.transfers:
             if tr.direction == "net":
                 report.transfer_time += self.transfer_time(tr)
+        self._account_pricing(h0, m0)
+        if compact and _validate.validation_enabled():
+            self._validate_compacted(
+                original, report, "cpu",
+                cores=cores, working_set_bytes=working_set_bytes,
+            )
         return report
+
+    def _account_pricing(self, hits_before: int, misses_before: int) -> None:
+        """Batch this pricing pass's memo hit/miss deltas into metrics."""
+        _metrics.counter("roofline.traces_priced").add()
+        dh = self.memo_hits - hits_before
+        dm = self.memo_misses - misses_before
+        if dh:
+            _metrics.counter("roofline.memo.hits").add(dh)
+        if dm:
+            _metrics.counter("roofline.memo.misses").add(dm)
+
+    def _validate_compacted(
+        self, original: KernelTrace, report: ExecutionReport,
+        side: str, **kwargs,
+    ) -> None:
+        """Compaction contract: compacted pricing matches per-launch.
+
+        The reference twin is a fresh memo-disabled model pricing the
+        uncompacted trace, so neither compaction nor memoization can
+        mask a divergence in the other.
+        """
+        ref_model = RooflineModel(
+            self.machine, self._cpu_parallel_efficiency, memo_size=0
+        )
+        if side == "gpu":
+            ref = ref_model.run_on_gpu(original, compact=False, **kwargs)
+        else:
+            ref = ref_model.run_on_cpu(original, compact=False, **kwargs)
+        _validate.check_allclose(
+            f"roofline.compact.{side}",
+            [report.kernel_time, report.launch_time, report.transfer_time],
+            [ref.kernel_time, ref.launch_time, ref.transfer_time],
+            rtol=1e-9, atol=0.0,
+        )
 
     def speedup_gpu_over_cpu(
         self, trace: KernelTrace, gpus: Optional[int] = None

@@ -22,6 +22,9 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.md.particles import ParticleSystem, PeriodicBox
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs import validate as _validate
 
 
 class CellList:
@@ -114,16 +117,68 @@ class NeighborList:
             self.build(system)
         else:
             self.reuses += 1
+            _metrics.counter("md.neighbor.reuses").add()
+
+    def degenerate_box(self, system: ParticleSystem) -> bool:
+        """True when any box length is below ``2 * (cutoff + skin)``.
+
+        In that regime a periodic dimension has fewer than two full
+        interaction cells, and single-image tree queries (the fast
+        build) are not guaranteed correct across SciPy versions —
+        older periodic kd-trees silently confine the search to the
+        nearest image, missing (or on some versions rejecting) pairs
+        whose minimum-image distance exceeds half the box.  The
+        reference cell build handles any box (worst case it degrades
+        to one all-pairs cell with exact minimum-image distances).
+        """
+        reach = self.cutoff + self.skin
+        lengths = np.asarray(system.box.lengths, dtype=np.float64)
+        return bool(np.min(lengths) < 2.0 * reach)
 
     def build(self, system: ParticleSystem) -> None:
         x = np.asarray(system.x, dtype=np.float64)
-        if self.method == "reference":
-            self._build_reference(system, x)
-        else:
-            self._build_fast(system, x)
+        with _trace.span("md.neighbor.build", n=system.n,
+                         method=self.method):
+            if self.method == "reference":
+                self._build_reference(system, x)
+            elif self.degenerate_box(system):
+                # fast path unsafe: fall back to the trusted build
+                _metrics.counter("md.neighbor.degenerate_fallbacks").add()
+                self._build_reference(system, x)
+            else:
+                self._build_fast(system, x)
+                if _validate.validation_enabled():
+                    self._validate_fast_build(system, x)
         self._x_ref = x.copy()
         self._box_ref = system.box.array.copy()
         self.builds += 1
+        _metrics.counter("md.neighbor.rebuilds").add()
+        _metrics.gauge("md.neighbor.pairs").set(self.n_pairs)
+
+    @staticmethod
+    def _canonical_pairs(pi: np.ndarray, pj: np.ndarray) -> np.ndarray:
+        """Order-independent (n_pairs, 2) canonical form of a half list."""
+        lo = np.minimum(pi, pj)
+        hi = np.maximum(pi, pj)
+        order = np.lexsort((hi, lo))
+        return np.stack([lo[order], hi[order]], axis=1)
+
+    def _validate_fast_build(self, system: ParticleSystem,
+                             x: np.ndarray) -> None:
+        """Fast-build contract: same pair *set* as the reference build."""
+        fast_i, fast_j = self.pairs_i, self.pairs_j
+        try:
+            self._build_reference(system, x)
+            ref = self._canonical_pairs(self.pairs_i, self.pairs_j)
+        finally:
+            self.pairs_i, self.pairs_j = fast_i, fast_j
+        fast = self._canonical_pairs(fast_i, fast_j)
+        _validate.check(
+            "md.neighbor", fast.shape == ref.shape
+            and bool(np.array_equal(fast, ref)),
+            f"fast build found {fast.shape[0]} pairs, "
+            f"reference {ref.shape[0]}",
+        )
 
     def _build_reference(self, system: ParticleSystem, x: np.ndarray) -> None:
         """Per-cell Python loop (the pre-vectorization implementation)."""

@@ -25,6 +25,8 @@ from typing import Dict, Optional, Protocol, Tuple
 import numpy as np
 
 from repro.md.particles import ParticleSystem
+from repro.obs import metrics as _metrics
+from repro.obs import validate as _validate
 
 
 class PairPotential(Protocol):
@@ -206,4 +208,19 @@ class PairProcessor:
                 np.add.at(forces, pairs_j[idx], -fvec)
             energy += float(e.sum())
             virial += float((f_over_r * r2[idx]).sum())
+        _metrics.counter("md.forces.evals").add()
+        if method == "fast" and _validate.validation_enabled():
+            # bincount-scatter contract: allclose to np.add.at up to
+            # fp summation order
+            f_ref, e_ref, w_ref = self.compute(
+                system, pairs_i, pairs_j, method="reference"
+            )
+            _validate.check_allclose(
+                "md.forces", forces.astype(system.dtype), f_ref,
+                rtol=1e-9, atol=1e-9,
+            )
+            _validate.check_allclose(
+                "md.forces.energy", [energy, virial], [e_ref, w_ref],
+                rtol=1e-9, atol=1e-9,
+            )
         return forces.astype(system.dtype), energy, virial

@@ -1,0 +1,95 @@
+"""Observability layer: spans, counters, validate-mode, reports.
+
+The paper's whole methodology is instrumentation-driven: per-kernel
+timing breakdowns (Fig. 8), measured-vs-modeled comparisons (§5), and
+counter-based loop optimization in ParaDyn (§4.8).  This package gives
+the reproduction the same machinery, with zero third-party
+dependencies beyond NumPy:
+
+- :mod:`repro.obs.trace` — :class:`Span`/:class:`Tracer`: nested timed
+  spans, thread-safe, contextvar-scoped, emitting structured JSONL
+  records through pluggable sinks (in-memory ring buffer, file,
+  stderr).  Disabled by default; a disabled tracer hands out a shared
+  no-op span before any formatting work happens.
+- :mod:`repro.obs.metrics` — process-wide :class:`Counter`/:class:`Gauge`
+  registry with dotted per-subsystem namespacing
+  (``sched.events_processed``, ``md.neighbor.rebuilds``,
+  ``jit.cache.disk_hit``, ...).  Hot loops batch their increments at
+  subsystem boundaries, so always-on metrics cost nothing measurable.
+- :mod:`repro.obs.validate` — the fast-path/reference contract
+  enforcer.  With ``REPRO_OBS_VALIDATE=1`` every instrumented fast
+  path also runs its slow trusted twin, compares results per the
+  published contract (bit-exact for the scheduler and JIT bytecode,
+  pair-set equality for neighbor lists, allclose for forces and trace
+  pricing, residual-quality for multicolor Gauss-Seidel), records any
+  divergence as a counter, and raises :class:`DivergenceError` in
+  strict mode.
+- :mod:`repro.obs.report` — :func:`report`: a Fig.-8-style per-kernel
+  breakdown table (measured wall vs roofline-modeled time) plus the
+  counter snapshot, rendered through :mod:`repro.util.tables`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    reset_metrics,
+    snapshot,
+)
+from repro.obs.report import report, span_summary
+from repro.obs.trace import (
+    FileSink,
+    RingBufferSink,
+    Span,
+    StderrSink,
+    TRACER,
+    Tracer,
+    configure_from_env,
+    get_tracer,
+    span,
+)
+from repro.obs.validate import (
+    DivergenceError,
+    VALIDATE_ENV,
+    check,
+    check_allclose,
+    check_equal,
+    validation_enabled,
+    validation_mode,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "reset_metrics",
+    "snapshot",
+    "report",
+    "span_summary",
+    "FileSink",
+    "RingBufferSink",
+    "Span",
+    "StderrSink",
+    "TRACER",
+    "Tracer",
+    "configure_from_env",
+    "get_tracer",
+    "span",
+    "DivergenceError",
+    "VALIDATE_ENV",
+    "check",
+    "check_allclose",
+    "check_equal",
+    "validation_enabled",
+    "validation_mode",
+]
+
+configure_from_env()

@@ -1,0 +1,151 @@
+"""Fig.-8-style breakdown reports from traces, spans, and counters.
+
+:func:`report` renders, through :class:`repro.util.tables.Table`:
+
+1. a per-kernel time breakdown — roofline-modeled time per kernel
+   name (from a :class:`~repro.core.kernels.KernelTrace` priced on a
+   :class:`~repro.core.roofline.RooflineModel`) side by side with
+   measured wall time per span name, the measured-vs-modeled
+   comparison the paper makes throughout §5;
+2. a span summary (count / total / mean per span name); and
+3. the current counter snapshot.
+
+Measured times come from a :class:`~repro.obs.trace.RingBufferSink`
+(or any iterable of span records, or a plain ``{name: seconds}``
+mapping); matching is by name, so instrument kernels with spans named
+after the kernels they wrap to get both columns populated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.util.tables import Table, format_seconds
+
+
+def span_summary(
+    records: Iterable[Mapping[str, Any]],
+) -> Dict[str, Tuple[int, float]]:
+    """Aggregate span records to ``{name: (count, total_seconds)}``."""
+    out: Dict[str, Tuple[int, float]] = {}
+    for rec in records:
+        if rec.get("type") != "span":
+            continue
+        name = rec["name"]
+        count, total = out.get(name, (0, 0.0))
+        out[name] = (count + 1, total + float(rec.get("dur", 0.0)))
+    return out
+
+
+def _measured_map(measured: Any) -> Dict[str, float]:
+    """Normalize *measured* into ``{name: seconds}``."""
+    if measured is None:
+        return {}
+    if isinstance(measured, Mapping):
+        return {str(k): float(v) for k, v in measured.items()}
+    # RingBufferSink or any iterable of span records
+    return {
+        name: total for name, (_, total) in span_summary(measured).items()
+    }
+
+
+def kernel_breakdown(
+    trace,
+    model,
+    side: str = "gpu",
+    gpus: int = 1,
+    cores: Optional[int] = None,
+    measured: Any = None,
+) -> Table:
+    """Per-kernel modeled (and optionally measured) time table."""
+    if side not in ("gpu", "cpu"):
+        raise ValueError("side must be 'gpu' or 'cpu'")
+    if not hasattr(trace, "compacted"):
+        raise TypeError(
+            "trace must be a KernelTrace (e.g. ctx.trace), got "
+            f"{type(trace).__name__}; span records / sinks go in "
+            "measured=..."
+        )
+    if side == "gpu":
+        rep = model.run_on_gpu(trace, gpus=gpus, compact=True)
+    else:
+        rep = model.run_on_cpu(trace, cores=cores, compact=True)
+    walls = _measured_map(measured)
+    table = Table(
+        ["kernel", "modeled", "measured", "meas/model", "share"],
+        title=(
+            f"per-kernel breakdown on {rep.machine} ({rep.side}), "
+            f"modeled total {format_seconds(rep.total)}"
+        ),
+    )
+    total = rep.kernel_time or 1.0
+    for name, t in sorted(
+        rep.per_kernel.items(), key=lambda kv: -kv[1]
+    ):
+        wall = walls.get(name)
+        ratio = "-" if not wall or t == 0 else f"{wall / t:.3g}x"
+        table.add_row(
+            name,
+            format_seconds(t),
+            format_seconds(wall) if wall is not None else "-",
+            ratio,
+            f"{100.0 * t / total:.1f}%",
+        )
+    return table
+
+
+def counters_table(registry: Optional[MetricsRegistry] = None) -> Table:
+    snap = (registry or REGISTRY).snapshot()
+    table = Table(["metric", "kind", "value"], title="counters")
+    for name, value in snap["counters"].items():
+        table.add_row(name, "counter", value)
+    for name, value in snap["gauges"].items():
+        table.add_row(name, "gauge", value)
+    return table
+
+
+def spans_table(records: Iterable[Mapping[str, Any]]) -> Table:
+    table = Table(["span", "count", "total", "mean"], title="spans")
+    summary = span_summary(records)
+    for name, (count, total) in sorted(
+        summary.items(), key=lambda kv: -kv[1][1]
+    ):
+        table.add_row(
+            name, count, format_seconds(total),
+            format_seconds(total / count),
+        )
+    return table
+
+
+def report(
+    trace=None,
+    model=None,
+    side: str = "gpu",
+    gpus: int = 1,
+    cores: Optional[int] = None,
+    measured: Any = None,
+    registry: Optional[MetricsRegistry] = None,
+    include_counters: bool = True,
+) -> str:
+    """Render the full observability report as plain text.
+
+    ``trace``+``model`` add the Fig.-8-style per-kernel breakdown;
+    ``measured`` (a ring-buffer sink, span-record iterable, or
+    ``{name: seconds}``) fills its measured-wall column and, when
+    given as records, adds a span summary; counters render from the
+    global registry unless another is passed.
+    """
+    sections = []
+    if trace is not None and model is not None:
+        sections.append(str(kernel_breakdown(
+            trace, model, side=side, gpus=gpus, cores=cores,
+            measured=measured,
+        )))
+    if measured is not None and not isinstance(measured, Mapping):
+        records = list(measured)
+        if records:
+            sections.append(str(spans_table(records)))
+    if include_counters:
+        sections.append(str(counters_table(registry)))
+    return "\n\n".join(sections)

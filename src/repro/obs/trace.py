@@ -1,0 +1,233 @@
+"""Nested timed spans with pluggable structured-record sinks.
+
+A :class:`Span` measures one timed region; spans nest through a
+contextvar (so nesting is correct across threads and async tasks
+without any caller bookkeeping).  Completed spans are emitted as flat
+dict records to every sink attached to the :class:`Tracer`.
+
+Overhead contract: tracing is **disabled by default**, and a disabled
+tracer returns one shared no-op span object from :meth:`Tracer.span`
+before any record formatting, attribute capture, or clock read — an
+instrumented hot path costs one attribute load and one truth test.
+
+Sinks receive plain dicts; :class:`FileSink` and :class:`StderrSink`
+serialize them as JSON Lines, :class:`RingBufferSink` keeps the last N
+in memory for report rendering and tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import sys
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+#: Environment variable enabling tracing at import: ``mem`` (ring
+#: buffer), ``stderr``, or a file path for JSONL output.
+TRACE_ENV = "REPRO_OBS_TRACE"
+
+_current_span_id: ContextVar[Optional[int]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class RingBufferSink:
+    """Keep the most recent *capacity* records in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.records: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.records)
+
+
+class FileSink:
+    """Append records to *path* as JSON Lines."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, default=str) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+class StderrSink:
+    """Write records to stderr as JSON Lines."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        sys.stderr.write(json.dumps(record, default=str) + "\n")
+
+
+class Span:
+    """One timed region; use as a context manager.
+
+    Attributes set at creation (or via :meth:`set`) land in the
+    emitted record's ``attrs`` field and must be JSON-serializable.
+    """
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "_t0", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Optional[Dict[str, Any]] = None):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs or {}
+        self.span_id = next(tracer._ids)
+        self.parent_id: Optional[int] = None
+        self._t0 = 0.0
+        self._token = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach extra attributes to the span record."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.parent_id = _current_span_id.get()
+        self._token = _current_span_id.set(self.span_id)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter() - self._t0
+        if self._token is not None:
+            _current_span_id.reset(self._token)
+            self._token = None
+        record = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": threading.get_ident(),
+            "ts": time.time(),
+            "dur": dur,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        self.tracer._emit(record)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Hand out spans and fan completed records out to sinks."""
+
+    def __init__(self, sinks: Optional[List[Any]] = None,
+                 enabled: bool = False):
+        self._sinks: List[Any] = list(sinks or [])
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.enabled = enabled and bool(self._sinks)
+
+    def span(self, name: str, **attrs: Any):
+        """A new span, or the shared no-op span when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs or None)
+
+    def enable(self, sink: Optional[Any] = None) -> Any:
+        """Turn tracing on; returns the (possibly new ring) sink."""
+        with self._lock:
+            if sink is None:
+                sink = next(
+                    (s for s in self._sinks
+                     if isinstance(s, RingBufferSink)),
+                    None,
+                ) or RingBufferSink()
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+            self.enabled = True
+        return sink
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def remove_sink(self, sink: Any) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+            if not self._sinks:
+                self.enabled = False
+
+    @property
+    def sinks(self) -> List[Any]:
+        return list(self._sinks)
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            for sink in self._sinks:
+                sink.emit(record)
+
+
+#: Process-wide tracer used by all instrumented subsystems.
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return TRACER
+
+
+def span(name: str, **attrs: Any):
+    """``TRACER.span(...)`` — the call instrumented code sites use."""
+    if not TRACER.enabled:  # short-circuit before touching attrs
+        return NULL_SPAN
+    return TRACER.span(name, **attrs)
+
+
+def configure_from_env() -> None:
+    """Enable the global tracer per ``REPRO_OBS_TRACE`` (if set).
+
+    ``mem`` attaches a ring buffer, ``stderr`` a stderr JSONL sink,
+    anything else is treated as an output file path.
+    """
+    import os
+
+    target = os.environ.get(TRACE_ENV, "").strip()
+    if not target:
+        return
+    if target.lower() == "mem":
+        TRACER.enable(RingBufferSink())
+    elif target.lower() == "stderr":
+        TRACER.enable(StderrSink())
+    else:
+        TRACER.enable(FileSink(target))

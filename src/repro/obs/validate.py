@@ -1,0 +1,136 @@
+"""Fast-path/reference validation mode.
+
+PR 2 introduced fast paths with published equivalence contracts
+against their slow trusted twins (bit-identical scheduler results,
+neighbor pair-set equality, allclose forces and trace pricing,
+residual-quality multicolor Gauss-Seidel, byte-identical JIT
+bytecode).  This module turns those contracts from test-suite facts
+into a runtime switch: set ``REPRO_OBS_VALIDATE=1`` and every
+instrumented fast path *also* runs its reference twin on the live
+inputs, compares per its contract, records the outcome as a metric,
+and raises :class:`DivergenceError` in strict mode.
+
+Modes (from the ``REPRO_OBS_VALIDATE`` environment variable):
+
+- unset / ``0`` / ``off`` — validation disabled (production default;
+  the fast paths pay one env lookup per coarse-grained call).
+- ``record`` / ``warn`` — run both paths, count divergences under
+  ``obs.validate.<domain>.divergence``, emit a ``RuntimeWarning``,
+  return the fast result anyway.
+- ``1`` / ``strict`` / anything else — as above, but divergence
+  raises :class:`DivergenceError`.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Any
+
+import numpy as np
+
+from repro.obs.metrics import counter
+
+#: Environment variable selecting the validation mode.
+VALIDATE_ENV = "REPRO_OBS_VALIDATE"
+
+_OFF_VALUES = ("", "0", "off", "false", "no", "none")
+_RECORD_VALUES = ("record", "warn")
+
+
+class DivergenceError(AssertionError):
+    """A fast path disagreed with its reference twin."""
+
+
+#: memo of the last (raw env value, parsed mode) pair — the env var is
+#: still *read* on every call (tests flip it freely), only the string
+#: normalization is skipped when the value hasn't changed, keeping the
+#: per-call cost of a disabled check to one env lookup + one compare.
+_parsed: tuple = ("", "off")
+
+
+def validation_mode() -> str:
+    """Current mode: ``"off"``, ``"record"``, or ``"strict"``.
+
+    Read from the environment on every call so tests (and long-lived
+    processes) can flip validation without re-importing anything; the
+    callers are all coarse-grained (once per solver run / neighbor
+    build / scheduler run), never per-event.
+    """
+    global _parsed
+    value = os.environ.get(VALIDATE_ENV, "")
+    cached = _parsed
+    if value == cached[0]:
+        return cached[1]
+    raw = value.strip().lower()
+    if raw in _OFF_VALUES:
+        mode = "off"
+    elif raw in _RECORD_VALUES:
+        mode = "record"
+    else:
+        mode = "strict"
+    _parsed = (value, mode)
+    return mode
+
+
+def validation_enabled() -> bool:
+    return validation_mode() != "off"
+
+
+def check(domain: str, ok: bool, detail: str = "") -> bool:
+    """Record one contract check for *domain*; handle divergence.
+
+    Counts ``obs.validate.<domain>.checks`` always and
+    ``obs.validate.<domain>.divergence`` on failure; raises in strict
+    mode, warns in record mode.  Returns *ok* (record mode lets the
+    caller continue with the fast result).
+    """
+    counter(f"obs.validate.{domain}.checks").add()
+    if ok:
+        return True
+    counter(f"obs.validate.{domain}.divergence").add()
+    msg = f"fast path diverged from reference in {domain}"
+    if detail:
+        msg = f"{msg}: {detail}"
+    if validation_mode() == "strict":
+        raise DivergenceError(msg)
+    warnings.warn(msg, RuntimeWarning, stacklevel=2)
+    return False
+
+
+def check_equal(domain: str, fast: Any, ref: Any, detail: str = "") -> bool:
+    """Bit-exact contract (scheduler results, JIT bytecode, pair sets)."""
+    ok = bool(fast == ref)
+    extra = detail or f"{_shorten(fast)} != {_shorten(ref)}"
+    return check(domain, ok, extra if not ok else "")
+
+
+def check_allclose(
+    domain: str,
+    fast: Any,
+    ref: Any,
+    rtol: float = 1e-9,
+    atol: float = 0.0,
+    detail: str = "",
+) -> bool:
+    """Floating-point contract (forces, energies, modeled times)."""
+    fast_a = np.asarray(fast)
+    ref_a = np.asarray(ref)
+    ok = fast_a.shape == ref_a.shape and bool(
+        np.allclose(fast_a, ref_a, rtol=rtol, atol=atol)
+    )
+    if ok:
+        return check(domain, True)
+    if fast_a.shape != ref_a.shape:
+        extra = f"shape {fast_a.shape} vs {ref_a.shape}"
+    else:
+        diff = np.max(np.abs(fast_a - ref_a)) if fast_a.size else 0.0
+        extra = f"max |fast-ref| = {diff:.3e}"
+    if detail:
+        extra = f"{detail} ({extra})"
+    return check(domain, False, extra)
+
+
+def _shorten(value: Any, limit: int = 120) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."

@@ -18,6 +18,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs import validate as _validate
+
 
 @dataclass(frozen=True)
 class Job:
@@ -261,10 +265,66 @@ class ClusterSimulator:
         (policy.select over a list), ``"fast"`` (heap-backed, requires
         the policy to provide ``fast_queue``), or ``"auto"`` — fast
         when available, reference otherwise.
+
+        With ``REPRO_OBS_VALIDATE`` set and a fast queue in play, the
+        run is validated: the reference engine replays the same jobs
+        (and, via checkpoint/restore, the same fault schedule) and the
+        two :class:`SimResult`\\ s must be bit-identical — the PR 2
+        fast-engine contract, enforced at runtime.
         """
         if not jobs:
             raise ValueError("no jobs to schedule")
         jobs = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+        queue = self._make_queue(policy, engine)
+        is_fast = not isinstance(queue, _ReferenceQueue)
+        with _trace.span("sched.run", jobs=len(jobs), gpus=self.n_gpus,
+                         engine="fast" if is_fast else "reference"):
+            if is_fast and _validate.validation_enabled():
+                return self._run_validated(
+                    jobs, policy, horizon, fault_injector, retry_policy,
+                    queue,
+                )
+            return self._run_events(
+                jobs, horizon, fault_injector, retry_policy, queue
+            )
+
+    def _run_validated(
+        self, jobs, policy, horizon, fault_injector, retry_policy, queue
+    ) -> SimResult:
+        """Run fast, replay on the reference engine, demand equality.
+
+        The fault injector's RNG is checkpointed before the fast run
+        and restored for the replay so both engines see the same fault
+        schedule; afterwards it is left in the post-fast-run state, as
+        if only the fast run had happened.
+        """
+        pre = (
+            fault_injector.checkpoint_state()
+            if fault_injector is not None else None
+        )
+        fast = self._run_events(
+            jobs, horizon, fault_injector, retry_policy, queue
+        )
+        if fault_injector is not None:
+            post = fault_injector.checkpoint_state()
+            fault_injector.restore_state(pre)
+        ref = self._run_events(
+            jobs, horizon, fault_injector, retry_policy,
+            _ReferenceQueue(policy),
+        )
+        if fault_injector is not None:
+            fault_injector.restore_state(post)
+        _validate.check(
+            "sched.engine", fast == ref,
+            f"fast {fast.makespan=} {fast.completed=} vs "
+            f"reference {ref.makespan=} {ref.completed=}",
+        )
+        return fast
+
+    def _run_events(
+        self, jobs, horizon, fault_injector, retry_policy, queue
+    ) -> SimResult:
+        """The event loop proper, on an already-constructed queue."""
         n = len(jobs)
         arrivals = [(j.arrival, j.job_id, j) for j in jobs]
         next_arrival = 0
@@ -273,7 +333,6 @@ class ClusterSimulator:
         requeue_seq = 0
         #: (finish_time, job_id, job, start_time)
         running: List[Tuple[float, int, Job, float]] = []
-        queue = self._make_queue(policy, engine)
         waits: List[float] = []
         turnarounds: List[float] = []
         busy_time = 0.0   # occupied GPU-time, incl. work later wasted
@@ -311,7 +370,9 @@ class ClusterSimulator:
                     )
                     started += 1
 
+        events = 0
         while completed + dropped < n:
+            events += 1
             # next event: arrival, re-queue, completion, or fault
             t_arr = (
                 arrivals[next_arrival][0]
@@ -380,6 +441,14 @@ class ClusterSimulator:
         capacity = self.n_gpus * makespan
         util = busy_time / capacity if makespan > 0 else 0.0
         goodput = useful_time / capacity if makespan > 0 else 0.0
+        # batched observability: one add per metric per run, never
+        # per event (the disabled-overhead contract of repro.obs)
+        _metrics.counter("sched.runs").add()
+        _metrics.counter("sched.events_processed").add(events)
+        _metrics.counter("sched.jobs_started").add(started)
+        _metrics.counter("sched.jobs_completed").add(completed)
+        if failures:
+            _metrics.counter("sched.faults_injected").add(failures)
         return SimResult(
             makespan=makespan,
             utilization=min(util, 1.0),

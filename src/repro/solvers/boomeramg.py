@@ -28,6 +28,8 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.core.forall import ExecutionContext
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.solvers.coarsen import (
     C_POINT,
     coarse_fine_counts,
@@ -131,6 +133,13 @@ class BoomerAMG:
         Galerkin sparse triple product are all expressible as device
         kernels.
         """
+        with _trace.span("solvers.amg.setup", coarsening=self.coarsening):
+            hierarchy = self._setup(a)
+        _metrics.counter("solvers.amg.setups").add()
+        _metrics.gauge("solvers.amg.levels").set(hierarchy.num_levels)
+        return hierarchy
+
+    def _setup(self, a) -> AmgHierarchy:
         from repro.core.kernels import KernelSpec, KernelTrace
 
         self.setup_trace = KernelTrace()
@@ -203,6 +212,7 @@ class BoomerAMG:
 
     def _smooth(self, a: CsrMatrix, b: np.ndarray, x: np.ndarray,
                 sweeps: int) -> np.ndarray:
+        _metrics.counter("solvers.amg.smooth_sweeps").add(sweeps)
         if self.smoother_name == "l1-jacobi":
             return l1_jacobi(a, b, x, sweeps=sweeps)
         return weighted_jacobi(a, b, x, sweeps=sweeps)
@@ -212,6 +222,16 @@ class BoomerAMG:
         """One V(pre,post)-cycle starting at *level*."""
         if self.hierarchy is None:
             raise RuntimeError("call setup() before vcycle()")
+        if level == 0:
+            with _trace.span("solvers.amg.vcycle",
+                             levels=self.hierarchy.num_levels):
+                x = self._vcycle(b, x, 0)
+            _metrics.counter("solvers.amg.vcycles").add()
+            return x
+        return self._vcycle(b, x, level)
+
+    def _vcycle(self, b: np.ndarray, x: Optional[np.ndarray],
+                level: int) -> np.ndarray:
         lvl = self.hierarchy.levels[level]
         x = np.zeros_like(b) if x is None else x
         if level == self.hierarchy.num_levels - 1:
@@ -219,7 +239,7 @@ class BoomerAMG:
         x = self._smooth(lvl.a, b, x, self.pre_sweeps)
         r = lvl.a.residual(b, x)
         rc = lvl.p.rmatvec(r)
-        ec = self.vcycle(rc, level=level + 1)
+        ec = self._vcycle(rc, None, level + 1)
         x = x + lvl.p.matvec(ec)
         x = self._smooth(lvl.a, b, x, self.post_sweeps)
         return x

@@ -31,6 +31,8 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
 
+from repro.obs import metrics as _metrics
+from repro.obs import validate as _validate
 from repro.solvers.csr import CsrMatrix
 
 
@@ -227,6 +229,20 @@ def gauss_seidel_multicolor(
         for rows, sub in schedule:
             r = sub @ y
             y[rows] += (b[rows] - r) / d[rows]
+    _metrics.counter("solvers.gs.multicolor_calls").add()
+    if _validate.validation_enabled():
+        # residual-quality contract against the lexicographic reference:
+        # multicolor ordering may differ pointwise, but its residual
+        # must be no worse than 1.5x the sequential sweep's
+        y_ref = gauss_seidel(a, b, x, sweeps=sweeps, backward=backward)
+        r_fast = float(np.linalg.norm(b - m @ y))
+        r_ref = float(np.linalg.norm(b - m @ y_ref))
+        scale = float(np.linalg.norm(b)) or 1.0
+        _validate.check(
+            "solvers.gs.multicolor",
+            r_fast <= 1.5 * r_ref + 1e-12 * scale,
+            f"multicolor residual {r_fast:.3e} vs reference {r_ref:.3e}",
+        )
     return y
 
 

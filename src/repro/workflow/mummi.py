@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.core.machine import Machine, get_machine
 from repro.md.gromacs_baseline import modeled_step_times
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sched.policies import Fcfs
 from repro.sched.simulator import ClusterSimulator, Job
 from repro.util.rng import make_rng
@@ -128,6 +130,20 @@ class MummiCampaign:
 
     def run_cycle(self) -> Dict[str, float]:
         """One coupling cycle; returns cycle metrics."""
+        with _trace.span("workflow.mummi.cycle", cycle=self.cycles_done,
+                         jobs=self.jobs_per_cycle):
+            metrics = self._run_cycle()
+        _metrics.counter("workflow.mummi.cycles").add()
+        _metrics.counter("workflow.mummi.simulations").add(
+            int(metrics["simulations"])
+        )
+        if metrics["failures"]:
+            _metrics.counter("workflow.mummi.failures").add(
+                int(metrics["failures"])
+            )
+        return metrics
+
+    def _run_cycle(self) -> Dict[str, float]:
         self.macro.step()
         candidates = self.select_candidates()
         comps = self.macro.patch_compositions().ravel()

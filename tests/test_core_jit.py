@@ -252,3 +252,69 @@ class TestPersistentCache:
         k = cache.compile("kern", self.TEMPLATE, {"COEF": 3.0, "OFFSET": 1.0})
         assert k(1.0) == 4.0
         assert cache.disk_errors >= 1
+
+
+class TestCacheTag:
+    TEMPLATE = """
+    def kern(x):
+        return $COEF * x + $OFFSET
+    """
+    CONSTANTS = {"COEF": 3.0, "OFFSET": 1.0}
+
+    def test_payload_carries_interpreter_tag(self, tmp_path):
+        import pickle
+        import sys
+
+        cache = JitCache(persist_dir=str(tmp_path))
+        k = cache.compile("kern", self.TEMPLATE, self.CONSTANTS)
+        with open(cache._disk_path(k.key), "rb") as fh:
+            payload = pickle.load(fh)
+        assert payload["tag"] == sys.implementation.cache_tag
+
+    def test_foreign_cache_tag_is_miss(self, tmp_path):
+        """An entry whose magic number matches but whose cache_tag does
+        not (a foreign interpreter build sharing the magic) must be
+        treated as a miss and recompiled, never loaded."""
+        import pickle
+
+        d = str(tmp_path)
+        cold = JitCache(persist_dir=d)
+        k = cold.compile("kern", self.TEMPLATE, self.CONSTANTS)
+        path = cold._disk_path(k.key)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["tag"] = "cpython-999"  # forge a foreign producer
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+
+        warm = JitCache(persist_dir=d)
+        k2 = warm.compile("kern", self.TEMPLATE, self.CONSTANTS)
+        assert warm.disk_hits == 0
+        assert warm.disk_errors == 1
+        assert warm.compile_count == 1  # recompiled from source
+        assert k2(2.0) == 7.0
+
+        # the recompile overwrote the forged entry with the right tag
+        fixed = JitCache(persist_dir=d)
+        fixed.compile("kern", self.TEMPLATE, self.CONSTANTS)
+        assert fixed.disk_hits == 1
+        assert fixed.compile_count == 0
+
+    def test_missing_tag_field_is_miss(self, tmp_path):
+        """Pre-cache_tag (format v1 era) payloads lack the field
+        entirely; they must also read as a miss."""
+        import pickle
+
+        d = str(tmp_path)
+        cold = JitCache(persist_dir=d)
+        k = cold.compile("kern", self.TEMPLATE, self.CONSTANTS)
+        path = cold._disk_path(k.key)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        del payload["tag"]
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        warm = JitCache(persist_dir=d)
+        warm.compile("kern", self.TEMPLATE, self.CONSTANTS)
+        assert warm.disk_hits == 0
+        assert warm.compile_count == 1

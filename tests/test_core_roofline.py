@@ -278,3 +278,61 @@ class TestMemoization:
         assert t_all != t_few
         assert t_cached < t_all
         assert model.memo_misses == 3
+
+
+class TestMemoInvalidation:
+    """The stale-memo bug: LRU entries are keyed on (side, pricing
+    fingerprint, placement) only, so a model whose machine or
+    efficiency is rebound must drop them — otherwise it keeps quoting
+    the old machine's prices."""
+
+    def _trace(self, reps=20):
+        tr = KernelTrace()
+        k = KernelSpec(name="k", flops=1e9, bytes_read=4e8, bytes_written=2e8)
+        for _ in range(reps):
+            tr.record_kernel(k)
+        return tr
+
+    def test_machine_swap_cannot_return_stale_prices(self):
+        tr = self._trace()
+        model = RooflineModel(get_machine("sierra"))
+        t_sierra = model.run_on_gpu(tr).total
+        model.machine = get_machine("ea-minsky")
+        t_minsky = model.run_on_gpu(tr).total
+        fresh = RooflineModel(get_machine("ea-minsky")).run_on_gpu(tr).total
+        assert t_minsky == pytest.approx(fresh, rel=1e-14)
+        assert t_minsky != t_sierra
+
+    def test_machine_swap_clears_memo(self):
+        model = RooflineModel(get_machine("sierra"))
+        model.run_on_gpu(self._trace())
+        assert len(model._memo) == 1
+        model.machine = get_machine("ea-minsky")
+        assert len(model._memo) == 0
+
+    def test_efficiency_rebind_reprices_cpu(self):
+        tr = self._trace()
+        model = RooflineModel(get_machine("sierra"),
+                              cpu_parallel_efficiency=0.8)
+        t_before = model.run_on_cpu(tr).total
+        model.cpu_parallel_efficiency = 0.4
+        t_after = model.run_on_cpu(tr).total
+        fresh = RooflineModel(
+            get_machine("sierra"), cpu_parallel_efficiency=0.4
+        ).run_on_cpu(tr).total
+        assert t_after == pytest.approx(fresh, rel=1e-14)
+        assert t_after != t_before
+
+    def test_mutable_machine_rejected(self):
+        class FakeMachine:
+            name = "mutable"
+
+        with pytest.raises(TypeError, match="frozen"):
+            RooflineModel(FakeMachine())
+
+    def test_bad_efficiency_on_rebind(self):
+        model = RooflineModel(get_machine("sierra"))
+        with pytest.raises(ValueError):
+            model.cpu_parallel_efficiency = 0.0
+        with pytest.raises(ValueError):
+            model.cpu_parallel_efficiency = 1.5

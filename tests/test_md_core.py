@@ -333,3 +333,108 @@ class TestFastForceScatter:
         proc = PairProcessor(LennardJones())
         with pytest.raises(ValueError, match="unknown accumulation"):
             proc.compute(ps, np.array([0]), np.array([1]), method="gpu")
+
+
+class TestDegenerateBox:
+    """Boxes with any length below 2*(cutoff+skin): the fast kd-tree
+    build must detect the degenerate regime and fall back to the
+    reference cell build (single-image periodic tree queries are not
+    trustworthy there across SciPy versions)."""
+
+    CUTOFF, SKIN = 2.5, 0.3  # reach 2.8 -> degenerate below L = 5.6
+
+    @staticmethod
+    def _pairs(pi, pj):
+        return {tuple(sorted(p)) for p in zip(
+            np.asarray(pi).tolist(), np.asarray(pj).tolist()
+        )}
+
+    @pytest.mark.parametrize(
+        "side", [3.0, 4.5, 5.59, 5.61, 7.0, 11.2]
+    )
+    def test_sweep_around_threshold_matches_brute_force(self, side):
+        ps = ParticleSystem.random_gas(
+            40, PeriodicBox((side,) * 3), seed=7
+        )
+        nl = NeighborList(cutoff=self.CUTOFF, skin=self.SKIN,
+                          method="fast")
+        nl.build(ps)
+        ref_i, ref_j = nl.brute_force_reference(ps)
+        assert self._pairs(nl.pairs_i, nl.pairs_j) == \
+            self._pairs(ref_i, ref_j)
+
+    @given(side=st.floats(min_value=3.2, max_value=8.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_any_box_matches_brute_force(self, side):
+        ps = ParticleSystem.random_gas(
+            25, PeriodicBox((side,) * 3), seed=9
+        )
+        nl = NeighborList(cutoff=self.CUTOFF, skin=self.SKIN,
+                          method="fast")
+        nl.build(ps)
+        ref_i, ref_j = nl.brute_force_reference(ps)
+        assert self._pairs(nl.pairs_i, nl.pairs_j) == \
+            self._pairs(ref_i, ref_j)
+
+    def test_degenerate_box_detector(self):
+        nl = NeighborList(cutoff=self.CUTOFF, skin=self.SKIN)
+        small = ParticleSystem.random_gas(
+            10, PeriodicBox((5.5,) * 3), seed=0)
+        ok = ParticleSystem.random_gas(
+            10, PeriodicBox((5.7,) * 3), seed=0)
+        aniso = ParticleSystem.random_gas(
+            10, PeriodicBox((10.0, 10.0, 5.5)), seed=0)
+        assert nl.degenerate_box(small)
+        assert not nl.degenerate_box(ok)
+        assert nl.degenerate_box(aniso)  # any short dimension counts
+
+    def test_fallback_counter_increments(self):
+        from repro.obs import metrics
+
+        ps = ParticleSystem.random_gas(
+            20, PeriodicBox((4.0,) * 3), seed=1)
+        nl = NeighborList(cutoff=self.CUTOFF, skin=self.SKIN,
+                          method="fast")
+        c = metrics.counter("md.neighbor.degenerate_fallbacks")
+        before = c.value
+        nl.build(ps)
+        assert c.value == before + 1
+
+    def test_old_scipy_single_image_tree_still_correct(self, monkeypatch):
+        """Simulate an old SciPy whose periodic kd-tree rejects (or
+        would silently botch) queries beyond half the box.  The
+        degenerate-box fallback means the fast method never issues such
+        a query, so builds succeed and stay correct anyway."""
+        from repro.md import neighbor as neighbor_mod
+
+        real_tree = neighbor_mod.cKDTree
+
+        class OldScipyTree:
+            def __init__(self, data, boxsize=None):
+                self._half = float(np.min(boxsize)) / 2.0
+                self._tree = real_tree(data, boxsize=boxsize)
+
+            def query_pairs(self, r, output_type="set"):
+                if r > self._half:
+                    raise ValueError(
+                        "r > box/2 unsupported (old-scipy behavior)"
+                    )
+                return self._tree.query_pairs(r, output_type=output_type)
+
+        monkeypatch.setattr(neighbor_mod, "cKDTree", OldScipyTree)
+        for side in (4.0, 5.0, 5.59):  # all degenerate for reach 2.8
+            ps = ParticleSystem.random_gas(
+                30, PeriodicBox((side,) * 3), seed=2)
+            nl = NeighborList(cutoff=self.CUTOFF, skin=self.SKIN,
+                              method="fast")
+            nl.build(ps)  # would raise without the fallback
+            ref_i, ref_j = nl.brute_force_reference(ps)
+            assert self._pairs(nl.pairs_i, nl.pairs_j) == \
+                self._pairs(ref_i, ref_j)
+        # non-degenerate boxes still use the (now strict) tree
+        ps = ParticleSystem.random_gas(
+            30, PeriodicBox((7.0,) * 3), seed=3)
+        nl = NeighborList(cutoff=self.CUTOFF, skin=self.SKIN,
+                          method="fast")
+        nl.build(ps)
+        assert nl.n_pairs > 0

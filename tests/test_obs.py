@@ -1,0 +1,506 @@
+"""Tests for the repro.obs observability layer.
+
+Covers the tracer (nesting, sinks, the disabled no-op contract), the
+counter/gauge registry, the validate-mode switch, report rendering,
+and — the point of the whole layer — that an injected fast-path
+divergence is provably caught at runtime in strict mode.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import trace as trace_mod
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import counters_table, kernel_breakdown, spans_table
+from repro.obs.trace import NULL_SPAN, RingBufferSink
+from repro.obs.validate import VALIDATE_ENV
+
+
+@pytest.fixture
+def ring():
+    """Enable the global tracer on a fresh ring buffer; detach after."""
+    sink = RingBufferSink()
+    obs.TRACER.enable(sink)
+    yield sink
+    obs.TRACER.remove_sink(sink)
+    obs.TRACER.disable()
+
+
+@pytest.fixture
+def registry(monkeypatch):
+    """A private registry patched in as the process-wide one."""
+    reg = MetricsRegistry()
+    monkeypatch.setattr("repro.obs.metrics.REGISTRY", reg)
+    yield reg
+
+
+class TestTracer:
+    def test_disabled_returns_shared_null_span(self):
+        assert not obs.TRACER.enabled
+        assert obs.span("anything", big=list(range(3))) is NULL_SPAN
+        with obs.span("nested") as s:
+            assert s is NULL_SPAN
+            s.set(more=1)  # no-op, no error
+
+    def test_span_emits_record(self, ring):
+        with obs.span("work", n=3):
+            pass
+        assert len(ring) == 1
+        rec = next(iter(ring))
+        assert rec["type"] == "span"
+        assert rec["name"] == "work"
+        assert rec["dur"] >= 0.0
+        assert rec["attrs"] == {"n": 3}
+        assert rec["parent_id"] is None
+
+    def test_nesting_links_parent_ids(self, ring):
+        with obs.span("outer") as outer:
+            with obs.span("inner"):
+                pass
+        records = {r["name"]: r for r in ring}
+        assert records["inner"]["parent_id"] == outer.span_id
+        assert records["outer"]["parent_id"] is None
+
+    def test_siblings_share_parent(self, ring):
+        with obs.span("outer") as outer:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        by_name = {r["name"]: r for r in ring}
+        assert by_name["a"]["parent_id"] == outer.span_id
+        assert by_name["b"]["parent_id"] == outer.span_id
+
+    def test_exception_recorded_and_propagated(self, ring):
+        with pytest.raises(RuntimeError):
+            with obs.span("boom"):
+                raise RuntimeError("x")
+        rec = next(iter(ring))
+        assert rec["error"] == "RuntimeError"
+
+    def test_set_attaches_attrs(self, ring):
+        with obs.span("s") as sp:
+            sp.set(key="v")
+        assert next(iter(ring))["attrs"] == {"key": "v"}
+
+    def test_thread_nesting_independent(self, ring):
+        """A span opened in another thread must not parent onto ours."""
+        seen = {}
+
+        def worker():
+            with obs.span("threaded") as sp:
+                seen["id"] = sp.span_id
+
+        with obs.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        rec = next(r for r in ring if r["name"] == "threaded")
+        assert rec["parent_id"] is None
+
+    def test_ring_buffer_caps_capacity(self, ring):
+        small = RingBufferSink(capacity=4)
+        obs.TRACER.enable(small)
+        try:
+            for i in range(10):
+                with obs.span(f"s{i}"):
+                    pass
+            assert len(small) == 4
+            assert [r["name"] for r in small] == ["s6", "s7", "s8", "s9"]
+        finally:
+            obs.TRACER.remove_sink(small)
+
+    def test_file_sink_writes_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = obs.FileSink(str(path))
+        obs.TRACER.enable(sink)
+        try:
+            with obs.span("logged", i=1):
+                pass
+        finally:
+            obs.TRACER.remove_sink(sink)
+            obs.TRACER.disable()
+            sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        rec = json.loads(lines[0])
+        assert rec["name"] == "logged"
+
+    def test_configure_from_env_mem(self, monkeypatch):
+        monkeypatch.setenv(trace_mod.TRACE_ENV, "mem")
+        obs.configure_from_env()
+        try:
+            assert obs.TRACER.enabled
+            assert any(
+                isinstance(s, RingBufferSink) for s in obs.TRACER.sinks
+            )
+        finally:
+            for s in obs.TRACER.sinks:
+                obs.TRACER.remove_sink(s)
+            obs.TRACER.disable()
+
+    def test_configure_from_env_unset_stays_disabled(self, monkeypatch):
+        monkeypatch.delenv(trace_mod.TRACE_ENV, raising=False)
+        obs.configure_from_env()
+        assert not obs.TRACER.enabled
+
+
+class TestMetrics:
+    def test_counter_accumulates(self, registry):
+        c = registry.counter("a.b")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        assert registry.counter("a.b") is c
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("a.b").add(-1)
+
+    def test_gauge_last_write_wins(self, registry):
+        g = registry.gauge("q.depth")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+
+    def test_snapshot_sorted_plain_dicts(self, registry):
+        registry.counter("z.last").add(1)
+        registry.counter("a.first").add(2)
+        registry.gauge("m.mid").set(7)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.first", "z.last"]
+        assert snap["counters"]["a.first"] == 2
+        assert snap["gauges"] == {"m.mid": 7}
+
+    def test_reset_by_prefix(self, registry):
+        registry.counter("md.x").add()
+        registry.counter("sched.y").add()
+        registry.reset("md.")
+        snap = registry.snapshot()
+        assert "md.x" not in snap["counters"]
+        assert snap["counters"]["sched.y"] == 1
+
+
+class TestValidateModes:
+    @pytest.mark.parametrize("raw", ["", "0", "off", "False", "no", "none"])
+    def test_off_values(self, monkeypatch, raw):
+        monkeypatch.setenv(VALIDATE_ENV, raw)
+        assert obs.validation_mode() == "off"
+        assert not obs.validation_enabled()
+
+    @pytest.mark.parametrize("raw", ["record", "warn", "RECORD"])
+    def test_record_values(self, monkeypatch, raw):
+        monkeypatch.setenv(VALIDATE_ENV, raw)
+        assert obs.validation_mode() == "record"
+        assert obs.validation_enabled()
+
+    @pytest.mark.parametrize("raw", ["1", "strict", "yes-please"])
+    def test_strict_values(self, monkeypatch, raw):
+        monkeypatch.setenv(VALIDATE_ENV, raw)
+        assert obs.validation_mode() == "strict"
+
+    def test_check_ok_counts_only_checks(self, monkeypatch, registry):
+        monkeypatch.setenv(VALIDATE_ENV, "1")
+        assert obs.check("dom", True)
+        snap = registry.snapshot()["counters"]
+        assert snap["obs.validate.dom.checks"] == 1
+        assert "obs.validate.dom.divergence" not in snap
+
+    def test_check_strict_raises(self, monkeypatch, registry):
+        monkeypatch.setenv(VALIDATE_ENV, "1")
+        with pytest.raises(obs.DivergenceError, match="dom.*detail"):
+            obs.check("dom", False, "detail")
+        snap = registry.snapshot()["counters"]
+        assert snap["obs.validate.dom.divergence"] == 1
+
+    def test_check_record_warns_and_continues(self, monkeypatch, registry):
+        monkeypatch.setenv(VALIDATE_ENV, "record")
+        with pytest.warns(RuntimeWarning, match="diverged"):
+            ok = obs.check("dom", False)
+        assert ok is False
+        assert registry.snapshot()["counters"][
+            "obs.validate.dom.divergence"] == 1
+
+    def test_check_equal(self, monkeypatch, registry):
+        monkeypatch.setenv(VALIDATE_ENV, "1")
+        assert obs.check_equal("eq", (1, 2), (1, 2))
+        with pytest.raises(obs.DivergenceError):
+            obs.check_equal("eq", (1, 2), (1, 3))
+
+    def test_check_allclose_values_and_shapes(self, monkeypatch, registry):
+        monkeypatch.setenv(VALIDATE_ENV, "1")
+        assert obs.check_allclose("fp", [1.0, 2.0], [1.0, 2.0 + 1e-12])
+        with pytest.raises(obs.DivergenceError, match="max"):
+            obs.check_allclose("fp", [1.0], [2.0])
+        with pytest.raises(obs.DivergenceError, match="shape"):
+            obs.check_allclose("fp", [1.0, 2.0], [1.0])
+
+
+class TestReport:
+    def _trace_and_model(self):
+        from repro.core.kernels import KernelSpec, KernelTrace
+        from repro.core.machine import get_machine
+        from repro.core.roofline import RooflineModel
+
+        tr = KernelTrace()
+        for _ in range(5):
+            tr.record_kernel(KernelSpec(
+                name="spmv", flops=1e9, bytes_read=4e8, bytes_written=2e8,
+            ))
+        tr.record_kernel(KernelSpec(
+            name="axpy", flops=1e8, bytes_read=2e8, bytes_written=1e8,
+        ))
+        return tr, RooflineModel(get_machine("sierra"))
+
+    def test_span_summary_aggregates(self):
+        records = [
+            {"type": "span", "name": "a", "dur": 0.5},
+            {"type": "span", "name": "a", "dur": 1.5},
+            {"type": "other", "name": "a", "dur": 9.0},
+            {"type": "span", "name": "b", "dur": 0.25},
+        ]
+        summary = obs.span_summary(records)
+        assert summary["a"] == (2, 2.0)
+        assert summary["b"] == (1, 0.25)
+
+    def test_kernel_breakdown_renders_measured_column(self):
+        tr, model = self._trace_and_model()
+        text = str(kernel_breakdown(
+            tr, model, measured={"spmv": 0.01, "axpy": 0.002},
+        ))
+        assert "spmv" in text and "axpy" in text
+        assert "per-kernel breakdown" in text
+        assert "%" in text
+
+    def test_full_report_sections(self, registry):
+        tr, model = self._trace_and_model()
+        registry.counter("solvers.amg.vcycles").add(3)
+        records = [{"type": "span", "name": "spmv", "dur": 0.01}]
+        text = obs.report(tr, model, measured=records, registry=registry)
+        assert "per-kernel breakdown" in text
+        assert "spans" in text
+        assert "solvers.amg.vcycles" in text
+
+    def test_counters_and_spans_tables_standalone(self, registry):
+        registry.counter("x.y").add()
+        registry.gauge("x.g").set(2)
+        ct = str(counters_table(registry))
+        assert "x.y" in ct and "gauge" in ct
+        st = str(spans_table(
+            [{"type": "span", "name": "s", "dur": 1.0}]
+        ))
+        assert "s" in st
+
+    def test_report_without_trace_still_renders_counters(self, registry):
+        registry.counter("only.counter").add()
+        assert "only.counter" in obs.report(registry=registry)
+
+    def test_span_records_as_trace_rejected_loudly(self):
+        """Passing a sink's span records where the KernelTrace goes is
+        an easy mistake; it must fail with a clear TypeError, not an
+        AttributeError from inside the roofline model."""
+        _, model = self._trace_and_model()
+        records = [{"type": "span", "name": "spmv", "dur": 0.01}]
+        with pytest.raises(TypeError, match="KernelTrace"):
+            kernel_breakdown(records, model)
+
+
+class TestDivergenceInjection:
+    """The layer must *provably* catch a fast path gone wrong: break a
+    fast implementation on purpose and demand a DivergenceError."""
+
+    def test_neighbor_dropped_pair_caught(self, monkeypatch, registry):
+        from repro.md.neighbor import NeighborList
+        from repro.md.particles import ParticleSystem, PeriodicBox
+
+        monkeypatch.setenv(VALIDATE_ENV, "1")
+        box = PeriodicBox((10.0,) * 3)  # safely above 2*(cutoff+skin)
+        ps = ParticleSystem.random_gas(150, box, seed=1)
+
+        real_fast = NeighborList._build_fast
+
+        def lossy_fast(self, system, x):
+            real_fast(self, system, x)
+            self.pairs_i = self.pairs_i[:-1]  # silently drop one pair
+            self.pairs_j = self.pairs_j[:-1]
+
+        monkeypatch.setattr(NeighborList, "_build_fast", lossy_fast)
+        nl = NeighborList(cutoff=2.5, skin=0.3, method="fast")
+        with pytest.raises(obs.DivergenceError, match="md.neighbor"):
+            nl.build(ps)
+
+    def test_neighbor_record_mode_warns_and_counts(self, monkeypatch,
+                                                   registry):
+        from repro.md.neighbor import NeighborList
+        from repro.md.particles import ParticleSystem, PeriodicBox
+
+        monkeypatch.setenv(VALIDATE_ENV, "record")
+        box = PeriodicBox((10.0,) * 3)
+        ps = ParticleSystem.random_gas(150, box, seed=1)
+        real_fast = NeighborList._build_fast
+
+        def lossy_fast(self, system, x):
+            real_fast(self, system, x)
+            self.pairs_i = self.pairs_i[:-1]
+            self.pairs_j = self.pairs_j[:-1]
+
+        monkeypatch.setattr(NeighborList, "_build_fast", lossy_fast)
+        nl = NeighborList(cutoff=2.5, skin=0.3, method="fast")
+        with pytest.warns(RuntimeWarning, match="md.neighbor"):
+            nl.build(ps)  # record mode: fast result kept
+        snap = registry.snapshot()["counters"]
+        assert snap["obs.validate.md.neighbor.divergence"] == 1
+
+    def test_scheduler_misordered_fast_queue_caught(self, monkeypatch,
+                                                    registry):
+        from repro.sched import ClusterSimulator, Sjf, batch_workload
+        from repro.sched.simulator import KeyedFastQueue
+
+        monkeypatch.setenv(VALIDATE_ENV, "1")
+        # sabotage SJF's fast queue into longest-job-first: the replayed
+        # reference engine still runs true SJF, so results must diverge
+        monkeypatch.setattr(
+            Sjf, "fast_queue",
+            lambda self, n_gpus: KeyedFastQueue(
+                lambda j: (-j.service, j.job_id)
+            ),
+        )
+        jobs = batch_workload(n_jobs=60, seed=2)
+        with pytest.raises(obs.DivergenceError, match="sched.engine"):
+            ClusterSimulator(4).run(jobs, Sjf(), engine="fast")
+
+    def test_forces_bad_scatter_caught(self, monkeypatch, registry):
+        from repro.md.neighbor import NeighborList
+        from repro.md.particles import ParticleSystem, PeriodicBox
+        from repro.md.potentials import LennardJones, PairProcessor
+
+        box = PeriodicBox((8.0,) * 3)
+        ps = ParticleSystem.random_gas(100, box, seed=3)
+        nl = NeighborList(cutoff=2.5, skin=0.3)
+        nl.build(ps)
+        proc = PairProcessor(LennardJones(cutoff=2.5))
+
+        monkeypatch.setenv(VALIDATE_ENV, "1")
+        real_bincount = np.bincount
+
+        def skewed_bincount(*args, **kwargs):
+            return real_bincount(*args, **kwargs) * 1.001
+
+        monkeypatch.setattr(np, "bincount", skewed_bincount)
+        with pytest.raises(obs.DivergenceError, match="md.forces"):
+            proc.compute(ps, nl.pairs_i, nl.pairs_j, method="fast")
+
+    def test_jit_tampered_disk_entry_caught(self, monkeypatch, tmp_path,
+                                            registry):
+        import marshal
+        import pickle
+
+        from repro.core.jit import JitCache
+
+        template = "\ndef kern(x):\n    return $A * x\n"
+        cold = JitCache(persist_dir=str(tmp_path))
+        k = cold.compile("kern", template, {"A": 2.0})
+        path = cold._disk_path(k.key)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        # valid entry (right format/magic/tag) but wrong bytecode
+        evil = compile("def kern(x):\n    return 0.0", "<evil>", "exec")
+        payload["code"] = marshal.dumps(evil)
+        payload["source"] = "def kern(x):\n    return 0.0"
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+
+        monkeypatch.setenv(VALIDATE_ENV, "1")
+        warm = JitCache(persist_dir=str(tmp_path))
+        with pytest.raises(obs.DivergenceError, match="jit.disk"):
+            warm.compile("kern", template, {"A": 2.0})
+
+    def test_clean_paths_pass_strict(self, monkeypatch, registry):
+        """Unbroken fast paths survive strict validation end to end."""
+        from repro.md.neighbor import NeighborList
+        from repro.md.particles import ParticleSystem, PeriodicBox
+        from repro.md.potentials import LennardJones, PairProcessor
+        from repro.sched import ClusterSimulator, Sjf, batch_workload
+
+        monkeypatch.setenv(VALIDATE_ENV, "1")
+        box = PeriodicBox((8.0,) * 3)
+        ps = ParticleSystem.random_gas(100, box, seed=5)
+        nl = NeighborList(cutoff=2.5, skin=0.3)
+        nl.build(ps)
+        PairProcessor(LennardJones(cutoff=2.5)).compute(
+            ps, nl.pairs_i, nl.pairs_j
+        )
+        ClusterSimulator(4).run(
+            batch_workload(n_jobs=40, seed=1), Sjf(), engine="fast"
+        )
+        snap = registry.snapshot()["counters"]
+        assert snap["obs.validate.md.neighbor.checks"] >= 1
+        assert snap["obs.validate.sched.engine.checks"] >= 1
+        assert not any(k.endswith(".divergence") for k in snap)
+
+
+class TestInstrumentation:
+    """Counters/spans actually land from the instrumented subsystems.
+
+    Validation is forced off: these pin the *production* counter
+    semantics (a validating run legitimately does — and counts — the
+    reference twin's work too).
+    """
+
+    @pytest.fixture(autouse=True)
+    def _no_validate(self, monkeypatch):
+        monkeypatch.setenv(VALIDATE_ENV, "0")
+
+    def test_scheduler_counters(self, registry):
+        from repro.sched import ClusterSimulator, Fcfs, batch_workload
+
+        jobs = batch_workload(n_jobs=25, seed=0)
+        ClusterSimulator(4).run(jobs, Fcfs())
+        snap = registry.snapshot()["counters"]
+        assert snap["sched.runs"] == 1
+        assert snap["sched.jobs_completed"] == 25
+        assert snap["sched.events_processed"] > 0
+
+    def test_amg_counters_and_spans(self, registry, ring):
+        import scipy.sparse as sp
+
+        from repro.solvers import BoomerAMG, poisson_2d
+
+        amg = BoomerAMG(coarse_size=20)
+        amg.setup(sp.csr_matrix(poisson_2d(12)))
+        b = np.ones(144)
+        amg.vcycle(b)
+        snap = registry.snapshot()["counters"]
+        assert snap["solvers.amg.setups"] == 1
+        assert snap["solvers.amg.vcycles"] == 1
+        assert snap["solvers.amg.smooth_sweeps"] >= 2
+        names = [r["name"] for r in ring]
+        assert "solvers.amg.setup" in names
+        assert "solvers.amg.vcycle" in names
+
+    def test_mummi_counters_and_span(self, registry, ring):
+        from repro.workflow.mummi import MummiCampaign
+
+        campaign = MummiCampaign(n_gpus=4, jobs_per_cycle=4, seed=0)
+        campaign.run_cycle()
+        snap = registry.snapshot()["counters"]
+        assert snap["workflow.mummi.cycles"] == 1
+        assert snap["workflow.mummi.simulations"] == 4
+        assert "workflow.mummi.cycle" in [r["name"] for r in ring]
+
+    def test_neighbor_build_span_and_gauge(self, registry, ring):
+        from repro.md.neighbor import NeighborList
+        from repro.md.particles import ParticleSystem, PeriodicBox
+
+        ps = ParticleSystem.random_gas(
+            60, PeriodicBox((8.0,) * 3), seed=0
+        )
+        NeighborList(cutoff=2.5, skin=0.3).build(ps)
+        snap = registry.snapshot()
+        assert snap["counters"]["md.neighbor.rebuilds"] == 1
+        assert snap["gauges"]["md.neighbor.pairs"] > 0
+        assert "md.neighbor.build" in [r["name"] for r in ring]

@@ -312,3 +312,85 @@ class TestFastEngine:
         jobs = batch_workload(n_jobs=5, seed=0)
         with pytest.raises(ValueError, match="unknown engine"):
             ClusterSimulator(4).run(jobs, Fcfs(), engine="warp")
+
+
+class TestTieBreakEquivalence:
+    """Jobs with *identical* sort keys are where heap order and list
+    order can silently disagree: the quota fast queue must break ties
+    exactly like the reference engine, down to queue_series and fault
+    victimization."""
+
+    @staticmethod
+    def _tied_jobs(n=64, groups=4):
+        """n jobs in `groups` batches; within a batch every job shares
+        the same arrival AND service (and alternating long flags), so
+        the only differentiator left is insertion order."""
+        jobs = []
+        for k in range(n):
+            g = k % groups
+            jobs.append(Job(
+                job_id=k, arrival=float(g), service=2.0 + g,
+                is_long=(k % 2 == 0),
+            ))
+        return jobs
+
+    def _identical(self, a: SimResult, b: SimResult) -> None:
+        assert a == b  # SimResult is a plain dataclass: full field equality
+        assert a.queue_series == b.queue_series
+
+    def test_quota_ties_bit_identical(self):
+        jobs = self._tied_jobs()
+        sim = ClusterSimulator(8)
+        self._identical(
+            sim.run(jobs, SjfWithQuota(8, 0.25), engine="fast"),
+            sim.run(jobs, SjfWithQuota(8, 0.25), engine="reference"),
+        )
+
+    @pytest.mark.parametrize("make", [Fcfs, Sjf,
+                                      lambda: SjfWithQuota(6, 0.5)])
+    def test_all_policies_ties_identical(self, make):
+        jobs = self._tied_jobs(n=48, groups=3)
+        sim = ClusterSimulator(6)
+        self._identical(
+            sim.run(jobs, make(), engine="fast"),
+            sim.run(jobs, make(), engine="reference"),
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_quota_ties_with_faults_identical(self, seed):
+        from repro.resilience import CappedRetry, FaultInjector
+
+        jobs = self._tied_jobs()
+        sim = ClusterSimulator(8)
+        runs = []
+        for engine in ("fast", "reference"):
+            runs.append(sim.run(
+                jobs, SjfWithQuota(8, 0.25), engine=engine,
+                fault_injector=FaultInjector(mtbf=6.0, seed=seed),
+                retry_policy=CappedRetry(max_retries=2),
+            ))
+        self._identical(*runs)
+
+    def test_validated_run_matches_plain_fast_run(self, monkeypatch):
+        """REPRO_OBS_VALIDATE=1 must not change the returned result
+        (the replayed reference is compared, then discarded) — and the
+        fault-injector RNG must end in the same state."""
+        from repro.obs.validate import VALIDATE_ENV
+        from repro.resilience import CappedRetry, FaultInjector
+
+        jobs = self._tied_jobs()
+
+        def run(validate: str):
+            monkeypatch.setenv(VALIDATE_ENV, validate)
+            inj = FaultInjector(mtbf=6.0, seed=3)
+            res = ClusterSimulator(8).run(
+                jobs, SjfWithQuota(8, 0.25), engine="fast",
+                fault_injector=inj,
+                retry_policy=CappedRetry(max_retries=2),
+            )
+            return res, inj.checkpoint_state()
+
+        plain, rng_plain = run("0")
+        validated, rng_validated = run("1")
+        assert plain == validated
+        assert repr(rng_plain) == repr(rng_validated)
