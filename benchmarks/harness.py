@@ -40,6 +40,7 @@ uses the sizes the acceptance numbers quote (10^4-row Gauss-Seidel,
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import re
 import shutil
@@ -277,9 +278,18 @@ def case_jit_warm_start(smoke: bool) -> Dict:
 
         cold = JitCache(persist_dir=tmp)
         v_cold, t_cold = _timed(lambda: compile_all(cold))
-        warm = JitCache(persist_dir=tmp)
-        v_warm, t_warm = _timed(lambda: compile_all(warm))
-        ok = v_cold == v_warm and warm.disk_hits == n_kernels
+        # each fresh cache instance is a genuine warm start (in-memory
+        # cache empty, disk populated); best-of-3 keeps this ~1 ms
+        # sample from being poisoned by a scheduling hiccup
+        t_warm = float("inf")
+        v_warm = None
+        ok = True
+        for _ in range(3):
+            warm = JitCache(persist_dir=tmp)
+            v_warm, t = _timed(lambda: compile_all(warm))
+            t_warm = min(t_warm, t)
+            ok = ok and warm.disk_hits == n_kernels
+        ok = ok and v_cold == v_warm
         return _case(
             "jit_warm_start", t_warm, t_cold, None,
             "ok" if ok else
@@ -289,6 +299,144 @@ def case_jit_warm_start(smoke: bool) -> Dict:
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+def case_guard_overhead(smoke: bool) -> Dict:
+    """Disabled-guard overhead on the PCG hot loop, asserted < 3%.
+
+    The reference is a subclass of :class:`PcgSolver` whose ``step``
+    is the pre-instrumentation body verbatim — guard lines deleted,
+    everything else (``__init__``, allocation order, object layout)
+    inherited — so the only difference between the timed paths is the
+    guard's ``is None`` tests.  Sharing the constructor matters: a
+    separate replica class allocates its arrays in a different order,
+    and on this hardware the resulting cache-aliasing differences
+    swing a naive A/B by several percent per process, either sign.
+
+    Samples are paired (adjacent runs share the ambient machine
+    speed, which drifts far more than 3% over a full series), order
+    alternates within pairs, and the verdict is the median of the
+    per-pair time ratios — robust to contention bursts, which only
+    poison the pairs they overlap.  A strict-mode fallback-chain
+    exercise afterwards populates the ``guard.*`` counters recorded
+    in the report snapshot.
+    """
+    from repro.guard import (
+        AdmissionController,
+        amg_fallback_chain,
+        guard_override,
+    )
+    from repro.sched.policies import Fcfs
+    from repro.sched.simulator import ClusterSimulator, Job
+    from repro.solvers import poisson_2d
+    from repro.solvers.csr import CsrMatrix
+    from repro.solvers.krylov import PcgSolver
+
+    # a grid this size keeps each iteration dominated by the numpy
+    # kernels both paths share; on tiny problems run-to-run code/data
+    # layout shifts in the Python dispatch swamp the ~0.5% signal
+    grid = 96 if smoke else 192
+    max_iter = 60 if smoke else 100
+    a = CsrMatrix(poisson_2d(grid))
+    rng = np.random.default_rng(3)
+    b = rng.standard_normal(a.n_rows)
+
+    from repro.solvers.krylov import _apply
+
+    class _PrePrPcg(PcgSolver):
+        """The pre-guard PcgSolver step, verbatim, minus guard lines."""
+
+        def step(self) -> bool:
+            if self.done:
+                return True
+            ap = _apply(self.a, self.p)
+            pap = float(self.p @ ap)
+            if pap <= 0:
+                self.done = True
+                return True
+            alpha = self.rz / pap
+            self.x += alpha * self.p
+            self.r -= alpha * ap
+            rnorm = float(np.linalg.norm(self.r))
+            self.norms.append(rnorm)
+            self.it += 1
+            if rnorm <= self.target:
+                self.converged = True
+                self.done = True
+                return True
+            if self.it >= self.max_iter:
+                self.done = True
+                return True
+            z = (
+                _apply(self.preconditioner, self.r)
+                if self.preconditioner is not None else self.r
+            )
+            rz_new = float(self.r @ z)
+            beta = rz_new / self.rz
+            self.rz = rz_new
+            self.p = z + beta * self.p
+            return False
+
+    def bare_pcg() -> np.ndarray:
+        # tol=0 never converges, so both paths run exactly max_iter
+        solver = _PrePrPcg(a, b, tol=0.0, max_iter=max_iter)
+        x, _ = solver.solve()
+        return x
+
+    def guarded_off_pcg() -> np.ndarray:
+        solver = PcgSolver(a, b, tol=0.0, max_iter=max_iter)
+        x, _ = solver.solve()
+        return x
+
+    reps = 80 if smoke else 40
+    ratios: List[float] = []
+    t_bare: List[float] = []
+    t_guarded: List[float] = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        with guard_override("off"):
+            x_bare = x_guarded = None
+            for i in range(reps):
+                if i % 2 == 0:
+                    x_bare, t_b = _timed(bare_pcg)
+                    x_guarded, t_g = _timed(guarded_off_pcg)
+                else:
+                    x_guarded, t_g = _timed(guarded_off_pcg)
+                    x_bare, t_b = _timed(bare_pcg)
+                ratios.append(t_g / t_b)
+                t_bare.append(t_b)
+                t_guarded.append(t_g)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    best_bare = min(t_bare)
+    best_guarded = min(t_guarded)
+    overhead = float(np.median(ratios)) - 1.0
+    same = np.array_equal(x_bare, x_guarded)
+    if not same:
+        check = "guard-off PCG diverged from the bare loop"
+    elif overhead > 0.03:
+        check = f"disabled-guard overhead {overhead * 100:.2f}% > 3%"
+    else:
+        check = "ok"
+
+    # populate guard.* counters for the report snapshot: a chain that
+    # escalates to the dense rescue, and a shed decision
+    with guard_override("strict"):
+        n = 32
+        lap = np.zeros((n, n))
+        for i in range(n):
+            lap[i, i] = 2.0
+            if i:
+                lap[i, i - 1] = lap[i - 1, i] = -1.0
+        amg_fallback_chain(lap, max_iter=20).run(np.full(n, 1e150))
+        ClusterSimulator(1).run(
+            [Job(job_id=0, arrival=0.0, service=10.0, deadline=5.0),
+             Job(job_id=1, arrival=0.0, service=1.0)],
+            Fcfs(), admission=AdmissionController(),
+        )
+    return _case("guard_overhead", best_guarded, best_bare, None, check)
+
+
 CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("gauss_seidel", case_gauss_seidel),
     ("md_neighbor", case_md_neighbor),
@@ -296,6 +444,7 @@ CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("sched_events", case_sched_events),
     ("trace_pricing", case_trace_pricing),
     ("jit_warm_start", case_jit_warm_start),
+    ("guard_overhead", case_guard_overhead),
 ]
 
 

@@ -20,6 +20,8 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.guard.sentinels import default_monitor
+
 # membrane parameters (classic HH, mV / ms / mS units)
 G_NA, G_K, G_L = 120.0, 36.0, 0.3
 E_NA, E_K, E_L = 50.0, -77.0, -54.387
@@ -135,6 +137,13 @@ class HodgkinHuxleyModel:
         i_ion = self.ionic_current()
         stim = i_stim if i_stim is not None else 0.0
         self.v = self.v + dt * (stim - i_ion) / C_M
+        # a membrane voltage far outside the physiological range means
+        # the forward-Euler voltage update has gone unstable (dt too
+        # large for the stiff upstroke) or a rate kernel emitted garbage
+        mon = default_monitor("cardioid.ionmodel", magnitude_bound=500.0)
+        if mon is not None:
+            mon.check_array(self.v, "membrane voltage",
+                            context={"dt": dt})
 
     def state(self) -> np.ndarray:
         """Packed state matrix (n_cells, 4): columns V, m, h, n."""

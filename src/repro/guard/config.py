@@ -1,0 +1,80 @@
+"""Guard-layer mode switch (the ``REPRO_GUARD`` environment variable).
+
+Mirrors the :mod:`repro.obs.validate` idiom: the environment variable
+is read on every call so tests and long-lived processes can flip the
+mode freely, with the string normalization memoized on the raw value.
+All callers are per-solver-run or per-iteration in already-expensive
+loops — never per-element.
+
+Modes:
+
+- unset / ``0`` / ``off`` — guards disabled (production default).
+  Every instrumented path takes its pre-guard code path: constructors
+  hand out ``None`` monitors and step loops pay one ``is None`` test.
+- ``on`` / ``record`` — sentinels active: numerical-health checks run,
+  trips are counted under ``guard.sentinel.*`` and raise typed
+  :class:`~repro.guard.errors.NumericalHealthError`\\ s so fallback
+  chains can catch and escalate.
+- ``1`` / ``strict`` — as ``on``, and additionally exhausted fallback
+  chains and tripped circuit breakers raise instead of degrading
+  silently (:func:`guard_strict` gates those sites).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Environment variable selecting the guard mode.
+GUARD_ENV = "REPRO_GUARD"
+
+_OFF_VALUES = ("", "0", "off", "false", "no", "none")
+_ON_VALUES = ("on", "record", "warn")
+
+#: memo of the last (raw env value, parsed mode) pair
+_parsed: tuple = ("", "off")
+
+
+def guard_mode() -> str:
+    """Current mode: ``"off"``, ``"on"``, or ``"strict"``."""
+    global _parsed
+    value = os.environ.get(GUARD_ENV, "")
+    cached = _parsed
+    if value == cached[0]:
+        return cached[1]
+    raw = value.strip().lower()
+    if raw in _OFF_VALUES:
+        mode = "off"
+    elif raw in _ON_VALUES:
+        mode = "on"
+    else:
+        mode = "strict"
+    _parsed = (value, mode)
+    return mode
+
+
+def guard_enabled() -> bool:
+    """Are the numerical-health sentinels active?"""
+    return guard_mode() != "off"
+
+
+def guard_strict() -> bool:
+    """Should exhausted chains / open breakers raise?"""
+    return guard_mode() == "strict"
+
+
+@contextmanager
+def guard_override(mode: str) -> Iterator[None]:
+    """Temporarily force the guard mode (tests and chaos harnesses)."""
+    if mode not in ("off", "on", "strict"):
+        raise ValueError("mode must be 'off', 'on', or 'strict'")
+    old = os.environ.get(GUARD_ENV)
+    os.environ[GUARD_ENV] = mode
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(GUARD_ENV, None)
+        else:
+            os.environ[GUARD_ENV] = old

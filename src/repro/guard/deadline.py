@@ -1,0 +1,240 @@
+"""Deadline propagation, circuit breaking, and admission control.
+
+The complement of the sentinels: under deadline pressure a campaign
+should *shed* its least valuable work, not collapse.  Three pieces:
+
+- :class:`Deadline` — an absolute time on whatever clock the caller
+  runs (simulated seconds for the scheduler, cycle counts for the
+  MuMMI campaign).  It propagates by value through call chains and
+  answers ``remaining``/``expired``/``require``.
+- :class:`CircuitBreaker` — the classic closed/open/half-open state
+  machine over a sliding failure count.  Consumers call
+  :meth:`allow` before expensive work and
+  :meth:`record_success`/:meth:`record_failure` after; an open
+  breaker routes callers to their degraded rung (lower-fidelity
+  surrogate, shed) until ``recovery_time`` has passed, then admits one
+  probe request (half-open).
+- :class:`AdmissionController` — a shed-or-admit decision per job at
+  enqueue time: jobs that can no longer meet their deadline, or that
+  arrive below the protected priority while the queue is saturated or
+  the breaker is open, are shed.  Decisions are deterministic given
+  the same event sequence, so chaos runs replay bit-for-bit.
+
+Everything is checkpointable (the scheduler's validated fast/reference
+twin-run snapshots controller state the same way it snapshots the
+fault injector), and every shed/trip lands in ``guard.*`` counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.guard.config import guard_strict
+from repro.guard.errors import CircuitOpenError, DeadlineExceededError
+from repro.obs import metrics as _metrics
+
+
+class Deadline:
+    """An absolute deadline on the caller's clock."""
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float):
+        self.at = float(at)
+
+    @classmethod
+    def after(cls, budget: float, now: float = 0.0) -> "Deadline":
+        """Deadline *budget* clock units from *now*."""
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        return cls(now + budget)
+
+    def remaining(self, now: float) -> float:
+        return self.at - now
+
+    def expired(self, now: float) -> bool:
+        return now >= self.at
+
+    def require(self, now: float, where: str = "deadline") -> None:
+        """Raise :class:`DeadlineExceededError` when already expired."""
+        if self.expired(now):
+            _metrics.counter("guard.deadline.exceeded").add()
+            raise DeadlineExceededError(
+                f"deadline {self.at:.6g} expired at {now:.6g}",
+                where=where, context={"deadline": self.at, "now": now},
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(at={self.at!r})"
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over consecutive failures.
+
+    State machine:
+
+    - **closed** — requests flow; ``failure_threshold`` consecutive
+      failures trip the breaker open.
+    - **open** — requests are refused (callers degrade) until
+      ``recovery_time`` clock units after the trip.
+    - **half-open** — one probe request is admitted; success closes
+      the breaker, failure re-opens it.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 recovery_time: float = 1.0, name: str = "breaker"):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_time <= 0:
+            raise ValueError("recovery_time must be positive")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.name = name
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+    def allow(self, now: float) -> bool:
+        """May the caller do the protected (full-fidelity) work?"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if now - self.opened_at >= self.recovery_time:
+                self.state = "half-open"
+                return True
+            return False
+        # half-open: the single probe is in flight; further requests
+        # stay degraded until record_success/record_failure resolves it
+        return False
+
+    def require(self, now: float) -> None:
+        """Strict-mode gate: raise instead of silently degrading."""
+        if not self.allow(now) and guard_strict():
+            raise CircuitOpenError(
+                f"circuit {self.name!r} open", where=self.name,
+                context={"now": now, "opened_at": self.opened_at},
+            )
+
+    def record_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        if self.state != "closed":
+            self.state = "closed"
+            _metrics.counter(f"guard.breaker.{self.name}.closed").add()
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half-open" or (
+            self.state == "closed"
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = "open"
+            self.opened_at = now
+            self.trips += 1
+            _metrics.counter(f"guard.breaker.{self.name}.trips").add()
+
+    # -- checkpoint protocol (twin-run validation, campaign restarts) --
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_at": self.opened_at,
+            "trips": self.trips,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.state = state["state"]
+        self.consecutive_failures = state["consecutive_failures"]
+        self.opened_at = state["opened_at"]
+        self.trips = state["trips"]
+
+
+class AdmissionController:
+    """Deadline- and pressure-aware shed-or-admit decisions.
+
+    A job is **shed** (refused at enqueue time) when any of:
+
+    - its deadline can no longer be met even by starting immediately
+      (``now + service > deadline``);
+    - its deadline cannot be met behind the current backlog, estimated
+      as ``queue_len / n_gpus`` service slots of queueing delay;
+    - the queue is saturated (``queue_len >= max_queue``) and the
+      job's priority is below ``protect_priority``;
+    - the attached breaker is open (fault storm) and the job's
+      priority is below ``protect_priority``.
+
+    Higher ``priority`` values are more important.  All decisions are
+    pure functions of the observable state passed in, so a replayed
+    event sequence sheds identically.
+    """
+
+    def __init__(
+        self,
+        max_queue: Optional[int] = None,
+        protect_priority: int = 0,
+        breaker: Optional[CircuitBreaker] = None,
+        backlog_estimate: bool = True,
+    ):
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.max_queue = max_queue
+        self.protect_priority = protect_priority
+        self.breaker = breaker
+        self.backlog_estimate = backlog_estimate
+        self.shed_count = 0
+        self.admitted = 0
+
+    def record_failure(self, now: float) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure(now)
+
+    def record_success(self, now: float) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success(now)
+
+    def admit(self, job, now: float, queue_len: int, n_running: int,
+              n_gpus: int) -> bool:
+        """Admit *job* into the queue, or shed it (False)."""
+        shed_reason = None
+        deadline = getattr(job, "deadline", None)
+        priority = getattr(job, "priority", 0)
+        if deadline is not None:
+            if now + job.service > deadline:
+                shed_reason = "deadline_unmeetable"
+            elif self.backlog_estimate and queue_len > 0:
+                # every queued job ahead of this one occupies ~one
+                # service slot across the n_gpus-wide machine
+                est_wait = (queue_len / max(n_gpus, 1)) * job.service
+                if now + est_wait + job.service > deadline:
+                    shed_reason = "deadline_backlog"
+        if shed_reason is None and priority < self.protect_priority:
+            if self.max_queue is not None and queue_len >= self.max_queue:
+                shed_reason = "queue_saturated"
+            elif self.breaker is not None and not self.breaker.allow(now):
+                shed_reason = "breaker_open"
+        if shed_reason is None:
+            self.admitted += 1
+            return True
+        self.shed_count += 1
+        _metrics.counter("guard.shed").add()
+        _metrics.counter(f"guard.shed.{shed_reason}").add()
+        return False
+
+    # -- checkpoint protocol -------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        return {
+            "shed_count": self.shed_count,
+            "admitted": self.admitted,
+            "breaker": (
+                None if self.breaker is None
+                else self.breaker.checkpoint_state()
+            ),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.shed_count = state["shed_count"]
+        self.admitted = state["admitted"]
+        if self.breaker is not None and state["breaker"] is not None:
+            self.breaker.restore_state(state["breaker"])

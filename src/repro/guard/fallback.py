@@ -1,0 +1,328 @@
+"""Declarative graceful-degradation fallback chains.
+
+A :class:`FallbackChain` is an ordered list of *rungs* — callables
+that attempt the same request at decreasing fidelity / increasing
+robustness.  Running the chain tries each rung in order; a rung that
+trips a :class:`~repro.guard.errors.NumericalHealthError` (or a
+deadline error) escalates to the next.  The chain records which rung
+served every request (``served`` history plus
+``guard.fallback.<chain>.served.<rung>`` counters), so a campaign can
+account exactly how much of its answer came from degraded paths —
+the detect-and-fall-back strategy the paper's hypre and MuMMI
+sections describe (switch smoother, re-run at lower fidelity) instead
+of abort.
+
+Prebuilt chains mirror the escalations the iCoE teams actually used:
+
+- :func:`amg_fallback_chain` — AMG (l1-Jacobi) → AMG with a stronger
+  smoother → PCG with a Jacobi preconditioner → dense direct solve
+  for small systems.
+- :func:`bdf_fallback_chain` — BDF(2) → BDF(1) (order drop) → BDF(1)
+  with a halved initial/minimum step → explicit RK rescue (no Newton,
+  no linear solver to break down).
+- :func:`guarded_md_step` — MD step → reject + forced neighbor
+  rebuild + retry → reject + halved dt for the recovery step.
+
+Solver modules are imported lazily inside the factories so the guard
+package never participates in an import cycle with the subsystems it
+guards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.guard.errors import (
+    BreakdownError,
+    DeadlineExceededError,
+    FallbackExhaustedError,
+    NumericalHealthError,
+    StagnationError,
+)
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+#: error types a rung may trip without aborting the whole chain
+ESCALATABLE = (NumericalHealthError, DeadlineExceededError)
+
+
+@dataclass
+class FallbackRung:
+    """One fidelity level: a name and the callable that attempts it."""
+
+    name: str
+    run: Callable[..., Any]
+
+
+@dataclass
+class FallbackOutcome:
+    """What the chain did for one request."""
+
+    value: Any
+    rung: int
+    rung_name: str
+    #: the health errors tripped by the rungs that were escalated past
+    trips: List[BaseException] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return self.rung > 0
+
+
+class FallbackChain:
+    """Ordered escalation over :class:`FallbackRung`\\ s."""
+
+    def __init__(self, name: str,
+                 rungs: Sequence[Tuple[str, Callable[..., Any]]] = ()):
+        self.name = name
+        self.rungs: List[FallbackRung] = [
+            r if isinstance(r, FallbackRung) else FallbackRung(*r)
+            for r in rungs
+        ]
+        #: rung name that served each request, in order
+        self.served: List[str] = []
+
+    def add(self, name: str, run: Callable[..., Any]) -> "FallbackChain":
+        """Append a rung; returns self for declarative chaining."""
+        self.rungs.append(FallbackRung(name, run))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.rungs)
+
+    def run(self, *args: Any, **kwargs: Any) -> FallbackOutcome:
+        """Serve one request, escalating on health errors.
+
+        Exhaustion (every rung tripped) raises
+        :class:`FallbackExhaustedError` carrying the per-rung errors —
+        a chain is an explicit opt-in, so an exhausted one is always a
+        hard failure regardless of guard mode.
+        """
+        if not self.rungs:
+            raise ValueError(f"fallback chain {self.name!r} has no rungs")
+        trips: List[BaseException] = []
+        for i, rung in enumerate(self.rungs):
+            with _trace.span("guard.fallback.rung", chain=self.name,
+                             rung=rung.name, index=i):
+                try:
+                    value = rung.run(*args, **kwargs)
+                except ESCALATABLE as exc:
+                    trips.append(exc)
+                    _metrics.counter(
+                        f"guard.fallback.{self.name}.trips.{rung.name}"
+                    ).add()
+                    continue
+            self.served.append(rung.name)
+            _metrics.counter(
+                f"guard.fallback.{self.name}.served.{rung.name}"
+            ).add()
+            if i > 0:
+                _metrics.counter(
+                    f"guard.fallback.{self.name}.degraded"
+                ).add()
+            return FallbackOutcome(value, i, rung.name, trips)
+        _metrics.counter(f"guard.fallback.{self.name}.exhausted").add()
+        raise FallbackExhaustedError(
+            f"all {len(self.rungs)} rungs of chain {self.name!r} failed: "
+            + "; ".join(f"{r.name}: {e}" for r, e in zip(self.rungs, trips)),
+            where=self.name, errors=trips,
+        )
+
+
+# ---------------------------------------------------------------------------
+# prebuilt chains
+# ---------------------------------------------------------------------------
+
+
+def _amg_rung(a, smoother: str, sweeps: int, tol: float, max_iter: int,
+              where: str) -> Callable[[np.ndarray], np.ndarray]:
+    """One AMG solve attempt with a residual-trend probe attached."""
+
+    def run(b: np.ndarray) -> np.ndarray:
+        from repro.guard.sentinels import HealthMonitor, ResidualTrendProbe
+        from repro.solvers.boomeramg import BoomerAMG
+
+        amg = BoomerAMG(smoother=smoother, pre_sweeps=sweeps,
+                        post_sweeps=sweeps)
+        amg.setup(a)
+        session = amg.solve_session(
+            b, tol=tol, max_iter=max_iter,
+            health=HealthMonitor(where=where),
+            probe=ResidualTrendProbe(where=where),
+        )
+        x, info = session.solve()
+        if not info.converged:
+            raise StagnationError(
+                f"AMG ({smoother}, {sweeps} sweeps) unconverged after "
+                f"{info.iterations} V-cycles "
+                f"(reduction {info.reduction:.3e})",
+                where=where,
+                context={"iterations": info.iterations,
+                         "reduction": info.reduction},
+            )
+        return x
+
+    return run
+
+
+def amg_fallback_chain(
+    a,
+    tol: float = 1e-8,
+    max_iter: int = 100,
+    direct_max_n: int = 4096,
+) -> FallbackChain:
+    """AMG → stronger smoother → PCG/Jacobi → dense direct (small n).
+
+    Each rung carries its own sentinels; the chain's ``run(b)`` returns
+    the solution vector via :class:`FallbackOutcome`.
+    """
+    from repro.solvers.csr import CsrMatrix
+
+    a = a if isinstance(a, CsrMatrix) else CsrMatrix(a)
+
+    def pcg_jacobi(b: np.ndarray) -> np.ndarray:
+        from repro.guard.sentinels import HealthMonitor, ResidualTrendProbe
+        from repro.solvers.krylov import PcgSolver
+
+        inv_diag = 1.0 / a.diagonal()
+        solver = PcgSolver(
+            a, b, preconditioner=lambda r: inv_diag * r, tol=tol,
+            max_iter=10 * max_iter,
+            health=HealthMonitor(where="guard.amg_chain.pcg"),
+            probe=ResidualTrendProbe(where="guard.amg_chain.pcg",
+                                     window=50),
+        )
+        x, info = solver.solve()
+        if not info.converged:
+            raise StagnationError(
+                f"PCG/Jacobi unconverged after {info.iterations} "
+                "iterations", where="guard.amg_chain.pcg",
+                context={"iterations": info.iterations},
+            )
+        return x
+
+    def dense_direct(b: np.ndarray) -> np.ndarray:
+        n = a.n_rows
+        if n > direct_max_n:
+            raise BreakdownError(
+                f"system too large for the dense rescue ({n} > "
+                f"{direct_max_n})", where="guard.amg_chain.direct",
+                context={"n": n, "direct_max_n": direct_max_n},
+            )
+        if not np.all(np.isfinite(b)):
+            raise BreakdownError(
+                "right-hand side is non-finite; no rung can solve it",
+                where="guard.amg_chain.direct",
+            )
+        return np.linalg.solve(a.toarray(), np.asarray(b, dtype=np.float64))
+
+    chain = FallbackChain("amg")
+    chain.add("amg-l1-jacobi",
+              _amg_rung(a, "l1-jacobi", 1, tol, max_iter,
+                        "guard.amg_chain.l1"))
+    chain.add("amg-strong-smoother",
+              _amg_rung(a, "weighted-jacobi", 3, tol, max_iter,
+                        "guard.amg_chain.strong"))
+    chain.add("pcg-jacobi", pcg_jacobi)
+    chain.add("dense-direct", dense_direct)
+    return chain
+
+
+def bdf_fallback_chain(
+    rhs,
+    make_lin_solver,
+    options=None,
+    erk_rtol: Optional[float] = None,
+    erk_atol: Optional[float] = None,
+) -> FallbackChain:
+    """BDF(2) → order drop → step halving → explicit RK rescue.
+
+    The chain's ``run(t0, u0, t_end)`` returns ``(times, states)``
+    shaped like :meth:`BdfIntegrator.integrate` output.
+    """
+    from dataclasses import replace as _dc_replace
+
+    from repro.ode.bdf import BdfIntegrator, BdfOptions
+
+    base = options if options is not None else BdfOptions()
+
+    def bdf_rung(opts):
+        def run(t0: float, u0: np.ndarray, t_end: float):
+            return BdfIntegrator(rhs, make_lin_solver,
+                                 options=opts).integrate(t0, u0, t_end)
+        return run
+
+    def erk_rescue(t0: float, u0: np.ndarray, t_end: float):
+        from repro.guard.sentinels import HealthMonitor
+        from repro.ode.erk import erk_integrate
+
+        times, states = erk_integrate(
+            rhs, t0, u0, t_end,
+            rtol=erk_rtol if erk_rtol is not None else base.rtol,
+            atol=erk_atol if erk_atol is not None else base.atol,
+        )
+        HealthMonitor(where="guard.bdf_chain.erk").check_array(
+            states[-1], "ERK rescue state")
+        # match BdfIntegrator's default output shape: the end state only
+        return times[-1:], states[-1:]
+
+    order_drop = _dc_replace(base, max_order=1)
+    halved = _dc_replace(
+        base, max_order=1,
+        h0=None if base.h0 is None else base.h0 / 2.0,
+        h_min=base.h_min / 2.0,
+        max_steps=2 * base.max_steps,
+        max_newton=base.max_newton + 2,
+    )
+
+    chain = FallbackChain("bdf")
+    chain.add("bdf-2", bdf_rung(base))
+    chain.add("bdf-order-drop", bdf_rung(order_drop))
+    chain.add("bdf-step-halving", bdf_rung(halved))
+    chain.add("erk-rescue", erk_rescue)
+    return chain
+
+
+def guarded_md_step(sim) -> FallbackOutcome:
+    """One guarded MD step with rejection-based recovery.
+
+    Rungs: (1) plain step; (2) reject — restore the pre-step state,
+    force a neighbor-list rebuild, retry (a stale/corrupted pair list
+    is the classic source of exploding forces); (3) reject and retake
+    the step at half ``dt``.  The pre-step snapshot is shared across
+    rungs, so a rejected step never leaks partial state.
+    """
+    pre = sim.checkpoint_state()
+
+    def plain() -> int:
+        sim.step()
+        return sim.steps_taken
+
+    def rebuild_retry() -> int:
+        sim.restore_state(pre)
+        sim.nlist.invalidate()
+        _metrics.counter("guard.md.rejected_steps").add()
+        _metrics.counter("md.neighbor.forced_rebuilds").add()
+        sim.step()
+        return sim.steps_taken
+
+    def half_dt_retry() -> int:
+        sim.restore_state(pre)
+        sim.nlist.invalidate()
+        _metrics.counter("guard.md.rejected_steps").add()
+        dt = sim.integrator.dt
+        sim.integrator.dt = dt / 2.0
+        try:
+            sim.step()
+        finally:
+            sim.integrator.dt = dt
+        return sim.steps_taken
+
+    chain = FallbackChain("md_step")
+    chain.add("step", plain)
+    chain.add("reject-rebuild", rebuild_retry)
+    chain.add("reject-half-dt", half_dt_retry)
+    return chain.run()

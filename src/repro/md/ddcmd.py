@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.forall import ExecutionContext
 from repro.core.kernels import KernelSpec
+from repro.guard.sentinels import default_monitor
 from repro.md.bonded import AngleTerm, BondTerm
 from repro.md.integrators import (
     BerendsenBarostat,
@@ -129,6 +130,12 @@ class DdcMD:
             self.integrator.invalidate_forces()
         self.steps_taken += 1
         self._abft_energy = self.total_energy()
+        mon = default_monitor("md.ddcmd", magnitude_bound=1e12)
+        if mon is not None:
+            # one scalar check covers positions/velocities/forces: NaN
+            # or a blow-up anywhere propagates into the total energy
+            mon.check_value(self._abft_energy, "total energy",
+                            context={"step": self.steps_taken})
         self._record_step_kernels()
 
     def run(self, n_steps: int) -> None:

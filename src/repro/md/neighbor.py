@@ -119,6 +119,16 @@ class NeighborList:
             self.reuses += 1
             _metrics.counter("md.neighbor.reuses").add()
 
+    def invalidate(self) -> None:
+        """Drop the reference positions so the next update rebuilds.
+
+        The guard layer's step-rejection recovery uses this: a
+        stale/corrupted pair list is the classic source of exploding
+        forces, and a forced rebuild is the cheapest fix to try.
+        """
+        self._x_ref = None
+        self._box_ref = None
+
     def degenerate_box(self, system: ParticleSystem) -> bool:
         """True when any box length is below ``2 * (cutoff + skin)``.
 

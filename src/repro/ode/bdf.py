@@ -28,6 +28,13 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.guard.config import guard_enabled
+from repro.guard.errors import StagnationError
+from repro.guard.sentinels import (
+    HealthMonitor,
+    WrmsTrendProbe,
+    default_monitor,
+)
 from repro.ode.nvector import HostVector, NVector
 from repro.util.timing import TimerRegistry
 
@@ -100,6 +107,8 @@ class BdfIntegrator:
         mass_mult: Optional[MassFn] = None,
         options: Optional[BdfOptions] = None,
         timers: Optional[TimerRegistry] = None,
+        health: Optional[HealthMonitor] = None,
+        probe: Optional[WrmsTrendProbe] = None,
     ):
         self.rhs = rhs
         self.make_lin_solver = make_lin_solver
@@ -107,6 +116,10 @@ class BdfIntegrator:
         self.opts = options if options is not None else BdfOptions()
         self.stats = StepStats()
         self.timers = timers if timers is not None else TimerRegistry()
+        #: injected sentinels; when None they are armed per-integrate
+        #: under REPRO_GUARD (and absent entirely with guards off)
+        self._health = health
+        self._probe = probe
 
     # ------------------------------------------------------------------
 
@@ -162,6 +175,17 @@ class BdfIntegrator:
             np.diff(outputs) <= 0
         ):
             raise ValueError("t_eval must be increasing in (t0, t_end]")
+
+        # numerical-health sentinels (absent when guards are off)
+        monitor = (
+            self._health if self._health is not None
+            else default_monitor("ode.bdf")
+        )
+        probe = self._probe
+        if probe is None and guard_enabled():
+            probe = WrmsTrendProbe(where="ode.bdf")
+        if monitor is not None:
+            monitor.check_array(u0, "u0")
 
         t = t0
         u_nm1 = u0.copy()        # u_{n-1}
@@ -232,22 +256,40 @@ class BdfIntegrator:
                     break
             if not converged:
                 self.stats.n_newton_fails += 1
+                if probe is not None:
+                    # a Newton failure is a rejected step: feed the
+                    # stuck-integrator probe a finite err > 1
+                    probe.observe(2.0, h, t, accepted=False)
                 h = max(h * 0.25, self.opts.h_min)
                 lin_solve = None  # force a fresh setup
                 continue
+            if monitor is not None:
+                monitor.check_array(u_new, "BDF iterate",
+                                    context={"t": t_new, "h": h})
 
             # --- local error estimate -----------------------------------
             est = (u_new - u_pred) / (k_order + 1.0)
             err = self._wrms(est, w)
             if err > 1.0:
                 self.stats.n_err_fails += 1
+                if probe is not None:
+                    probe.observe(err, h, t, accepted=False)
                 h = max(h * max(0.2, 0.9 * err ** (-1.0 / (k_order + 1))),
                         self.opts.h_min)
                 if h <= self.opts.h_min and self.stats.n_err_fails > 50:
+                    if monitor is not None or probe is not None:
+                        raise StagnationError(
+                            f"BDF step size underflow at t={t}: error "
+                            "test keeps failing", where="ode.bdf",
+                            context={"t": t, "h": h,
+                                     "err_fails": self.stats.n_err_fails},
+                        )
                     raise RuntimeError(
                         f"BDF step size underflow at t={t}: error test keeps failing"
                     )
                 continue
+            if probe is not None:
+                probe.observe(err, h, t, accepted=True)
 
             # --- accept -------------------------------------------------
             self.stats.n_steps += 1
@@ -265,6 +307,12 @@ class BdfIntegrator:
             factor = 0.9 * err ** (-1.0 / (k_order + 1)) if err > 0 else 2.0
             h = min(h * min(max(factor, 0.2), 2.5), self.opts.h_max)
         else:
+            if monitor is not None or probe is not None:
+                raise StagnationError(
+                    f"max_steps={self.opts.max_steps} exceeded at t={t}",
+                    where="ode.bdf",
+                    context={"t": t, "max_steps": self.opts.max_steps},
+                )
             raise RuntimeError(
                 f"max_steps={self.opts.max_steps} exceeded at t={t}"
             )

@@ -32,10 +32,22 @@ class Job:
     service: float
     #: long-job class flag used by quota policies (set by workloads)
     is_long: bool = False
+    #: importance class consulted by admission control (higher = more
+    #: important; jobs below a controller's protected priority may be
+    #: shed under pressure)
+    priority: int = 0
+    #: absolute completion deadline on the simulation clock; ``None``
+    #: means best-effort (never shed for deadline reasons)
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.arrival < 0 or self.service <= 0:
             raise ValueError("bad job times")
+        # NOTE: arrival may legitimately exceed deadline — a fault
+        # retry re-queues the job at the kill time, possibly past its
+        # deadline, where admission control (if any) sheds it
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
 
 
 @dataclass
@@ -68,6 +80,8 @@ class SimResult:
     retries: int = 0
     #: killed jobs abandoned after the retry policy gave up
     dropped: int = 0
+    #: jobs refused at enqueue time by the admission controller
+    shed: int = 0
     #: GPU-seconds of work destroyed by faults
     wasted_time: float = 0.0
     #: useful GPU-time fraction: completed service / (n_gpus * makespan)
@@ -250,6 +264,7 @@ class ClusterSimulator:
         fault_injector=None,
         retry_policy=None,
         engine: str = "auto",
+        admission=None,
     ) -> SimResult:
         """Run the event loop until every job is resolved.
 
@@ -259,7 +274,17 @@ class ClusterSimulator:
         (``requeue_delay(attempt) -> delay | None``) decides whether
         and when the killed job re-enters the queue; ``None`` retries
         immediately and forever.  A job is *resolved* when it
-        completes or is dropped by the retry policy.
+        completes, is dropped by the retry policy, or is shed by the
+        admission controller.
+
+        *admission* (a
+        :class:`repro.guard.deadline.AdmissionController` or anything
+        with the same ``admit``/``record_failure``/``record_success``
+        surface) is consulted at every enqueue — first arrivals and
+        post-fault re-queues alike — and may shed jobs whose deadline
+        is unmeetable or whose priority is unprotected under pressure;
+        shed jobs count in ``SimResult.shed``.  Fault kills and
+        completions feed its breaker.
 
         ``engine`` selects the queue implementation: ``"reference"``
         (policy.select over a list), ``"fast"`` (heap-backed, requires
@@ -282,38 +307,49 @@ class ClusterSimulator:
             if is_fast and _validate.validation_enabled():
                 return self._run_validated(
                     jobs, policy, horizon, fault_injector, retry_policy,
-                    queue,
+                    queue, admission,
                 )
             return self._run_events(
-                jobs, horizon, fault_injector, retry_policy, queue
+                jobs, horizon, fault_injector, retry_policy, queue,
+                admission,
             )
 
     def _run_validated(
-        self, jobs, policy, horizon, fault_injector, retry_policy, queue
+        self, jobs, policy, horizon, fault_injector, retry_policy, queue,
+        admission=None,
     ) -> SimResult:
         """Run fast, replay on the reference engine, demand equality.
 
-        The fault injector's RNG is checkpointed before the fast run
-        and restored for the replay so both engines see the same fault
-        schedule; afterwards it is left in the post-fast-run state, as
-        if only the fast run had happened.
+        The fault injector's RNG (and the admission controller's
+        breaker state) is checkpointed before the fast run and restored
+        for the replay so both engines see the same fault schedule and
+        shed decisions; afterwards each is left in the post-fast-run
+        state, as if only the fast run had happened.
         """
         pre = (
             fault_injector.checkpoint_state()
             if fault_injector is not None else None
         )
+        pre_adm = (
+            admission.checkpoint_state() if admission is not None else None
+        )
         fast = self._run_events(
-            jobs, horizon, fault_injector, retry_policy, queue
+            jobs, horizon, fault_injector, retry_policy, queue, admission
         )
         if fault_injector is not None:
             post = fault_injector.checkpoint_state()
             fault_injector.restore_state(pre)
+        if admission is not None:
+            post_adm = admission.checkpoint_state()
+            admission.restore_state(pre_adm)
         ref = self._run_events(
             jobs, horizon, fault_injector, retry_policy,
-            _ReferenceQueue(policy),
+            _ReferenceQueue(policy), admission,
         )
         if fault_injector is not None:
             fault_injector.restore_state(post)
+        if admission is not None:
+            admission.restore_state(post_adm)
         _validate.check(
             "sched.engine", fast == ref,
             f"fast {fast.makespan=} {fast.completed=} vs "
@@ -322,7 +358,8 @@ class ClusterSimulator:
         return fast
 
     def _run_events(
-        self, jobs, horizon, fault_injector, retry_policy, queue
+        self, jobs, horizon, fault_injector, retry_policy, queue,
+        admission=None,
     ) -> SimResult:
         """The event loop proper, on an already-constructed queue."""
         n = len(jobs)
@@ -342,6 +379,7 @@ class ClusterSimulator:
         queue_series: List[Tuple[float, int]] = []
         completed = 0
         dropped = 0
+        shed = 0
         failures = 0
         retries = 0
         started = 0
@@ -370,8 +408,20 @@ class ClusterSimulator:
                     )
                     started += 1
 
+        def enqueue(job: Job, now: float) -> bool:
+            """Admission-gated queue push; returns False when shed."""
+            nonlocal shed
+            if admission is not None and not admission.admit(
+                job, now=now, queue_len=len(queue),
+                n_running=len(running), n_gpus=self.n_gpus,
+            ):
+                shed += 1
+                return False
+            queue.push(job)
+            return True
+
         events = 0
-        while completed + dropped < n:
+        while completed + dropped + shed < n:
             events += 1
             # next event: arrival, re-queue, completion, or fault
             t_arr = (
@@ -397,6 +447,8 @@ class ClusterSimulator:
                 completed += 1
                 busy_time += finish - start
                 useful_time += job.service
+                if admission is not None:
+                    admission.record_success(t)
             elif t_fault <= t_next and fault_injector is not None:
                 next_fault = fault_injector.next_fault_after(t)
                 if running:
@@ -407,6 +459,8 @@ class ClusterSimulator:
                     lost = t - start
                     busy_time += lost
                     wasted_time += lost
+                    if admission is not None:
+                        admission.record_failure(t)
                     attempt = attempts.get(job_id, 0) + 1
                     attempts[job_id] = attempt
                     delay = (
@@ -427,10 +481,10 @@ class ClusterSimulator:
                     next_arrival < len(arrivals)
                     and arrivals[next_arrival][0] <= t
                 ):
-                    queue.push(arrivals[next_arrival][2])
+                    enqueue(arrivals[next_arrival][2], t)
                     next_arrival += 1
                 while requeues and requeues[0][0] <= t:
-                    queue.push(heapq.heappop(requeues)[2])
+                    enqueue(heapq.heappop(requeues)[2], t)
             start_ready(t)
             queue_series.append((t, len(queue)))
 
@@ -449,6 +503,8 @@ class ClusterSimulator:
         _metrics.counter("sched.jobs_completed").add(completed)
         if failures:
             _metrics.counter("sched.faults_injected").add(failures)
+        if shed:
+            _metrics.counter("sched.jobs_shed").add(shed)
         return SimResult(
             makespan=makespan,
             utilization=min(util, 1.0),
@@ -463,6 +519,7 @@ class ClusterSimulator:
             failures=failures,
             retries=retries,
             dropped=dropped,
+            shed=shed,
             wasted_time=wasted_time,
             goodput=min(goodput, 1.0),
             queue_series=queue_series,

@@ -28,6 +28,11 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.core.forall import ExecutionContext
+from repro.guard.sentinels import (
+    HealthMonitor,
+    ResidualTrendProbe,
+    default_monitor,
+)
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.solvers.coarsen import (
@@ -227,6 +232,9 @@ class BoomerAMG:
                              levels=self.hierarchy.num_levels):
                 x = self._vcycle(b, x, 0)
             _metrics.counter("solvers.amg.vcycles").add()
+            mon = default_monitor("solvers.amg.vcycle")
+            if mon is not None:
+                mon.check_array(x, "V-cycle output")
             return x
         return self._vcycle(b, x, level)
 
@@ -260,11 +268,14 @@ class BoomerAMG:
         x0: Optional[np.ndarray] = None,
         tol: float = 1e-8,
         max_iter: int = 100,
+        health: Optional[HealthMonitor] = None,
+        probe: Optional[ResidualTrendProbe] = None,
     ) -> "AmgSolve":
         """Stepwise (checkpointable) stand-alone AMG solve."""
         if self.hierarchy is None:
             raise RuntimeError("call setup() before solve()")
-        return AmgSolve(self, b, x0=x0, tol=tol, max_iter=max_iter)
+        return AmgSolve(self, b, x0=x0, tol=tol, max_iter=max_iter,
+                        health=health, probe=probe)
 
     # ------------------------------------------------------------------
 
@@ -295,6 +306,8 @@ class AmgSolve:
         x0: Optional[np.ndarray] = None,
         tol: float = 1e-8,
         max_iter: int = 100,
+        health: Optional[HealthMonitor] = None,
+        probe: Optional[ResidualTrendProbe] = None,
     ):
         if amg.hierarchy is None:
             raise RuntimeError("call setup() before AmgSolve")
@@ -303,6 +316,13 @@ class AmgSolve:
         self.amg = amg
         self.b = np.asarray(b, dtype=np.float64)
         self.max_iter = max_iter
+        # sentinels: auto-armed under REPRO_GUARD, None when off
+        self._health = health if health is not None else default_monitor(
+            "solvers.amg"
+        )
+        self._probe = probe
+        if self._health is not None:
+            self._health.check_array(self.b, "b")
         self.x = (
             np.zeros_like(self.b) if x0 is None
             else np.array(x0, dtype=np.float64)
@@ -329,6 +349,11 @@ class AmgSolve:
         a = self.amg.hierarchy.levels[0].a
         self.x = self.amg.vcycle(self.b, self.x)
         rnorm = float(np.linalg.norm(a.residual(self.b, self.x)))
+        if self._health is not None:
+            self._health.check_value(rnorm, "residual norm",
+                                     context={"iteration": self.it})
+            if self._probe is not None:
+                self._probe.observe(rnorm, iteration=self.it)
         self.norms.append(rnorm)
         self.it += 1
         if rnorm <= self.target:

@@ -13,6 +13,12 @@ from typing import Callable, List, Optional, Union
 
 import numpy as np
 
+from repro.guard.errors import BreakdownError, NonFiniteError
+from repro.guard.sentinels import (
+    HealthMonitor,
+    ResidualTrendProbe,
+    default_monitor,
+)
 from repro.solvers.csr import CsrMatrix
 
 Operator = Union[CsrMatrix, Callable[[np.ndarray], np.ndarray]]
@@ -64,6 +70,8 @@ class PcgSolver:
         preconditioner: Optional[Operator] = None,
         tol: float = 1e-8,
         max_iter: int = 500,
+        health: Optional[HealthMonitor] = None,
+        probe: Optional[ResidualTrendProbe] = None,
     ):
         if max_iter < 0:
             raise ValueError("max_iter must be >= 0")
@@ -71,6 +79,15 @@ class PcgSolver:
         self.preconditioner = preconditioner
         self.b = np.asarray(b, dtype=np.float64)
         self.max_iter = max_iter
+        # sentinels: auto-armed under REPRO_GUARD, absent (None) when
+        # guards are off — the disabled path is the pre-guard loop plus
+        # one `is None` test per step
+        self._health = health if health is not None else default_monitor(
+            "solvers.pcg"
+        )
+        self._probe = probe
+        if self._health is not None:
+            self._health.check_array(self.b, "b")
         self.x = (
             np.zeros_like(self.b) if x0 is None
             else np.array(x0, dtype=np.float64)
@@ -104,14 +121,29 @@ class PcgSolver:
             return True
         ap = _apply(self.a, self.p)
         pap = float(self.p @ ap)
+        if self._health is not None and not pap > 0:
+            # covers pap <= 0 and pap NaN: operator not SPD, or
+            # corrupted state — a typed breakdown under guard
+            self.done = True
+            raise BreakdownError(
+                f"p.Ap = {pap!r} <= 0 (operator not SPD, or "
+                "corrupted state)", where="solvers.pcg",
+                context={"iteration": self.it, "pap": pap,
+                         "residual": self.norms[-1]},
+            )
         if pap <= 0:
-            # not SPD (or breakdown): stop with current iterate
+            # legacy (guard-off) path: stop with the current iterate
             self.done = True
             return True
         alpha = self.rz / pap
         self.x += alpha * self.p
         self.r -= alpha * ap
         rnorm = float(np.linalg.norm(self.r))
+        if self._health is not None:
+            self._health.check_value(rnorm, "residual norm",
+                                     context={"iteration": self.it})
+            if self._probe is not None:
+                self._probe.observe(rnorm, iteration=self.it)
         self.norms.append(rnorm)
         self.it += 1
         if rnorm <= self.target:
@@ -176,15 +208,20 @@ def pcg(
     preconditioner: Optional[Operator] = None,
     tol: float = 1e-8,
     max_iter: int = 500,
+    health: Optional[HealthMonitor] = None,
+    probe: Optional[ResidualTrendProbe] = None,
 ) -> "tuple[np.ndarray, ConvergenceInfo]":
     """Preconditioned conjugate gradients for SPD systems.
 
     Convergence test: ||r||_2 <= tol * ||b||_2 (hypre's default
-    relative criterion).
+    relative criterion).  Under ``REPRO_GUARD`` (or with an explicit
+    *health* monitor) NaN/Inf inputs and ``p.Ap <= 0`` breakdowns
+    raise a typed :class:`NumericalHealthError` carrying the iteration
+    context instead of iterating to ``max_iter``.
     """
     return PcgSolver(
         a, b, x0=x0, preconditioner=preconditioner, tol=tol,
-        max_iter=max_iter,
+        max_iter=max_iter, health=health, probe=probe,
     ).solve()
 
 
@@ -196,12 +233,16 @@ def gmres(
     tol: float = 1e-8,
     restart: int = 30,
     max_iter: int = 500,
+    health: Optional[HealthMonitor] = None,
 ) -> "tuple[np.ndarray, ConvergenceInfo]":
     """Restarted GMRES(m) with left preconditioning.
 
     Handles non-symmetric systems (Cretin's rate matrices are
     non-symmetric, §4.3); the Arnoldi basis is re-orthogonalized via
-    modified Gram-Schmidt.
+    modified Gram-Schmidt.  Under ``REPRO_GUARD`` (or with an explicit
+    *health* monitor), NaN/Inf in the inputs or the Arnoldi recurrence
+    and a zero Givens denominator with an unconverged residual raise
+    typed :class:`NumericalHealthError`\\ s with iteration context.
     """
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
@@ -210,6 +251,10 @@ def gmres(
         raise ValueError("restart must be >= 1")
     if max_iter < 0:
         raise ValueError("max_iter must be >= 0")
+    if health is None:
+        health = default_monitor("solvers.gmres")
+    if health is not None:
+        health.check_array(b, "b")
 
     def prec(v: np.ndarray) -> np.ndarray:
         return _apply(preconditioner, v) if preconditioner is not None else v
@@ -221,6 +266,9 @@ def gmres(
     while total_it <= max_iter:
         r = prec(b - _apply(a, x))
         beta = float(np.linalg.norm(r))
+        if health is not None:
+            health.check_value(beta, "residual norm",
+                               context={"iteration": total_it})
         if not norms:
             norms.append(beta)
         if beta <= target:
@@ -248,6 +296,15 @@ def gmres(
                 h[i + 1, k] = -sn[i] * h[i, k] + cs[i] * h[i + 1, k]
                 h[i, k] = temp
             denom = float(np.hypot(h[k, k], h[k + 1, k]))
+            if health is not None and (denom != denom or (
+                    denom == 0 and abs(float(g[k])) > target)):
+                raise BreakdownError(
+                    "Arnoldi breakdown: zero/NaN Givens denominator "
+                    "with an unconverged residual",
+                    where="solvers.gmres",
+                    context={"iteration": total_it, "inner": k,
+                             "residual": abs(float(g[k]))},
+                )
             if denom == 0:
                 k_used = k
                 break

@@ -79,11 +79,16 @@ class MummiCampaign:
         seed: int = 0,
         fault_injector=None,
         retry_policy=None,
+        cycle_budget: Optional[float] = None,
+        breaker=None,
+        admission=None,
     ):
         if md_code not in ("ddcmd", "gromacs"):
             raise ValueError("md_code must be 'ddcmd' or 'gromacs'")
         if n_gpus < 1 or steps_per_sim < 1 or jobs_per_cycle < 1:
             raise ValueError("bad campaign parameters")
+        if cycle_budget is not None and cycle_budget <= 0:
+            raise ValueError("cycle_budget must be positive")
         self.machine = machine if machine is not None else get_machine("sierra")
         self.n_gpus = n_gpus
         self.md_code = md_code
@@ -93,6 +98,22 @@ class MummiCampaign:
         self.rng = make_rng(seed + 1)
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
+        #: per-cycle wall-clock budget (simulated seconds); overruns are
+        #: surfaced via the ``workflow.mummi.cycle_over_budget`` counter
+        #: and, with an admission controller attached, become per-job
+        #: deadlines the controller sheds against
+        self.cycle_budget = cycle_budget
+        #: :class:`repro.guard.deadline.CircuitBreaker` fed by cycle
+        #: failures; while open, cycles degrade to the lower-fidelity
+        #: macro surrogate instead of launching micro MD jobs
+        self.breaker = breaker
+        #: :class:`repro.guard.deadline.AdmissionController` consulted
+        #: by the cluster simulator at enqueue time
+        self.admission = admission
+        #: fidelity rung that served each cycle: "micro-md"/"surrogate"
+        self.rungs_served: List[str] = []
+        self.jobs_shed = 0
+        self.cycles_over_budget = 0
         self.explored: List[float] = []
         self.results: List[MicroResult] = []
         self.gpu_hours = 0.0
@@ -147,16 +168,30 @@ class MummiCampaign:
         self.macro.step()
         candidates = self.select_candidates()
         comps = self.macro.patch_compositions().ravel()
+        # graceful degradation: with the breaker open (fault storm /
+        # repeated budget overruns), serve this cycle from the cheap
+        # macro surrogate instead of launching micro MD.  The breaker
+        # runs on the cycle-count clock.
+        if self.breaker is not None and not self.breaker.allow(
+            float(self.cycles_done)
+        ):
+            return self._run_surrogate_cycle(candidates, comps)
         service = self.steps_per_sim * self.step_time
+        # job_id order is novelty rank: rank 0 is the most novel patch
+        # and gets the highest priority, so under load shedding the
+        # least interesting candidates are sacrificed first
         jobs = [
             Job(job_id=int(k), arrival=0.0,
-                service=service * float(self.rng.uniform(0.9, 1.1)))
+                service=service * float(self.rng.uniform(0.9, 1.1)),
+                priority=int(candidates.size - k),
+                deadline=self.cycle_budget)
             for k in range(candidates.size)
         ]
         result = ClusterSimulator(self.n_gpus).run(
             jobs, Fcfs(),
             fault_injector=self.fault_injector,
             retry_policy=self.retry_policy,
+            admission=self.admission,
         )
         # in-situ analysis: summarize each micro sim and feed back
         for patch_idx in candidates:
@@ -171,13 +206,64 @@ class MummiCampaign:
         self.cycles_done += 1
         self.failures += result.failures
         self.job_retries += result.retries
+        self.jobs_shed += result.shed
         self.wasted_gpu_hours += result.wasted_time / 3600.0
+        self.rungs_served.append("micro-md")
+        over_budget = (
+            self.cycle_budget is not None
+            and result.makespan > self.cycle_budget
+        )
+        if over_budget:
+            self.cycles_over_budget += 1
+            _metrics.counter("workflow.mummi.cycle_over_budget").add()
+        if self.breaker is not None:
+            now = float(self.cycles_done)
+            if result.failures or over_budget:
+                self.breaker.record_failure(now)
+            else:
+                self.breaker.record_success(now)
+            _metrics.counter("guard.fallback.mummi.served.micro_md").add()
         return {
             "simulations": float(len(jobs)),
             "makespan": result.makespan,
             "utilization": result.utilization,
             "goodput": result.goodput,
             "failures": float(result.failures),
+            "shed": float(result.shed),
+            "over_budget": float(over_budget),
+            "degraded": 0.0,
+        }
+
+    def _run_surrogate_cycle(
+        self, candidates: np.ndarray, comps: np.ndarray
+    ) -> Dict[str, float]:
+        """Lower-fidelity rung: serve the cycle from the macro model.
+
+        No micro MD jobs are launched and no GPU-hours are burned; each
+        candidate's observable is a macro-derived estimate with wider
+        surrogate noise.  The campaign keeps making (degraded) progress
+        through a fault storm instead of hammering a failing cluster.
+        """
+        for patch_idx in candidates:
+            comp = float(comps[patch_idx])
+            self.explored.append(comp)
+            self.results.append(MicroResult(
+                composition=comp,
+                observable=comp + 0.2 * float(self.rng.normal()),
+            ))
+        self.cycles_done += 1
+        self.rungs_served.append("surrogate")
+        _metrics.counter("guard.fallback.mummi.served.surrogate").add()
+        _metrics.counter("guard.fallback.mummi.degraded").add()
+        return {
+            "simulations": float(candidates.size),
+            "makespan": 0.0,
+            "utilization": 0.0,
+            "goodput": 0.0,
+            "failures": 0.0,
+            "shed": 0.0,
+            "over_budget": 0.0,
+            "degraded": 1.0,
         }
 
     def run(self, n_cycles: int) -> None:
@@ -230,10 +316,21 @@ class MummiCampaign:
             "cycles_done": self.cycles_done,
             "failures": self.failures,
             "job_retries": self.job_retries,
+            "jobs_shed": self.jobs_shed,
+            "cycles_over_budget": self.cycles_over_budget,
+            "rungs_served": list(self.rungs_served),
             "wasted_gpu_hours": self.wasted_gpu_hours,
             "injector": (
                 None if self.fault_injector is None
                 else self.fault_injector.checkpoint_state()
+            ),
+            "breaker": (
+                None if self.breaker is None
+                else self.breaker.checkpoint_state()
+            ),
+            "admission": (
+                None if self.admission is None
+                else self.admission.checkpoint_state()
             ),
         }
 
@@ -253,9 +350,16 @@ class MummiCampaign:
         self.cycles_done = state["cycles_done"]
         self.failures = state["failures"]
         self.job_retries = state["job_retries"]
+        self.jobs_shed = state.get("jobs_shed", 0)
+        self.cycles_over_budget = state.get("cycles_over_budget", 0)
+        self.rungs_served = list(state.get("rungs_served", []))
         self.wasted_gpu_hours = state["wasted_gpu_hours"]
         if self.fault_injector is not None and state["injector"] is not None:
             self.fault_injector.restore_state(state["injector"])
+        if self.breaker is not None and state.get("breaker") is not None:
+            self.breaker.restore_state(state["breaker"])
+        if self.admission is not None and state.get("admission") is not None:
+            self.admission.restore_state(state["admission"])
 
     #: composition values live in O(1) territory; anything near this
     #: bound can only come from corrupted state
