@@ -437,6 +437,57 @@ def case_guard_overhead(smoke: bool) -> Dict:
     return _case("guard_overhead", best_guarded, best_bare, None, check)
 
 
+def _par_fanout_task(args):
+    """One latency-bound task: a modeled service wait plus a small
+    deterministic reduction (the fan-out unit must be pure)."""
+    seq, n, delay = args
+    time.sleep(delay)
+    rng = np.random.default_rng(seq)
+    m = rng.standard_normal((n, n))
+    return float(np.linalg.norm(m @ m.T))
+
+
+def case_par_fanout(smoke: bool) -> Dict:
+    """repro.par fan-out: speedup at 4 workers + serial-path overhead.
+
+    The workload is latency-bound (each task models a blocking service
+    wait, the ensemble-member shape of the paper's workflow layer), so
+    the 4-worker speedup is meaningful even on a single-core host.
+    Checks: process results bit-equal to serial, serial ``map_fanout``
+    within 3% of a direct loop, and >= 2x wall-clock speedup with 4
+    process workers.
+    """
+    from repro.par import map_fanout
+
+    n_tasks = 8 if smoke else 16
+    delay = 0.05 if smoke else 0.15
+    size = 48
+    seqs = np.random.SeedSequence(17).spawn(n_tasks)
+    items = [(seqs[i], size, delay) for i in range(n_tasks)]
+
+    direct, t_direct = _timed(
+        lambda: [_par_fanout_task(it) for it in items]
+    )
+    serial, t_serial = _timed(
+        lambda: map_fanout(_par_fanout_task, items, backend="serial")
+    )
+    map_fanout(_par_fanout_task, items[:2], backend="process:4")  # warm pool
+    par, t_par = _timed(
+        lambda: map_fanout(_par_fanout_task, items, backend="process:4")
+    )
+    overhead = t_serial / t_direct - 1.0
+    speedup = t_serial / t_par
+    if serial != direct or par != serial:
+        check = "backend results differ"
+    elif overhead > 0.03:
+        check = f"serial-path overhead {overhead * 100:.2f}% > 3%"
+    elif speedup < 2.0:
+        check = f"speedup {speedup:.2f}x < 2x at 4 workers"
+    else:
+        check = "ok"
+    return _case("par_fanout", t_par, t_serial, None, check)
+
+
 CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("gauss_seidel", case_gauss_seidel),
     ("md_neighbor", case_md_neighbor),
@@ -445,6 +496,7 @@ CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("trace_pricing", case_trace_pricing),
     ("jit_warm_start", case_jit_warm_start),
     ("guard_overhead", case_guard_overhead),
+    ("par_fanout", case_par_fanout),
 ]
 
 
@@ -539,6 +591,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="allowed wall-time ratio vs baseline (default 1.5)")
     ap.add_argument("--only", action="append", default=None,
                     help="run only the named case (repeatable)")
+    ap.add_argument("--par", default="serial",
+                    help="repro.par backend spec for the case runner "
+                         "(default serial: cases time themselves, so "
+                         "parallel case execution adds contention noise)")
     args = ap.parse_args(argv)
 
     from repro.obs import reset_metrics, snapshot
@@ -549,13 +605,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if baseline_path is None:
         baseline_path = _select_baseline(REPO, out_path, mode)
 
+    from repro.par import Task, run_ensemble
+
     reset_metrics()
     cases = []
     failures = []
-    for name, fn in CASES:
-        if args.only and name not in args.only:
-            continue
-        rec = fn(args.smoke)
+    selected = [(name, fn) for name, fn in CASES
+                if not args.only or name in args.only]
+    recs = run_ensemble(
+        [Task(fn, (args.smoke,), name=name) for name, fn in selected],
+        backend=args.par,
+    )
+    for (name, _), rec in zip(selected, recs):
         cases.append(rec)
         speed = f"{rec['speedup']}x" if rec["speedup"] else "-"
         print(f"{name:16s} wall {rec['wall_s']:.4f}s  "

@@ -14,17 +14,73 @@ All three run *for real* on any model exposing the
 the ASGD simulator is explicit: the server keeps a version history and
 learners compute gradients against parameters ``staleness`` versions
 old — the controlled experiment the paper's analysis needs.
+
+Both learner loops fan out over :mod:`repro.par`.  KAVG's per-round
+local-SGD legs are independent by construction (one spawned RNG stream
+per learner, carried across rounds by round-tripping the generator
+state through the worker), so every backend — including ``process`` —
+is bit-exact against serial.  ASGD exploits its *bounded staleness*:
+with staleness ``s``, the gradients for a block of up to ``s``
+consecutive updates depend only on versions that exist before the
+block starts, so they are computed in parallel and applied in order —
+exactly the update sequence the serial loop produces.  Batch indices
+are always drawn in the parent, in serial order, so the draws are
+backend-independent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.dtrain.nn import MLP
+from repro.par import Backend, SharedArray, get_backend, map_fanout
 from repro.util.rng import make_rng, spawn_rngs
+
+
+def _mlp_blueprint(model: MLP) -> Tuple[int, int, Tuple[int, ...]]:
+    """(n_in, n_classes, hidden) — enough to rebuild the architecture.
+
+    Workers reconstruct the model from this and overwrite every weight
+    via ``set_params``, so the rebuild seed is irrelevant.
+    """
+    n_in = model.layers[0].w.shape[0]
+    hidden = tuple(l.w.shape[1] for l in model.layers[:-1])
+    return n_in, model.n_classes, hidden
+
+
+def _rebuild_mlp(blueprint: Tuple[int, int, Tuple[int, ...]]) -> MLP:
+    n_in, n_classes, hidden = blueprint
+    return MLP(n_in, n_classes, hidden=hidden, seed=0)
+
+
+def _kavg_local_round(args):
+    """One learner's K local SGD steps (pure: params in, params out)."""
+    blueprint, params, idx, k_steps, lr, batch_size, rng_state, sx, sy = args
+    x = sx.asarray()
+    y = sy.asarray()
+    rng = np.random.default_rng()
+    rng.bit_generator.state = rng_state
+    model = _rebuild_mlp(blueprint)
+    p = params.copy()
+    for _ in range(k_steps):
+        batch = idx[rng.integers(0, idx.size, batch_size)]
+        model.set_params(p)
+        _, grad = model.gradient(x[batch], y[batch])
+        p = p - lr * grad
+    return p, rng.bit_generator.state
+
+
+def _asgd_gradient(args):
+    """One (possibly stale) gradient: pure function of params + batch."""
+    blueprint, params, idx, sx, sy = args
+    model = _rebuild_mlp(blueprint)
+    model.set_params(params)
+    x = sx.asarray()
+    y = sy.asarray()
+    return model.gradient(x[idx], y[idx])
 
 
 def _batches(x, y, batch_size, rng):
@@ -90,12 +146,24 @@ class AsgdServer:
         n_updates: int,
         batch_size: int = 32,
         seed: int = 0,
+        backend: Union[None, str, Backend] = None,
     ) -> List[float]:
-        """Apply *n_updates* (possibly stale) gradient updates."""
+        """Apply *n_updates* (possibly stale) gradient updates.
+
+        With a non-serial *backend* and ``staleness > 0``, gradients
+        are computed in blocks of up to ``staleness`` updates — each
+        depends only on versions that exist before the block starts —
+        and applied in serial order, so losses and parameters are
+        bit-exact against the serial path.  Batch indices are drawn in
+        the parent either way.
+        """
         if n_updates < 0:
             raise ValueError("n_updates must be >= 0")
         rng = make_rng(seed)
         n = x.shape[0]
+        be = get_backend(backend)
+        if be.kind != "serial" and self.staleness > 0 and n_updates > 0:
+            return self._train_blocked(x, y, n_updates, batch_size, rng, be)
         losses: List[float] = []
         for _ in range(n_updates):
             idx = rng.integers(0, n, batch_size)
@@ -112,6 +180,61 @@ class AsgdServer:
         self.model.set_params(self._versions[-1])
         return losses
 
+    def _train_blocked(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        n_updates: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        be: Backend,
+    ) -> List[float]:
+        """Bounded-staleness pipeline: fan out gradient blocks.
+
+        For updates ``t .. t+B-1`` with ``B <= staleness``, every
+        stale read targets a version of index ``<= t-1``, all of which
+        exist when the block is dispatched; applying the returned
+        gradients in order reproduces the serial version chain and
+        truncation schedule exactly.
+        """
+        n = x.shape[0]
+        blueprint = _mlp_blueprint(self.model)
+        sx = SharedArray.share(x, be.kind)
+        sy = SharedArray.share(y, be.kind)
+        losses: List[float] = []
+        keep = self.staleness + 2
+        done = 0
+        try:
+            while done < n_updates:
+                block = min(self.staleness, n_updates - done)
+                # parent-side draws, serial order: backend-independent
+                batches = [rng.integers(0, n, batch_size)
+                           for _ in range(block)]
+                stale_params = [
+                    self._versions[
+                        max(0, len(self._versions) - 1 - self.staleness + b)
+                    ]
+                    for b in range(block)
+                ]
+                grads = map_fanout(
+                    _asgd_gradient,
+                    [(blueprint, stale_params[b], batches[b], sx, sy)
+                     for b in range(block)],
+                    backend=be,
+                )
+                for loss, grad in grads:
+                    new = self._versions[-1] - self.lr * grad
+                    self._versions.append(new)
+                    if len(self._versions) > 4 * keep:
+                        self._versions = self._versions[-keep:]
+                    losses.append(loss)
+                done += block
+        finally:
+            sx.unlink()
+            sy.unlink()
+        self.model.set_params(self._versions[-1])
+        return losses
+
 
 def kavg_train(
     model: MLP,
@@ -123,6 +246,7 @@ def kavg_train(
     rounds: int = 10,
     batch_size: int = 32,
     seed: int = 0,
+    backend: Union[None, str, Backend] = None,
 ) -> List[float]:
     """K-step averaging SGD [34].
 
@@ -130,6 +254,12 @@ def kavg_train(
     ``k_steps`` of local SGD from the shared model, then models are
     averaged (one global reduction per round).  Returns the global
     training loss after each round.
+
+    The per-round learner legs fan out over *backend* (default: the
+    ``REPRO_PAR`` environment variable).  Each learner owns a spawned
+    RNG stream whose state round-trips through the worker, and the
+    training set crosses process boundaries once via shared memory, so
+    every backend produces bit-identical history and parameters.
     """
     if n_learners < 1 or k_steps < 1 or rounds < 0:
         raise ValueError("bad KAVG configuration")
@@ -140,21 +270,29 @@ def kavg_train(
     rngs = spawn_rngs(seed, n_learners)
     params = model.get_params()
     history: List[float] = []
-    for _ in range(rounds):
-        locals_: List[np.ndarray] = []
-        for learner in range(n_learners):
-            p = params.copy()
-            idx = shard[learner]
-            rng = rngs[learner]
-            for _ in range(k_steps):
-                batch = idx[rng.integers(0, idx.size, batch_size)]
-                model.set_params(p)
-                _, grad = model.gradient(x[batch], y[batch])
-                p = p - lr * grad
-            locals_.append(p)
-        params = np.mean(locals_, axis=0)
-        model.set_params(params)
-        history.append(model.loss(x, y))
+    be = get_backend(backend)
+    blueprint = _mlp_blueprint(model)
+    sx = SharedArray.share(x, be.kind)
+    sy = SharedArray.share(y, be.kind)
+    try:
+        for _ in range(rounds):
+            outs = map_fanout(
+                _kavg_local_round,
+                [
+                    (blueprint, params, shard[l], k_steps, lr, batch_size,
+                     rngs[l].bit_generator.state, sx, sy)
+                    for l in range(n_learners)
+                ],
+                backend=be,
+            )
+            for l, (_, state) in enumerate(outs):
+                rngs[l].bit_generator.state = state
+            params = np.mean([p for p, _ in outs], axis=0)
+            model.set_params(params)
+            history.append(model.loss(x, y))
+    finally:
+        sx.unlink()
+        sy.unlink()
     return history
 
 

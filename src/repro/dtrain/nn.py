@@ -69,7 +69,9 @@ class MLP:
     """
 
     def __init__(self, n_in: int, n_classes: int,
-                 hidden: Sequence[int] = (), seed: int = 0):
+                 hidden: Sequence[int] = (), seed=0):
+        # seed: anything repro.util.rng.make_rng accepts (int,
+        # SeedSequence, Generator)
         if n_classes < 2:
             raise ValueError("need at least two classes")
         rng = make_rng(seed)

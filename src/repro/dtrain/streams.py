@@ -20,13 +20,14 @@ in Table 3's HMDB column).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.dtrain.nn import MLP, softmax
 from repro.dtrain.distributed import sgd_train
-from repro.util.rng import make_rng
+from repro.par import Backend, Task, get_backend, run_ensemble
+from repro.util.rng import make_rng, spawn_seqs
 
 STREAM_NAMES = ("spatial", "temporal", "spynet")
 
@@ -107,15 +108,42 @@ def make_stream_dataset(
     return StreamDataset(train_x, train_y, val_x, val_y, n_classes)
 
 
+def _train_one_stream(x, y, n_classes, init_seq, train_seq, epochs, lr,
+                      hidden=()):
+    """Train one classifier from its own spawned streams; returns the
+    trained parameter vector (pure — the fan-out unit)."""
+    model = MLP(x.shape[1], n_classes, hidden=hidden, seed=init_seq)
+    sgd_train(model, x, y, lr=lr, epochs=epochs, batch_size=32,
+              seed=train_seq)
+    return model.get_params()
+
+
 def train_stream_classifiers(
-    data: StreamDataset, epochs: int = 30, lr: float = 0.3, seed: int = 0
+    data: StreamDataset, epochs: int = 30, lr: float = 0.3, seed: int = 0,
+    backend: Union[None, str, "Backend"] = None,
 ) -> Dict[str, MLP]:
-    """One softmax classifier per stream."""
+    """One softmax classifier per stream.
+
+    Each stream draws init and training randomness from its own
+    ``SeedSequence.spawn`` children (not the old ``seed + k`` offsets,
+    whose streams can collide), and the three trainings fan out over
+    *backend* with bit-identical results on every backend.
+    """
+    seqs = spawn_seqs(seed, 2 * len(data.streams))
+    tasks = [
+        Task(
+            _train_one_stream,
+            (data.train_x[s], data.train_y, data.n_classes,
+             seqs[2 * k], seqs[2 * k + 1], epochs, lr),
+            name=s,
+        )
+        for k, s in enumerate(data.streams)
+    ]
+    trained = run_ensemble(tasks, backend=get_backend(backend))
     models: Dict[str, MLP] = {}
-    for k, s in enumerate(data.streams):
-        model = MLP(data.train_x[s].shape[1], data.n_classes, seed=seed + k)
-        sgd_train(model, data.train_x[s], data.train_y, lr=lr,
-                  epochs=epochs, batch_size=32, seed=seed + k)
+    for s, params in zip(data.streams, trained):
+        model = MLP(data.train_x[s].shape[1], data.n_classes, seed=0)
+        model.set_params(params)
         models[s] = model
     return models
 
@@ -124,12 +152,15 @@ def combine_and_score(
     data: StreamDataset,
     models: Dict[str, MLP],
     seed: int = 0,
+    backend: Union[None, str, "Backend"] = None,
 ) -> Dict[str, float]:
     """Validation accuracy of single streams and the four combiners.
 
     Returns Table 3's rows: per-stream accuracies plus
     ``simple-average``, ``weighted-average``, ``logistic-regression``,
-    and ``shallow-nn``.
+    and ``shallow-nn``.  The two trained stackers ride the same
+    fan-out machinery (and spawned seed streams) as the per-stream
+    classifiers.
     """
     train_probs = {
         s: models[s].predict_proba(data.train_x[s]) for s in data.streams
@@ -168,17 +199,31 @@ def combine_and_score(
         [val_probs[s] for s in data.streams], axis=1
     )
 
-    lr_stack = MLP(train_feat.shape[1], data.n_classes, seed=seed + 100)
-    sgd_train(lr_stack, train_feat, data.train_y, lr=0.5, epochs=40,
-              batch_size=32, seed=seed)
+    # stacker seeds: spawned children of a dedicated root (spawn_key
+    # distinct from the per-stream trainers'), not seed+offset hacks
+    stack_seqs = spawn_seqs(np.random.SeedSequence(seed).spawn(2)[1], 4)
+    stack_params = run_ensemble(
+        [
+            Task(_train_one_stream,
+                 (train_feat, data.train_y, data.n_classes,
+                  stack_seqs[0], stack_seqs[1], 40, 0.5),
+                 name="lr-stack"),
+            Task(_train_one_stream,
+                 (train_feat, data.train_y, data.n_classes,
+                  stack_seqs[2], stack_seqs[3], 40, 0.3),
+                 kwargs={"hidden": (32,)},
+                 name="nn-stack"),
+        ],
+        backend=get_backend(backend),
+    )
+    lr_stack = MLP(train_feat.shape[1], data.n_classes, seed=0)
+    lr_stack.set_params(stack_params[0])
     out["logistic-regression"] = float(
         (lr_stack.predict(val_feat) == data.val_y).mean()
     )
 
-    nn_stack = MLP(train_feat.shape[1], data.n_classes,
-                   hidden=(32,), seed=seed + 200)
-    sgd_train(nn_stack, train_feat, data.train_y, lr=0.3, epochs=40,
-              batch_size=32, seed=seed)
+    nn_stack = MLP(train_feat.shape[1], data.n_classes, hidden=(32,), seed=0)
+    nn_stack.set_params(stack_params[1])
     out["shallow-nn"] = float(
         (nn_stack.predict(val_feat) == data.val_y).mean()
     )

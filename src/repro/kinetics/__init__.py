@@ -38,7 +38,12 @@ from repro.kinetics.ratematrix import (
     opacity_spectrum,
     steady_state_populations,
 )
-from repro.kinetics.minikin import Minikin, Zone, node_throughput
+from repro.kinetics.minikin import (
+    Minikin,
+    Zone,
+    node_throughput,
+    sweep_conditions,
+)
 
 __all__ = [
     "AtomicModel",
@@ -54,4 +59,5 @@ __all__ = [
     "Minikin",
     "Zone",
     "node_throughput",
+    "sweep_conditions",
 ]

@@ -21,7 +21,7 @@ EXPERIMENTS.md records their provenance and the resulting 5.75X check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.kinetics.ratematrix import (
     steady_state_populations,
 )
 from repro.kinetics.rates import rate_kernel_flops
+from repro.par import Backend, SharedArray, get_backend, map_fanout
 
 #: frequency bins in the opacity workspace (drives per-zone memory)
 N_FREQ_BINS = 7000
@@ -74,6 +75,29 @@ def zone_flops(model: AtomicModel, n_freq_bins: int = N_FREQ_BINS) -> float:
     return rate_kernel_flops(model) + lu + opacity
 
 
+def _solve_zone_task(args):
+    """One zone's population solve (pure — the fan-out unit).
+
+    The model's arrays arrive as :class:`SharedArray` handles, so a
+    process fan-out maps the oscillator-strength matrix once instead
+    of pickling it per chunk.
+    """
+    name, se, sg, sf, t_e, n_e, solver, include_radiative = args
+    model = AtomicModel(name, se.asarray(), sg.asarray(), sf.asarray())
+    r = assemble_rate_matrix(model, t_e, n_e,
+                             include_radiative=include_radiative)
+    return steady_state_populations(r, solver=solver)
+
+
+def _share_model(model: AtomicModel, backend_kind: str
+                 ) -> Tuple[SharedArray, SharedArray, SharedArray]:
+    return (
+        SharedArray.share(model.energies, backend_kind),
+        SharedArray.share(model.degeneracies, backend_kind),
+        SharedArray.share(model.oscillator_strengths, backend_kind),
+    )
+
+
 class Minikin:
     """Multi-zone population/opacity solver (the real computation).
 
@@ -93,35 +117,70 @@ class Minikin:
         return steady_state_populations(r, solver=solver)
 
     def solve_zones(self, zones: List[Zone], solver: str = "direct",
+                    backend: Union[None, str, Backend] = None,
                     ) -> np.ndarray:
         """Populations for every zone, shape (n_zones, n_levels).
 
-        Zones are processed one at a time with a single working-set
-        allocation — the GPU threading strategy's memory profile.
+        The working-set allocation (the GPU threading strategy's
+        memory profile) stays in the parent; the per-zone solves —
+        independent by construction — fan out over *backend* with
+        bit-identical populations on every backend.
         """
         if not zones:
             raise ValueError("no zones given")
-        out = np.empty((len(zones), self.model.n_levels))
         workspace = None
         if self.resources is not None:
             workspace = self.resources.allocate(
                 (self.model.n_levels, self.model.n_levels),
                 space=MemorySpace.DEVICE, name="zone-workspace",
             )
+        be = get_backend(backend)
+        se, sg, sf = _share_model(self.model, be.kind)
         try:
-            for k, zone in enumerate(zones):
-                out[k] = self.solve_zone(zone, solver=solver)
+            pops = map_fanout(
+                _solve_zone_task,
+                [(self.model.name, se, sg, sf, z.t_e, z.n_e, solver, True)
+                 for z in zones],
+                backend=be,
+            )
         finally:
+            se.unlink()
+            sg.unlink()
+            sf.unlink()
             if workspace is not None:
                 workspace.free()
-        return out
+        return np.stack(pops)
 
     def opacities(self, zones: List[Zone], freqs: np.ndarray,
-                  solver: str = "direct") -> np.ndarray:
-        pops = self.solve_zones(zones, solver=solver)
+                  solver: str = "direct",
+                  backend: Union[None, str, Backend] = None) -> np.ndarray:
+        pops = self.solve_zones(zones, solver=solver, backend=backend)
         return np.stack(
             [opacity_spectrum(self.model, p, freqs) for p in pops]
         )
+
+
+def sweep_conditions(
+    model: AtomicModel,
+    t_e_values: Sequence[float],
+    n_e_values: Sequence[float],
+    solver: str = "direct",
+    backend: Union[None, str, Backend] = None,
+) -> np.ndarray:
+    """Populations over the Cartesian (T_e, n_e) condition grid.
+
+    The design-sweep pattern of the paper's workload: one independent
+    zone solve per grid point, fanned out over *backend*.  Returns an
+    array of shape ``(len(t_e_values), len(n_e_values), n_levels)``
+    that is bit-exact across backends.
+    """
+    t_e_values = list(t_e_values)
+    n_e_values = list(n_e_values)
+    if not t_e_values or not n_e_values:
+        raise ValueError("empty sweep grid")
+    zones = [Zone(t_e=t, n_e=n) for t in t_e_values for n in n_e_values]
+    pops = Minikin(model).solve_zones(zones, solver=solver, backend=backend)
+    return pops.reshape(len(t_e_values), len(n_e_values), model.n_levels)
 
 
 def cpu_usable_threads(machine: Machine, model: AtomicModel,

@@ -13,12 +13,22 @@ instrumented hot path costs one attribute load and one truth test.
 Sinks receive plain dicts; :class:`FileSink` and :class:`StderrSink`
 serialize them as JSON Lines, :class:`RingBufferSink` keeps the last N
 in memory for report rendering and tests.
+
+Timestamp contract: each tracer anchors a wall-clock epoch to the
+monotonic ``perf_counter`` clock once, at construction.  A span record's
+``ts`` is the span's *start* expressed as ``epoch + monotonic offset``
+(so ``ts + dur`` is the end, and timelines stay monotonic even when the
+system wall clock steps mid-run); ``dur`` is pure ``perf_counter``.
+:class:`FileSink` appends each record with a single ``O_APPEND``
+``os.write`` under a lock, so concurrent threads and processes never
+interleave partial JSONL lines.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import os
 import sys
 import threading
 import time
@@ -57,18 +67,35 @@ class RingBufferSink:
 
 
 class FileSink:
-    """Append records to *path* as JSON Lines."""
+    """Append records to *path* as JSON Lines.
+
+    Concurrency-safe by construction: each record is serialized to one
+    buffer and appended with a single ``os.write`` on an ``O_APPEND``
+    file descriptor under a lock.  ``O_APPEND`` makes each write an
+    atomic seek-to-end+write at the kernel level, so sinks in separate
+    *processes* pointed at the same path interleave only whole lines;
+    the lock serializes threads sharing this sink object.
+    """
 
     def __init__(self, path: str):
         self.path = path
-        self._fh = open(path, "a", encoding="utf-8")
+        self._fd: Optional[int] = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._lock = threading.Lock()
 
     def emit(self, record: Dict[str, Any]) -> None:
-        self._fh.write(json.dumps(record, default=str) + "\n")
-        self._fh.flush()
+        line = (json.dumps(record, default=str) + "\n").encode("utf-8")
+        with self._lock:
+            if self._fd is None:
+                raise ValueError("emit on a closed FileSink")
+            os.write(self._fd, line)
 
     def close(self) -> None:
-        self._fh.close()
+        with self._lock:
+            fd, self._fd = self._fd, None
+            if fd is not None:
+                os.close(fd)
 
 
 class StderrSink:
@@ -120,7 +147,10 @@ class Span:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "thread": threading.get_ident(),
-            "ts": time.time(),
+            # span *start* on the tracer's monotonic-anchored epoch:
+            # ts + dur is the end, and a wall-clock step mid-run cannot
+            # reorder the timeline
+            "ts": self.tracer.epoch_wall + (self._t0 - self.tracer.epoch_perf),
             "dur": dur,
         }
         if exc_type is not None:
@@ -158,6 +188,10 @@ class Tracer:
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self.enabled = enabled and bool(self._sinks)
+        # wall-clock epoch anchored to the monotonic clock once; span
+        # ``ts`` values are monotonic offsets from this pair
+        self.epoch_wall = time.time()
+        self.epoch_perf = time.perf_counter()
 
     def span(self, name: str, **attrs: Any):
         """A new span, or the shared no-op span when disabled."""

@@ -1,0 +1,138 @@
+"""Shared-memory NumPy array transport for process fan-outs.
+
+Pickling a large operand into every chunk payload is the classic
+fan-out tax: an ``(n, d)`` training set is serialized once per chunk
+and copied once per worker.  :class:`SharedArray` moves the payload
+into a ``multiprocessing.shared_memory`` segment once; what crosses
+the pipe afterwards is a ``(name, shape, dtype)`` handle, and every
+worker maps the same physical pages read-only-by-convention.
+
+For the serial and thread backends the class degrades to a plain
+by-reference wrapper (same process, same address space — there is
+nothing to transport), so call sites can use one code path for all
+three backends:
+
+>>> sx = SharedArray.share(x, backend_kind)    # parent, once
+>>> ... map_fanout(fn, [(sx, ...) for ...])    # handle in payloads
+>>> x = sx.asarray()                           # worker, zero-copy
+>>> sx.unlink()                                # parent, when done
+
+The contract is read-only: workers must not write through
+:meth:`asarray` views (the segment is shared; a write would race the
+other workers and break the serial/process bit-exactness contract).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+try:  # stdlib since 3.8; guarded for exotic minimal builds
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - always present on CPython
+    _shm = None
+
+
+def _fork_available() -> bool:
+    try:
+        import multiprocessing as mp
+
+        mp.get_context("fork")
+        return True
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return False
+
+
+def _unregister_tracker(name: str) -> None:
+    """Detach *name* from the attaching process's resource tracker.
+
+    ``SharedMemory(name=...)`` registers the segment with the resource
+    tracker even when merely attaching (fixed only in 3.13's
+    ``track=False``).  The parent owns the segment's lifetime, so a
+    *spawn*-context worker — which runs its own tracker — must
+    unregister or its tracker double-frees the segment at exit.
+    Fork-context workers (what :mod:`repro.par` uses when available)
+    inherit the parent's tracker, where the attach-register is a
+    set-no-op; unregistering there would strip the parent's own entry
+    and break the eventual ``unlink``, so it is skipped.
+    """
+    if _fork_available():
+        return
+    try:  # pragma: no cover - spawn-only platforms
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedArray:
+    """Picklable handle to an ndarray for cross-process fan-out."""
+
+    def __init__(self, array: np.ndarray,
+                 segment: Optional[Any] = None, owner: bool = False):
+        self._array = array
+        self._segment = segment
+        self._owner = owner
+
+    @classmethod
+    def share(cls, array: np.ndarray, backend_kind: str = "process"
+              ) -> "SharedArray":
+        """Wrap *array* for transport under *backend_kind*.
+
+        Only the process backend pays for a shared segment (plus one
+        copy into it); serial and thread backends share the caller's
+        array by reference.
+        """
+        array = np.asarray(array)
+        if backend_kind != "process" or _shm is None:
+            return cls(array)
+        seg = _shm.SharedMemory(create=True, size=max(1, array.nbytes))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
+        view[...] = array
+        return cls(view, segment=seg, owner=True)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._array.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._array.dtype
+
+    def asarray(self) -> np.ndarray:
+        """The wrapped array (zero-copy in every backend)."""
+        return self._array
+
+    def unlink(self) -> None:
+        """Release the shared segment (parent side, once, when done)."""
+        seg, self._segment = self._segment, None
+        if seg is None:
+            return
+        # drop the buffer view before closing the mapping
+        self._array = np.array(self._array, copy=True)
+        seg.close()
+        if self._owner:
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    # -- pickling: segment-backed arrays travel as handles -------------
+
+    def __getstate__(self):
+        if self._segment is not None:
+            return ("handle", self._segment.name, self._array.shape,
+                    self._array.dtype.str)
+        return ("inline", self._array)
+
+    def __setstate__(self, state):
+        if state[0] == "inline":
+            self.__init__(state[1])
+            return
+        _, name, shape, dtype = state
+        seg = _shm.SharedMemory(name=name)
+        _unregister_tracker(name)
+        array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+        self.__init__(array, segment=seg, owner=False)

@@ -7,13 +7,14 @@ renders results through the same table formatter, and wall-clock
 measurement goes through a single monotonic timer.
 """
 
-from repro.util.rng import make_rng, spawn_rngs
+from repro.util.rng import make_rng, spawn_rngs, spawn_seqs
 from repro.util.tables import Table, format_seconds, format_si
 from repro.util.timing import Stopwatch, TimerRegistry
 
 __all__ = [
     "make_rng",
     "spawn_rngs",
+    "spawn_seqs",
     "Table",
     "format_seconds",
     "format_si",

@@ -53,6 +53,27 @@ def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
     return [np.random.default_rng(child) for child in seq.spawn(n)]
 
 
+def spawn_seqs(seed: SeedLike, n: int) -> List[np.random.SeedSequence]:
+    """Derive *n* independent :class:`~numpy.random.SeedSequence`\\ s.
+
+    The transport-friendly sibling of :func:`spawn_rngs`: a
+    ``SeedSequence`` is a tiny picklable value, so fan-out call sites
+    (``repro.par``) pre-spawn one per task in the parent and ship it to
+    whichever worker runs the task — the stream is a function of the
+    task, not of the backend, which is what makes process results
+    bit-exact against serial.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} sequences")
+    if isinstance(seed, np.random.Generator):
+        seq = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    elif isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    else:
+        seq = np.random.SeedSequence(seed)
+    return seq.spawn(n)
+
+
 def permutation_with_fixed_sum(
     rng: np.random.Generator, total: float, n: int, jitter: float = 0.25
 ) -> np.ndarray:

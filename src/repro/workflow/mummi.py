@@ -22,15 +22,31 @@ from repro.core.machine import Machine, get_machine
 from repro.md.gromacs_baseline import modeled_step_times
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.par import Backend, get_backend, map_fanout
 from repro.sched.policies import Fcfs
 from repro.sched.simulator import ClusterSimulator, Job
 from repro.util.rng import make_rng
 
 
+def _micro_analysis(args):
+    """In-situ analysis of one micro simulation (the fan-out unit).
+
+    Pure function of the patch composition, the candidate's own
+    spawned RNG stream, and the fidelity rung's noise scale — so the
+    result is identical no matter which backend/worker evaluates it.
+    """
+    comp, seq, noise_scale = args
+    rng = np.random.default_rng(seq)
+    return MicroResult(
+        composition=comp,
+        observable=comp + noise_scale * float(rng.normal()),
+    )
+
+
 class MacroModel:
     """Coarse 2D composition field with diffusion + forcing."""
 
-    def __init__(self, n: int = 32, diffusivity: float = 0.2, seed: int = 0):
+    def __init__(self, n: int = 32, diffusivity: float = 0.2, seed=0):
         if n < 4:
             raise ValueError("macro grid too small")
         if not (0 < diffusivity <= 0.25):
@@ -82,6 +98,7 @@ class MummiCampaign:
         cycle_budget: Optional[float] = None,
         breaker=None,
         admission=None,
+        backend=None,
     ):
         if md_code not in ("ddcmd", "gromacs"):
             raise ValueError("md_code must be 'ddcmd' or 'gromacs'")
@@ -94,8 +111,23 @@ class MummiCampaign:
         self.md_code = md_code
         self.steps_per_sim = steps_per_sim
         self.jobs_per_cycle = jobs_per_cycle
+        # independent campaign streams via SeedSequence.spawn — the
+        # old ``make_rng(seed + 1)`` offset risks colliding with the
+        # macro model's own ``seed`` stream.  The macro model keeps the
+        # root stream (``default_rng(seed)`` seeds through the same
+        # SeedSequence); the auxiliary streams are spawned children,
+        # which are independent of the root by spawn_key.
+        jitter_seq, eval_root = np.random.SeedSequence(seed).spawn(2)
         self.macro = MacroModel(seed=seed)
-        self.rng = make_rng(seed + 1)
+        #: parent-side stream for job service-time jitter (sequential
+        #: draws; cheap, so they stay in the parent for determinism)
+        self.rng = make_rng(jitter_seq)
+        #: root of the per-candidate evaluation streams; each cycle
+        #: spawns one child per candidate, so micro results are a
+        #: function of (cycle, candidate), not of evaluation order
+        self._eval_root = eval_root
+        #: per-call execution backend spec (None -> REPRO_PAR env)
+        self.backend = backend
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
         #: per-cycle wall-clock budget (simulated seconds); overruns are
@@ -194,13 +226,7 @@ class MummiCampaign:
             admission=self.admission,
         )
         # in-situ analysis: summarize each micro sim and feed back
-        for patch_idx in candidates:
-            comp = float(comps[patch_idx])
-            self.explored.append(comp)
-            self.results.append(MicroResult(
-                composition=comp,
-                observable=comp + 0.05 * float(self.rng.normal()),
-            ))
+        self._analyze_candidates(candidates, comps, noise_scale=0.05)
         self.gpu_hours += sum(j.service for j in jobs) / 3600.0
         self.wall_time += result.makespan
         self.cycles_done += 1
@@ -244,13 +270,7 @@ class MummiCampaign:
         surrogate noise.  The campaign keeps making (degraded) progress
         through a fault storm instead of hammering a failing cluster.
         """
-        for patch_idx in candidates:
-            comp = float(comps[patch_idx])
-            self.explored.append(comp)
-            self.results.append(MicroResult(
-                composition=comp,
-                observable=comp + 0.2 * float(self.rng.normal()),
-            ))
+        self._analyze_candidates(candidates, comps, noise_scale=0.2)
         self.cycles_done += 1
         self.rungs_served.append("surrogate")
         _metrics.counter("guard.fallback.mummi.served.surrogate").add()
@@ -265,6 +285,26 @@ class MummiCampaign:
             "over_budget": 0.0,
             "degraded": 1.0,
         }
+
+    def _analyze_candidates(
+        self, candidates: np.ndarray, comps: np.ndarray, noise_scale: float
+    ) -> None:
+        """Fan the per-candidate micro analysis out over the backend.
+
+        Each candidate gets its own spawned child of the campaign's
+        evaluation stream, so the fan-out is bit-exact across
+        backends; the spawn counter is part of the checkpoint state.
+        """
+        seqs = self._eval_root.spawn(int(candidates.size))
+        results = map_fanout(
+            _micro_analysis,
+            [(float(comps[int(i)]), seq, noise_scale)
+             for i, seq in zip(candidates, seqs)],
+            backend=get_backend(self.backend),
+        )
+        for result in results:
+            self.explored.append(result.composition)
+            self.results.append(result)
 
     def run(self, n_cycles: int) -> None:
         if n_cycles < 1:
@@ -307,6 +347,12 @@ class MummiCampaign:
             "field": self.macro.field.copy(),
             "macro_rng": copy.deepcopy(self.macro.rng.bit_generator.state),
             "rng": copy.deepcopy(self.rng.bit_generator.state),
+            # the eval stream restores by replaying its spawn count
+            "eval_stream": {
+                "entropy": self._eval_root.entropy,
+                "spawn_key": tuple(self._eval_root.spawn_key),
+                "n_children_spawned": self._eval_root.n_children_spawned,
+            },
             "explored": list(self.explored),
             "results": [
                 (r.composition, r.observable) for r in self.results
@@ -340,6 +386,13 @@ class MummiCampaign:
             state["macro_rng"]
         )
         self.rng.bit_generator.state = copy.deepcopy(state["rng"])
+        ev = state.get("eval_stream")
+        if ev is not None:
+            self._eval_root = np.random.SeedSequence(
+                entropy=ev["entropy"],
+                spawn_key=tuple(ev["spawn_key"]),
+                n_children_spawned=ev["n_children_spawned"],
+            )
         self.explored = list(state["explored"])
         self.results = [
             MicroResult(composition=c, observable=o)
