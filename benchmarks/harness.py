@@ -488,6 +488,150 @@ def case_par_fanout(smoke: bool) -> Dict:
     return _case("par_fanout", t_par, t_serial, None, check)
 
 
+def case_durability_overhead(smoke: bool) -> Dict:
+    """WAL-journaling tax on a ddcMD ensemble member, gated < 5%.
+
+    The member is driven by :class:`repro.durable.ResumableCampaign`
+    committing its full ``checkpoint_state()`` to a
+    :class:`repro.durable.DurableStore` every ``journal_every=8``
+    steps (so a SIGKILL loses at most 8 steps — seconds of simulated
+    work against the paper's minutes-long MD segments).  The gated
+    configuration is ``sync=False``: flushed-not-fsynced commits,
+    which survive process death (the chaos harness's SIGKILL threat
+    model — the page cache belongs to the OS) but not a kernel crash.
+    The fully-fsynced ``sync=True`` overhead rides along in the
+    report as ``fsync_overhead_pct``, informational: it is dominated
+    by device sync latency, which varies an order of magnitude across
+    hosts and says nothing about the journaling machinery.
+
+    Samples are paired with alternating order and the verdict is the
+    best-of-N ratio (``min(t_journaled) / min(t_bare)``): with ~0.7 s
+    samples, scheduling and allocator noise is strictly additive and
+    multi-percent, so the fastest sample on each side is the closest
+    estimate of the true cost; the median per-pair ratio rides along
+    as ``overhead_median_pct`` for the noise picture.  Construction
+    (particle system, first neighbor build) happens outside the timed
+    region on both sides — its allocation-layout jitter is several
+    percent per run, pure noise against a few-percent signal.
+    Correctness rides along: the journaled trajectory must be
+    bit-identical to the bare run (journaling must observe, never
+    perturb), and the store must recover the final committed state
+    bit-exactly.
+    """
+    from repro.durable import DurableStore, ResumableCampaign, state_mismatches
+    from repro.md.ddcmd import DdcMD
+    from repro.md.particles import ParticleSystem, PeriodicBox
+    from repro.md.potentials import LennardJones, PairProcessor
+
+    n = 1500 if smoke else 4000
+    n_steps = 24
+    journal_every = 8
+    cadence = 24
+    # the verdict is a median of per-pair ratios; below ~12 pairs a
+    # single multi-percent OS-noise excursion can drag the median over
+    # the gate, so full mode pays for the same sample count as smoke
+    reps = 12
+
+    def make_md() -> DdcMD:
+        rho = 0.5
+        side = (n / rho) ** (1.0 / 3.0)
+        box = PeriodicBox([side, side, side])
+        system = ParticleSystem.random_gas(n, box, seed=11)
+        return DdcMD(system, PairProcessor(LennardJones(cutoff=2.5)))
+
+    def run_bare() -> Tuple[DdcMD, float]:
+        md = make_md()
+
+        def drive():
+            while md.progress < n_steps:
+                md.step()
+
+        _, t = _timed(drive)
+        return md, t
+
+    def run_journaled(sync: bool, root: str) -> Tuple[DdcMD, float]:
+        md = make_md()
+        with DurableStore(root, sync=sync) as store:
+            campaign = ResumableCampaign(
+                md, store, cadence=cadence, journal_every=journal_every,
+            )
+            _, t = _timed(lambda: campaign.run(n_steps))
+        return md, t
+
+    def sample_journaled(sync: bool) -> Tuple[DdcMD, float]:
+        with tempfile.TemporaryDirectory(prefix="bench-dur-") as root:
+            return run_journaled(sync, root)
+
+    ratios: List[float] = []
+    t_bare: List[float] = []
+    t_journaled: List[float] = []
+    md_bare = md_journaled = None
+    # earlier cases leave pool workers and a fragmented heap behind;
+    # both inflate the journaled side (its large pickle blobs churn
+    # the allocator) without touching the bare side symmetrically
+    from repro.par import shutdown_pools
+
+    shutdown_pools()
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for i in range(reps):
+            if i % 2 == 0:
+                md_bare, t_b = run_bare()
+                md_journaled, t_j = sample_journaled(False)
+            else:
+                md_journaled, t_j = sample_journaled(False)
+                md_bare, t_b = run_bare()
+            ratios.append(t_j / t_b)
+            t_bare.append(t_b)
+            t_journaled.append(t_j)
+        _, t_fsync = sample_journaled(True)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    # the gated statistic is best-of-N on each side: scheduling and
+    # allocator noise is strictly additive, so the fastest sample is
+    # the closest estimate of the true cost on both sides; the median
+    # per-pair ratio rides along for the noise picture
+    overhead = min(t_journaled) / min(t_bare) - 1.0
+    overhead_median = float(np.median(ratios)) - 1.0
+    fsync_overhead = t_fsync / min(t_bare) - 1.0
+
+    # journaling must observe, never perturb: bit-identical trajectory
+    same_traj = np.array_equal(
+        md_bare.system.x, md_journaled.system.x
+    ) and np.array_equal(
+        md_bare.system.v, md_journaled.system.v
+    )
+    # and the store must hand back exactly the final committed state
+    with tempfile.TemporaryDirectory(prefix="bench-dur-") as root:
+        md_final, _ = run_journaled(False, root)
+        with DurableStore(root) as store:
+            rec = store.recover()
+        recovered_ok = (
+            rec is not None
+            and rec[0] == n_steps
+            and not state_mismatches(rec[1]["state"],
+                                     md_final.checkpoint_state())
+        )
+
+    if not same_traj:
+        check = "journaled trajectory diverged from the bare run"
+    elif not recovered_ok:
+        check = "recovered state is not bit-exact"
+    elif overhead > 0.05:
+        check = f"journaling overhead {overhead * 100:.2f}% > 5%"
+    else:
+        check = "ok"
+    case = _case("durability_overhead", min(t_journaled), min(t_bare),
+                 None, check)
+    case["overhead_pct"] = round(overhead * 100, 2)
+    case["overhead_median_pct"] = round(overhead_median * 100, 2)
+    case["fsync_overhead_pct"] = round(fsync_overhead * 100, 2)
+    return case
+
+
 CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("gauss_seidel", case_gauss_seidel),
     ("md_neighbor", case_md_neighbor),
@@ -497,6 +641,7 @@ CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("jit_warm_start", case_jit_warm_start),
     ("guard_overhead", case_guard_overhead),
     ("par_fanout", case_par_fanout),
+    ("durability_overhead", case_durability_overhead),
 ]
 
 

@@ -1,0 +1,199 @@
+"""Write-ahead journal with CRC-framed records.
+
+The durability primitive under :class:`repro.durable.DurableStore`:
+an append-only log whose records survive SIGKILL at any byte
+boundary.  Frame format, after an 8-byte magic header::
+
+    [u32 length (big-endian)] [u32 crc32(payload)] [payload bytes]
+
+Durability contract:
+
+- **fsync-on-commit** — :meth:`WriteAheadLog.append` returns only
+  after the frame is flushed and ``fsync``\\ ed (unless ``sync=False``
+  for tests/benchmarks that want the framing without the disk wait),
+  so a record that was appended is a record that survives a crash.
+- **torn-tail truncation on open** — a crash mid-append leaves a
+  partial frame (short header, short payload, or CRC mismatch) at the
+  tail.  Opening the log scans it, keeps the longest valid prefix,
+  and truncates the torn bytes; the lost record was never committed,
+  so dropping it is correct.
+- **atomic rename rotation** — :meth:`rotate` atomically replaces the
+  journal with a fresh empty one (``os.replace`` of a synced temp
+  file), used after a snapshot makes the old records obsolete.  A
+  crash before the rename keeps the old journal; a crash after keeps
+  the new one; no in-between state exists.
+
+Payloads are opaque bytes; callers (``DurableStore``) bring their own
+serialization.  Everything after a bad frame is discarded — with
+length-prefix framing there is no reliable way to resynchronize past
+a corrupt length field, and a committed record is by construction
+followed only by later commits, so mid-file corruption means the
+medium (not a crash) damaged the log.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, List, Union
+
+#: file magic: identifies a repro WAL and its framing version
+MAGIC = b"RPROWAL1"
+
+_HEADER = struct.Struct(">II")  # length, crc32
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync the directory entry so a rename/create survives a crash."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """Append-only CRC-framed journal (see module docstring)."""
+
+    def __init__(self, path: Union[str, Path], sync: bool = True):
+        self.path = Path(path)
+        self.sync = sync
+        #: bytes cut from a torn tail during the open scan (0 = clean)
+        self.truncated_bytes = 0
+        #: valid records found on disk at open
+        self.records_on_open = 0
+        self.appends = 0
+        self.bytes_appended = 0
+        self._fh = None
+        self._open_and_recover()
+
+    # -- open / recovery ------------------------------------------------
+
+    def _open_and_recover(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self.path.exists():
+            self._write_fresh(self.path)
+        end, count, total = self._scan(self.path)
+        if end < total:
+            self.truncated_bytes = total - end
+            with open(self.path, "r+b") as fh:
+                fh.truncate(end)
+                fh.flush()
+                if self.sync:
+                    os.fsync(fh.fileno())
+        self.records_on_open = count
+        self._fh = open(self.path, "ab")
+
+    def _write_fresh(self, path: Path) -> None:
+        with open(path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.flush()
+            if self.sync:
+                os.fsync(fh.fileno())
+        if self.sync:
+            _fsync_dir(path.parent)
+
+    @staticmethod
+    def _scan(path: Path) -> tuple:
+        """``(last_valid_offset, n_records, file_size)`` for *path*.
+
+        A file without the magic header (including an empty file from
+        a crash between create and header write) is valid-to-offset 0,
+        which the caller truncates and the next append reheaders.
+        """
+        size = path.stat().st_size
+        with open(path, "rb") as fh:
+            if fh.read(len(MAGIC)) != MAGIC:
+                return 0, 0, size
+            end = len(MAGIC)
+            count = 0
+            while True:
+                header = fh.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    break
+                length, crc = _HEADER.unpack(header)
+                payload = fh.read(length)
+                if len(payload) < length:
+                    break
+                if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                    break
+                end = fh.tell()
+                count += 1
+            return end, count, size
+
+    # -- append path ----------------------------------------------------
+
+    def append(self, payload: bytes) -> None:
+        """Commit one record; durable on return when ``sync=True``."""
+        if self._fh is None:
+            raise RuntimeError("journal is closed")
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TypeError("WAL payloads are bytes")
+        payload = bytes(payload)
+        if self._fh.tell() == 0:
+            # recovery truncated a headerless file down to nothing
+            self._fh.write(MAGIC)
+        frame = _HEADER.pack(len(payload),
+                             zlib.crc32(payload) & 0xFFFFFFFF) + payload
+        self._fh.write(frame)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        self.appends += 1
+        self.bytes_appended += len(frame)
+
+    # -- read path ------------------------------------------------------
+
+    def replay(self) -> Iterator[bytes]:
+        """Yield every committed payload, oldest first.
+
+        Reads the file fresh (committed frames only: the open scan
+        already cut any torn tail, and appends are flushed before
+        return), so replay composes with a live append handle.
+        """
+        if self._fh is not None:
+            self._fh.flush()
+        with open(self.path, "rb") as fh:
+            if fh.read(len(MAGIC)) != MAGIC:
+                return
+            while True:
+                header = fh.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    return
+                length, crc = _HEADER.unpack(header)
+                payload = fh.read(length)
+                if len(payload) < length:
+                    return
+                if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                    return
+                yield payload
+
+    def records(self) -> List[bytes]:
+        return list(self.replay())
+
+    # -- rotation / lifecycle -------------------------------------------
+
+    def rotate(self) -> None:
+        """Atomically replace the journal with a fresh empty one."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        tmp = self.path.with_name(self.path.name + ".rotate")
+        self._write_fresh(tmp)
+        os.replace(tmp, self.path)
+        if self.sync:
+            _fsync_dir(self.path.parent)
+        self._fh = open(self.path, "ab")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -17,8 +17,12 @@ Public surface:
 - :class:`SharedArray` — shared-memory transport for large operands.
 - :func:`get_backend` / :class:`Backend` — spec resolution
   (``"process:4"``, env default, worker counts).
-- :class:`WorkerTaskError` / :class:`WorkerCrashError` — typed
-  failure surface (a dead worker never hangs the parent).
+- :class:`WorkerTaskError` / :class:`WorkerCrashError` /
+  :class:`PoisonTaskError` — typed failure surface (a dead worker
+  never hangs the parent; a crash reports its ``pending_indices``).
+- :class:`Supervisor` — self-healing worker pool: heartbeat liveness,
+  automatic replacement with capped backoff, poison-task quarantine,
+  WAL-journaled completions for exact resubmission after a kill.
 - :func:`shutdown_pools` — drop the cached executors (tests/atexit).
 
 Observability composes: process-backend chunks ship their counter and
@@ -42,15 +46,23 @@ from repro.par.backend import (
     run_ensemble,
     shutdown_pools,
 )
-from repro.par.errors import ParError, WorkerCrashError, WorkerTaskError
+from repro.par.errors import (
+    ParError,
+    PoisonTaskError,
+    WorkerCrashError,
+    WorkerTaskError,
+)
 from repro.par.shm import SharedArray
+from repro.par.supervisor import Supervisor
 
 __all__ = [
     "BACKEND_ENV",
     "Backend",
     "PROPAGATED_ENV",
     "ParError",
+    "PoisonTaskError",
     "SharedArray",
+    "Supervisor",
     "Task",
     "WorkerCrashError",
     "WorkerTaskError",

@@ -342,6 +342,30 @@ def _unwrap(wrapped: List[Tuple[bool, Any]], kind: str) -> List[Any]:
     return [value for _, value in wrapped]
 
 
+def _chunk_ok(future) -> bool:
+    """True when a chunk's result is safely in hand despite the break."""
+    if not future.done() or future.cancelled():
+        return False
+    return future.exception() is None
+
+
+def _pending_indices(futures, starts: List[int], chunk: int,
+                     n_items: int) -> List[int]:
+    """Input indices with no delivered result when the pool broke.
+
+    Chunks whose futures completed cleanly before the break are done;
+    everything else — futures that were cancelled, errored, or never
+    submitted (``submit`` itself raised on a broken pool) — still owes
+    its index range.
+    """
+    pending: List[int] = []
+    for i, start in enumerate(starts):
+        if i < len(futures) and _chunk_ok(futures[i]):
+            continue
+        pending.extend(range(start, min(start + chunk, n_items)))
+    return pending
+
+
 def _chunk_bounds(n_items: int, workers: int,
                   chunk_size: Optional[int]) -> int:
     if chunk_size is not None:
@@ -407,6 +431,7 @@ def map_fanout(
         for s in starts
     ]
     wrapped = []
+    futures: List[Any] = []
     try:
         # submit stays inside the guard: a crash in an early chunk can
         # mark the pool broken while later chunks are still being
@@ -419,9 +444,11 @@ def map_fanout(
     except BrokenExecutor as exc:
         _drop_pool("process", be.workers)
         _metrics.counter("par.worker_crashes").add()
+        pending = _pending_indices(futures, starts, chunk, len(items))
         raise WorkerCrashError(
             f"a process worker died mid-fan-out ({exc!r}); "
             "the broken pool was discarded", backend="process",
+            pending_indices=pending,
         ) from exc
     return _unwrap(wrapped, "process")
 

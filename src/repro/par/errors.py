@@ -11,7 +11,13 @@ Every failure mode a fan-out can hit surfaces as a subclass of
 - :class:`WorkerCrashError` — a worker *process* died without
   returning (segfault, ``os._exit``, OOM kill).  Raised from the
   executor's broken-pool signal; the dead pool is evicted from the
-  cache so the next fan-out gets a fresh one.
+  cache so the next fan-out gets a fresh one.  Carries
+  ``pending_indices`` — the input indices whose results never came
+  back — so callers (and :class:`repro.par.Supervisor`) can resubmit
+  precisely instead of re-running the whole fan-out.
+- :class:`PoisonTaskError` — one task index crashed its worker
+  ``max_task_crashes`` times in a row and was quarantined by the
+  supervisor; retrying it again would just keep killing workers.
 
 Deadline expiry inside a worker is not a :class:`ParError`: it is
 re-raised in the parent as the guard layer's
@@ -21,7 +27,7 @@ already catch guard errors need no new handling for parallel runs.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 
 class ParError(RuntimeError):
@@ -42,8 +48,28 @@ class WorkerTaskError(ParError):
 
 
 class WorkerCrashError(ParError):
-    """A worker process died without returning a result."""
+    """A worker process died without returning a result.
 
-    def __init__(self, message: str, backend: Optional[str] = None):
+    ``pending_indices`` lists the input indices whose results were
+    still outstanding when the pool broke — exactly the work a caller
+    must resubmit.  Empty when the crash site could not be narrowed
+    (e.g. the executor broke before any chunk was submitted).
+    """
+
+    def __init__(self, message: str, backend: Optional[str] = None,
+                 pending_indices: Sequence[int] = ()):
         super().__init__(message)
         self.backend = backend
+        self.pending_indices = tuple(pending_indices)
+
+
+class PoisonTaskError(ParError):
+    """A task index was quarantined after repeatedly crashing workers."""
+
+    def __init__(self, task_index: int, crashes: int):
+        super().__init__(
+            f"task {task_index} crashed its worker {crashes} times "
+            "and was quarantined as a poison task"
+        )
+        self.task_index = task_index
+        self.crashes = crashes

@@ -1,0 +1,366 @@
+"""Supervised worker pools: liveness, replacement, poison quarantine.
+
+:func:`~repro.par.map_fanout`'s process backend surfaces a dead worker
+as :class:`~repro.par.errors.WorkerCrashError` and leaves recovery to
+the caller.  The paper's campaigns could not afford that: on Sierra a
+node loss mid-ensemble was routine, and the workflow layers were
+expected to replace the lost worker and re-run only the lost work.
+:class:`Supervisor` is that contract as a library:
+
+- **liveness** — each worker owns a shared heartbeat slot it stamps at
+  every task boundary and idle poll; the supervisor SIGKILLs a worker
+  whose heartbeat goes stale while a task is in flight (a hang is a
+  crash that forgot to die), and notices exits via ``is_alive``.
+- **replacement** — a dead worker is respawned automatically with
+  capped exponential backoff (``backoff_base * 2**k`` up to
+  ``backoff_max``), non-blocking: healthy workers keep draining the
+  queue while a replacement waits out its backoff.
+- **poison quarantine** — a task index that crashes its worker
+  ``max_task_crashes`` times is quarantined: by default the fan-out
+  fails fast with :class:`~repro.par.errors.PoisonTaskError`; with
+  ``on_poison="quarantine"`` the remaining tasks complete and the
+  poisoned slot carries the error object.
+- **journal resubmission** — with ``journal=<path>``, every completed
+  task is appended to a :class:`~repro.durable.wal.WriteAheadLog`
+  (the durability layer's CRC-framed format).  If the *supervisor
+  process itself* is killed and re-run, completed indices are replayed
+  from the journal and only the in-flight remainder is resubmitted.
+
+Determinism: tasks are dispatched one at a time to idle workers, so
+completion order is nondeterministic, but results are reassembled by
+input index — for a pure ``fn`` the returned list is bit-identical to
+``[fn(x) for x in items]`` regardless of crashes and replacements.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.obs import metrics as _metrics
+from repro.par.backend import BACKEND_ENV, _TaskFailure
+from repro.par.errors import PoisonTaskError, WorkerTaskError
+
+#: worker-side poll timeout; also the idle heartbeat cadence
+_WORKER_POLL = 0.05
+
+
+def _supervised_worker(worker_id, fn, task_q, result_q, heartbeat):
+    """Worker loop: beat, fetch, run, reply.  Top-level (picklable)."""
+    import queue as _queue
+    import traceback as _traceback
+
+    os.environ[BACKEND_ENV] = "serial"  # never nest pools
+    while True:
+        heartbeat.value = time.time()
+        try:
+            msg = task_q.get(timeout=_WORKER_POLL)
+        except _queue.Empty:
+            continue
+        if msg is None:
+            break
+        index, item = msg
+        heartbeat.value = time.time()  # task start: hang clock begins
+        try:
+            out = (worker_id, index, True, fn(item))
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            out = (worker_id, index, False, _TaskFailure(
+                index, type(exc).__name__, str(exc),
+                _traceback.format_exc(),
+            ))
+        result_q.put(out)
+        heartbeat.value = time.time()
+
+
+class _WorkerSlot:
+    """Parent-side bookkeeping for one supervised worker position."""
+
+    __slots__ = ("worker_id", "process", "task_q", "heartbeat",
+                 "inflight", "respawn_at")
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.process = None
+        self.task_q = None
+        self.heartbeat = None
+        self.inflight: Optional[int] = None
+        self.respawn_at = 0.0
+
+
+class Supervisor:
+    """A self-healing process pool for fan-out workloads.
+
+    ``heartbeat_timeout`` doubles as the per-task hang limit: a worker
+    whose in-flight task outlives it is presumed wedged and killed
+    (the kill counts as a crash against that task index).
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        workers: Optional[int] = None,
+        max_task_crashes: int = 3,
+        heartbeat_timeout: float = 30.0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        on_poison: str = "raise",
+        journal=None,
+        poll_interval: float = 0.02,
+    ):
+        if max_task_crashes < 1:
+            raise ValueError("max_task_crashes must be >= 1")
+        if on_poison not in ("raise", "quarantine"):
+            raise ValueError("on_poison must be 'raise' or 'quarantine'")
+        self.fn = fn
+        self.workers = workers or max(1, os.cpu_count() or 1)
+        self.max_task_crashes = max_task_crashes
+        self.heartbeat_timeout = heartbeat_timeout
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.on_poison = on_poison
+        self.journal_path = journal
+        self.poll_interval = poll_interval
+        # lifetime stats
+        self.crashes = 0
+        self.replacements = 0
+        self.poisoned: List[int] = []
+        self.journal_skips = 0
+        self._slots: List[_WorkerSlot] = []
+        self._ctx = None
+        self._result_q = None
+        self._consec_crashes = 0
+        self._wal = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _context(self):
+        if self._ctx is None:
+            import multiprocessing as mp
+
+            try:
+                self._ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                self._ctx = mp.get_context()
+        return self._ctx
+
+    def _ensure_started(self) -> None:
+        ctx = self._context()
+        if self._result_q is None:
+            self._result_q = ctx.Queue()
+        if not self._slots:
+            self._slots = [_WorkerSlot(i) for i in range(self.workers)]
+        for slot in self._slots:
+            if slot.process is None and time.time() >= slot.respawn_at:
+                self._spawn(slot)
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        ctx = self._context()
+        # fresh queue per incarnation: a task queued to the dead worker
+        # but never fetched must not reach the replacement (the index
+        # is resubmitted through `pending` instead)
+        slot.task_q = ctx.Queue()
+        slot.heartbeat = ctx.Value("d", time.time())
+        slot.process = ctx.Process(
+            target=_supervised_worker,
+            args=(slot.worker_id, self.fn, slot.task_q, self._result_q,
+                  slot.heartbeat),
+            daemon=True,
+        )
+        slot.process.start()
+        slot.inflight = None
+
+    def close(self) -> None:
+        """Stop every worker (sentinel, then SIGKILL stragglers)."""
+        for slot in self._slots:
+            if slot.process is not None and slot.task_q is not None:
+                try:
+                    slot.task_q.put(None)
+                except Exception:
+                    pass
+        deadline = time.time() + 2.0
+        for slot in self._slots:
+            if slot.process is None:
+                continue
+            slot.process.join(max(0.0, deadline - time.time()))
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join()
+            slot.process = None
+            slot.inflight = None
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def _abort(self) -> None:
+        """Kill the pool hard; the next ``map`` restarts it lazily."""
+        for slot in self._slots:
+            if slot.process is not None:
+                slot.process.kill()
+                slot.process.join()
+                slot.process = None
+                slot.inflight = None
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    # -- journal --------------------------------------------------------
+
+    def _journal_wal(self):
+        if self.journal_path is None:
+            return None
+        if self._wal is None:
+            from repro.durable.wal import WriteAheadLog
+
+            self._wal = WriteAheadLog(self.journal_path)
+        return self._wal
+
+    # -- the supervised fan-out -----------------------------------------
+
+    def map(self, items: Sequence[Any],
+            timeout: Optional[float] = None) -> List[Any]:
+        """Apply ``fn`` to every item; survive crashes along the way.
+
+        Returns results ordered by input index.  Raises
+        :class:`WorkerTaskError` if ``fn`` raised,
+        :class:`PoisonTaskError` when a quarantine trips under
+        ``on_poison="raise"``.  With ``on_poison="quarantine"`` the
+        poisoned slots hold the :class:`PoisonTaskError` instance.
+        """
+        items = list(items)
+        n = len(items)
+        if n == 0:
+            return []
+        self._ensure_started()
+        results: Dict[int, Any] = {}
+        quarantined: Dict[int, PoisonTaskError] = {}
+        crash_counts: Dict[int, int] = {}
+        wal = self._journal_wal()
+        if wal is not None:
+            for payload in wal.replay():
+                try:
+                    rec = pickle.loads(payload)
+                except Exception:
+                    continue
+                i = rec.get("index")
+                if isinstance(i, int) and 0 <= i < n and i not in results:
+                    results[i] = rec["value"]
+                    self.journal_skips += 1
+                    _metrics.counter("par.supervisor.journal_skips").add()
+        pending = deque(i for i in range(n) if i not in results)
+        deadline_at = None if timeout is None else time.time() + timeout
+        try:
+            while len(results) + len(quarantined) < n:
+                if deadline_at is not None and time.time() >= deadline_at:
+                    raise TimeoutError(
+                        f"supervised fan-out did not finish within "
+                        f"{timeout}s ({len(results)}/{n} done)"
+                    )
+                progressed = self._drain(results, wal)
+                self._dispatch(pending, items, results, quarantined)
+                self._police(pending, results, crash_counts, quarantined,
+                             wal)
+                if not progressed:
+                    time.sleep(self.poll_interval)
+        except BaseException:
+            self._abort()
+            raise
+        return [results[i] if i in results else quarantined[i]
+                for i in range(n)]
+
+    # -- monitor-loop internals -----------------------------------------
+
+    def _drain(self, results, wal) -> bool:
+        """Collect every result currently in the queue; True if any."""
+        import queue as _queue
+
+        got = False
+        while True:
+            try:
+                worker_id, index, ok, value = self._result_q.get_nowait()
+            except _queue.Empty:
+                return got
+            got = True
+            slot = self._slots[worker_id]
+            if slot.inflight == index:
+                slot.inflight = None
+            if not ok:
+                f: _TaskFailure = value
+                _metrics.counter("par.task_errors").add()
+                raise WorkerTaskError(f.index, f.error_type, f.message,
+                                      f.worker_traceback)
+            if index not in results:
+                results[index] = value
+                self._consec_crashes = 0
+                if wal is not None:
+                    wal.append(pickle.dumps(
+                        {"index": index, "value": value}
+                    ))
+
+    def _dispatch(self, pending, items, results, quarantined) -> None:
+        for slot in self._slots:
+            if not pending:
+                return
+            if slot.process is None or slot.inflight is not None:
+                continue
+            index = pending.popleft()
+            if index in results or index in quarantined:
+                continue
+            slot.inflight = index
+            slot.task_q.put((index, items[index]))
+
+    def _police(self, pending, results, crash_counts, quarantined,
+                wal) -> None:
+        now = time.time()
+        for slot in self._slots:
+            if slot.process is None:
+                if now >= slot.respawn_at:
+                    self._spawn(slot)
+                    self.replacements += 1
+                    _metrics.counter("par.supervisor.replacements").add()
+                continue
+            dead = not slot.process.is_alive()
+            hung = (not dead and slot.inflight is not None
+                    and now - slot.heartbeat.value > self.heartbeat_timeout)
+            if not (dead or hung):
+                continue
+            if hung:
+                _metrics.counter("par.supervisor.hangs").add()
+                slot.process.kill()
+            slot.process.join()
+            slot.process = None
+            # close the completed-then-died race: the result may have
+            # hit the queue before the worker went down
+            self._drain(results, wal)
+            index = slot.inflight
+            slot.inflight = None
+            self.crashes += 1
+            self._consec_crashes += 1
+            _metrics.counter("par.supervisor.crashes").add()
+            delay = min(
+                self.backoff_max,
+                self.backoff_base * (2 ** max(0, self._consec_crashes - 1)),
+            )
+            slot.respawn_at = now + delay
+            if index is None or index in results:
+                continue
+            crash_counts[index] = crash_counts.get(index, 0) + 1
+            if crash_counts[index] >= self.max_task_crashes:
+                err = PoisonTaskError(index, crash_counts[index])
+                self.poisoned.append(index)
+                _metrics.counter("par.supervisor.poisoned").add()
+                if self.on_poison == "raise":
+                    raise err
+                quarantined[index] = err
+            else:
+                pending.appendleft(index)

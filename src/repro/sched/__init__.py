@@ -24,6 +24,7 @@ from repro.sched.simulator import (
     KeyedFastQueue,
     QuotaFastQueue,
     SimResult,
+    SimulatorSession,
 )
 from repro.sched.policies import Fcfs, Sjf, SjfWithQuota
 from repro.sched.workloads import batch_workload, poisson_workload
@@ -32,6 +33,7 @@ __all__ = [
     "Job",
     "ClusterSimulator",
     "SimResult",
+    "SimulatorSession",
     "KeyedFastQueue",
     "QuotaFastQueue",
     "Fcfs",

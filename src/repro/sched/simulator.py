@@ -122,6 +122,15 @@ class _ReferenceQueue:
         ]
         return [self.items.pop(idx) for idx in picks[:n_free]]
 
+    # Jobs are frozen dataclasses, so shallow container copies are
+    # full snapshots — the durable layer pickles these states across
+    # process boundaries.
+    def checkpoint_state(self) -> Dict:
+        return {"items": list(self.items)}
+
+    def restore_state(self, state: Dict) -> None:
+        self.items = list(state["items"])
+
 
 class KeyedFastQueue:
     """Heap-ordered queue for policies whose selection is a total
@@ -154,6 +163,13 @@ class KeyedFastQueue:
             picked.append((seq, job))
         picked.sort(key=lambda t: -t[0])
         return [job for _, job in picked]
+
+    def checkpoint_state(self) -> Dict:
+        return {"heap": list(self.heap), "seq": self.seq}
+
+    def restore_state(self, state: Dict) -> None:
+        self.heap = list(state["heap"])
+        self.seq = state["seq"]
 
 
 class QuotaFastQueue:
@@ -221,6 +237,352 @@ class QuotaFastQueue:
         picked.sort(key=lambda t: -t[0])
         return [job for _, job in picked]
 
+    def checkpoint_state(self) -> Dict:
+        return {
+            "by_service": list(self.by_service),
+            "long_by_arrival": list(self.long_by_arrival),
+            "dead": set(self.dead),
+            "seq": self.seq,
+            "n": self.n,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self.by_service = list(state["by_service"])
+        self.long_by_arrival = list(state["long_by_arrival"])
+        self.dead = set(state["dead"])
+        self.seq = state["seq"]
+        self.n = state["n"]
+
+
+def _build_queue(policy, engine: str, n_gpus: int):
+    """Resolve *engine* ("auto"/"fast"/"reference") to a queue object."""
+    if engine not in ("auto", "fast", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    factory = getattr(policy, "fast_queue", None)
+    if engine == "reference" or (engine == "auto" and factory is None):
+        return _ReferenceQueue(policy)
+    if factory is None:
+        raise ValueError(
+            f"policy {type(policy).__name__} has no fast queue; "
+            "use engine='reference'"
+        )
+    return factory(n_gpus)
+
+
+class SimulatorSession:
+    """Stepwise, checkpointable twin of the batch event loop.
+
+    One :meth:`step` processes one event (arrival/re-queue batch,
+    completion, or fault), after which the session can snapshot its
+    **entire** live state — event heaps, queue contents, per-job
+    attempt counts, accounting, the fault injector's RNG, and the
+    admission controller's breaker — and restore it later, in this
+    process or another one.  Driving a session to completion produces
+    a :class:`SimResult` bit-identical to
+    :meth:`ClusterSimulator.run` on the same inputs (enforced by the
+    equivalence matrix in ``tests/test_durable.py``): the repo's
+    usual reference-vs-fast dualism, with the batch loop as the fast
+    engine and this class as the rewindable one.
+
+    The session satisfies the stepper protocol of
+    :class:`~repro.resilience.ResilientDriver` and
+    :class:`~repro.durable.ResumableCampaign` (``step`` / ``done`` /
+    ``progress`` / ``checkpoint_state`` / ``restore_state``), which
+    is what lets a SIGKILLed scheduler run resume from its journaled
+    event-heap state mid-schedule.  Restoring requires a session
+    constructed with the same jobs, policy, and engine as the one
+    that checkpointed.
+    """
+
+    def __init__(
+        self,
+        n_gpus: int,
+        jobs: Sequence[Job],
+        policy=None,
+        horizon: Optional[float] = None,
+        fault_injector=None,
+        retry_policy=None,
+        engine: str = "auto",
+        admission=None,
+        queue=None,
+    ):
+        if n_gpus < 1:
+            raise ValueError("need at least one GPU")
+        if not jobs:
+            raise ValueError("no jobs to schedule")
+        if queue is None:
+            if policy is None:
+                raise ValueError("pass a policy (or a prebuilt queue)")
+            queue = _build_queue(policy, engine, n_gpus)
+        self.n_gpus = n_gpus
+        self.jobs = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+        self.horizon = horizon
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        self.admission = admission
+        self.queue = queue
+        # --- live event-loop state (the checkpointed part) ----------
+        self.n = len(self.jobs)
+        self.arrivals = [(j.arrival, j.job_id, j) for j in self.jobs]
+        self.next_arrival = 0
+        self.requeues: List[Tuple[float, int, Job]] = []
+        self.requeue_seq = 0
+        self.running: List[Tuple[float, int, Job, float]] = []
+        self.waits: List[float] = []
+        self.turnarounds: List[float] = []
+        self.busy_time = 0.0
+        self.useful_time = 0.0
+        self.wasted_time = 0.0
+        self.t = 0.0
+        self.queue_series: List[Tuple[float, int]] = []
+        self.completed = 0
+        self.dropped = 0
+        self.shed = 0
+        self.failures = 0
+        self.retries = 0
+        self.started = 0
+        self.attempts: Dict[int, int] = {}
+        self.events = 0
+        self.next_fault = (
+            fault_injector.next_fault_after(0.0)
+            if fault_injector is not None else float("inf")
+        )
+        self._finished = False
+        self._metrics_emitted = False
+
+    # -- stepper protocol ----------------------------------------------
+
+    @property
+    def progress(self) -> int:
+        """Events processed (the unit a durable driver journals)."""
+        return self.events
+
+    @property
+    def done(self) -> bool:
+        return (
+            self._finished
+            or self.completed + self.dropped + self.shed >= self.n
+        )
+
+    def _start_ready(self, now: float) -> None:
+        queue, running = self.queue, self.running
+        while len(queue) and len(running) < self.n_gpus:
+            free = self.n_gpus - len(running)
+            batch = queue.select_starts(free, [j for _, _, j, _ in running])
+            if not batch:
+                break
+            for job in batch:
+                self.waits.append(now - job.arrival)
+                self.turnarounds.append(now - job.arrival + job.service)
+                heapq.heappush(
+                    running, (now + job.service, job.job_id, job, now)
+                )
+                self.started += 1
+
+    def _enqueue(self, job: Job, now: float) -> bool:
+        if self.admission is not None and not self.admission.admit(
+            job, now=now, queue_len=len(self.queue),
+            n_running=len(self.running), n_gpus=self.n_gpus,
+        ):
+            self.shed += 1
+            return False
+        self.queue.push(job)
+        return True
+
+    def step(self) -> bool:
+        """Process one event; False when the schedule is resolved.
+
+        A verbatim port of one iteration of the batch event loop —
+        same event ordering (completion beats fault beats
+        arrival/re-queue at equal times), same horizon and
+        starvation-break semantics — so a session stepped to
+        completion is bit-identical to the batch engine.
+        """
+        if self.done:
+            self._finished = True
+            return False
+        inf = float("inf")
+        self.events += 1
+        t_arr = (
+            self.arrivals[self.next_arrival][0]
+            if self.next_arrival < len(self.arrivals) else inf
+        )
+        t_req = self.requeues[0][0] if self.requeues else inf
+        t_fin = self.running[0][0] if self.running else inf
+        t_fault = self.next_fault if self.fault_injector is not None else inf
+        t_work = min(t_arr, t_req, t_fin)
+        if t_work == inf:
+            # only fault events (or nothing) remain: the policy is
+            # refusing to start the leftover queue — no progress
+            self._finished = True
+            return False
+        t_next = min(t_work, t_fault)
+        if self.horizon is not None and t_next > self.horizon:
+            self.t = self.horizon
+            self._finished = True
+            return False
+        self.t = t = t_next
+        if t_fin <= t_next and self.running:
+            finish, _, job, start = heapq.heappop(self.running)
+            self.completed += 1
+            self.busy_time += finish - start
+            self.useful_time += job.service
+            if self.admission is not None:
+                self.admission.record_success(t)
+        elif t_fault <= t_next and self.fault_injector is not None:
+            self.next_fault = self.fault_injector.next_fault_after(t)
+            if self.running:
+                victim = self.fault_injector.pick_victim(len(self.running))
+                _, job_id, job, start = self.running.pop(victim)
+                heapq.heapify(self.running)
+                self.failures += 1
+                lost = t - start
+                self.busy_time += lost
+                self.wasted_time += lost
+                if self.admission is not None:
+                    self.admission.record_failure(t)
+                attempt = self.attempts.get(job_id, 0) + 1
+                self.attempts[job_id] = attempt
+                delay = (
+                    0.0 if self.retry_policy is None
+                    else self.retry_policy.requeue_delay(attempt)
+                )
+                if delay is None:
+                    self.dropped += 1
+                else:
+                    self.retries += 1
+                    self.requeue_seq += 1
+                    heapq.heappush(self.requeues, (
+                        t + delay, self.requeue_seq,
+                        replace(job, arrival=t + delay),
+                    ))
+        else:
+            while (
+                self.next_arrival < len(self.arrivals)
+                and self.arrivals[self.next_arrival][0] <= t
+            ):
+                self._enqueue(self.arrivals[self.next_arrival][2], t)
+                self.next_arrival += 1
+            while self.requeues and self.requeues[0][0] <= t:
+                self._enqueue(heapq.heappop(self.requeues)[2], t)
+        self._start_ready(t)
+        self.queue_series.append((t, len(self.queue)))
+        return True
+
+    def run_to_completion(self) -> SimResult:
+        while self.step():
+            pass
+        return self.result()
+
+    def result(self) -> SimResult:
+        """The :class:`SimResult` for the work processed so far."""
+        makespan = self.t
+        busy = self.busy_time
+        for finish, _, job, start in self.running:
+            busy += max(0.0, min(finish, makespan) - start)
+        capacity = self.n_gpus * makespan
+        util = busy / capacity if makespan > 0 else 0.0
+        goodput = self.useful_time / capacity if makespan > 0 else 0.0
+        if self.done and not self._metrics_emitted:
+            self._metrics_emitted = True
+            _metrics.counter("sched.runs").add()
+            _metrics.counter("sched.events_processed").add(self.events)
+            _metrics.counter("sched.jobs_started").add(self.started)
+            _metrics.counter("sched.jobs_completed").add(self.completed)
+            if self.failures:
+                _metrics.counter("sched.faults_injected").add(self.failures)
+            if self.shed:
+                _metrics.counter("sched.jobs_shed").add(self.shed)
+        return SimResult(
+            makespan=makespan,
+            utilization=min(util, 1.0),
+            mean_wait=float(np.mean(self.waits)) if self.waits else 0.0,
+            max_wait=float(np.max(self.waits)) if self.waits else 0.0,
+            mean_turnaround=(
+                float(np.mean(self.turnarounds)) if self.turnarounds
+                else 0.0
+            ),
+            completed=self.completed,
+            started=self.started,
+            in_flight=len(self.running),
+            failures=self.failures,
+            retries=self.retries,
+            dropped=self.dropped,
+            shed=self.shed,
+            wasted_time=self.wasted_time,
+            goodput=min(goodput, 1.0),
+            queue_series=list(self.queue_series),
+        )
+
+    # -- checkpoint protocol -------------------------------------------
+
+    def checkpoint_state(self) -> Dict:
+        """Snapshot everything the event loop reads: heaps, queue,
+        clocks, accounting, and the injector/admission streams.  Jobs
+        are frozen dataclasses, so shallow container copies are full
+        snapshots, and the whole dict is picklable for the durable
+        layer."""
+        return {
+            "next_arrival": self.next_arrival,
+            "requeues": list(self.requeues),
+            "requeue_seq": self.requeue_seq,
+            "running": list(self.running),
+            "waits": list(self.waits),
+            "turnarounds": list(self.turnarounds),
+            "busy_time": self.busy_time,
+            "useful_time": self.useful_time,
+            "wasted_time": self.wasted_time,
+            "t": self.t,
+            "queue_series": list(self.queue_series),
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "shed": self.shed,
+            "failures": self.failures,
+            "retries": self.retries,
+            "started": self.started,
+            "attempts": dict(self.attempts),
+            "events": self.events,
+            "next_fault": self.next_fault,
+            "finished": self._finished,
+            "queue": self.queue.checkpoint_state(),
+            "injector": (
+                None if self.fault_injector is None
+                else self.fault_injector.checkpoint_state()
+            ),
+            "admission": (
+                None if self.admission is None
+                else self.admission.checkpoint_state()
+            ),
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self.next_arrival = state["next_arrival"]
+        self.requeues = list(state["requeues"])
+        self.requeue_seq = state["requeue_seq"]
+        self.running = list(state["running"])
+        self.waits = list(state["waits"])
+        self.turnarounds = list(state["turnarounds"])
+        self.busy_time = state["busy_time"]
+        self.useful_time = state["useful_time"]
+        self.wasted_time = state["wasted_time"]
+        self.t = state["t"]
+        self.queue_series = list(state["queue_series"])
+        self.completed = state["completed"]
+        self.dropped = state["dropped"]
+        self.shed = state["shed"]
+        self.failures = state["failures"]
+        self.retries = state["retries"]
+        self.started = state["started"]
+        self.attempts = dict(state["attempts"])
+        self.events = state["events"]
+        self.next_fault = state["next_fault"]
+        self._finished = state["finished"]
+        self.queue.restore_state(state["queue"])
+        if self.fault_injector is not None and state["injector"] is not None:
+            self.fault_injector.restore_state(state["injector"])
+        if self.admission is not None and state["admission"] is not None:
+            self.admission.restore_state(state["admission"])
+
 
 class ClusterSimulator:
     """Simulate *jobs* on ``n_gpus`` GPUs under *policy*.
@@ -244,17 +606,31 @@ class ClusterSimulator:
         self.n_gpus = n_gpus
 
     def _make_queue(self, policy, engine: str):
-        if engine not in ("auto", "fast", "reference"):
-            raise ValueError(f"unknown engine {engine!r}")
-        factory = getattr(policy, "fast_queue", None)
-        if engine == "reference" or (engine == "auto" and factory is None):
-            return _ReferenceQueue(policy)
-        if factory is None:
-            raise ValueError(
-                f"policy {type(policy).__name__} has no fast queue; "
-                "use engine='reference'"
-            )
-        return factory(self.n_gpus)
+        return _build_queue(policy, engine, self.n_gpus)
+
+    def session(
+        self,
+        jobs: Sequence[Job],
+        policy,
+        horizon: Optional[float] = None,
+        fault_injector=None,
+        retry_policy=None,
+        engine: str = "auto",
+        admission=None,
+    ) -> SimulatorSession:
+        """A stepwise, checkpointable run of the same event loop.
+
+        Same inputs and bit-identical results as :meth:`run`, but
+        advanced one event at a time with full
+        ``checkpoint_state``/``restore_state`` support — the entry
+        point the durable layer uses to SIGKILL and resume a
+        schedule mid-flight.
+        """
+        return SimulatorSession(
+            self.n_gpus, jobs, policy, horizon=horizon,
+            fault_injector=fault_injector, retry_policy=retry_policy,
+            engine=engine, admission=admission,
+        )
 
     def run(
         self,
