@@ -64,6 +64,23 @@ def _timed(fn: Callable[[], object]) -> Tuple[object, float]:
     return out, time.perf_counter() - t0
 
 
+def _timed_best(fn: Callable[[], object], n: int) -> Tuple[object, float]:
+    """Best-of-*n* wall time (and the last result).
+
+    Scheduling and allocator noise is strictly additive, so the
+    fastest sample is the closest estimate of the true cost.  Used on
+    BOTH sides of a comparison — a best-of-N fast path against a
+    single-sample reference flatters the speedup by however much
+    noise the one reference sample happened to absorb.
+    """
+    best = float("inf")
+    out = None
+    for _ in range(n):
+        out, t = _timed(fn)
+        best = min(best, t)
+    return out, best
+
+
 def _case(name: str, wall_s: float, ref_wall_s: Optional[float] = None,
           modeled_s: Optional[float] = None, check: str = "ok") -> Dict:
     rec = {
@@ -105,10 +122,12 @@ def case_gauss_seidel(smoke: bool) -> Dict:
     b = rng.standard_normal(n)
     x0 = np.zeros(n)
 
-    ref, t_ref = _timed(lambda: gauss_seidel(a, b, x0, sweeps=sweeps))
+    ref, t_ref = _timed_best(
+        lambda: gauss_seidel(a, b, x0, sweeps=sweeps), 3
+    )
     gauss_seidel_multicolor(a, b, x0, sweeps=1)  # build/cache the coloring
-    fast, t_fast = _timed(
-        lambda: gauss_seidel_multicolor(a, b, x0, sweeps=sweeps)
+    fast, t_fast = _timed_best(
+        lambda: gauss_seidel_multicolor(a, b, x0, sweeps=sweeps), 3
     )
     r_ref = float(np.linalg.norm(b - a.tocsr() @ ref))
     r_fast = float(np.linalg.norm(b - a.tocsr() @ fast))
@@ -141,8 +160,8 @@ def case_md_neighbor(smoke: bool) -> Dict:
     system = _md_setup(smoke)
     ref_nl = NeighborList(cutoff=2.5, skin=0.3, method="reference")
     fast_nl = NeighborList(cutoff=2.5, skin=0.3, method="fast")
-    _, t_ref = _timed(lambda: ref_nl.build(system))
-    _, t_fast = _timed(lambda: fast_nl.build(system))
+    _, t_ref = _timed_best(lambda: ref_nl.build(system), 3)
+    _, t_fast = _timed_best(lambda: fast_nl.build(system), 3)
     ref_pairs = set(zip(np.minimum(ref_nl.pairs_i, ref_nl.pairs_j).tolist(),
                         np.maximum(ref_nl.pairs_i, ref_nl.pairs_j).tolist()))
     fast_pairs = set(zip(np.minimum(fast_nl.pairs_i, fast_nl.pairs_j).tolist(),
@@ -169,13 +188,21 @@ def case_md_forces(smoke: bool) -> Dict:
             out = proc.compute(system, nl.pairs_i, nl.pairs_j, method=method)
         return out
 
-    (f_ref, e_ref, _), t_ref = _timed(lambda: run("reference"))
-    (f_fast, e_fast, _), t_fast = _timed(lambda: run("fast"))
-    ok = np.allclose(f_ref, f_fast, atol=1e-9) and np.isclose(e_ref, e_fast)
-    return _case(
+    (f_ref, e_ref, _), t_ref = _timed_best(lambda: run("reference"), 3)
+    (f_fast, e_fast, _), t_fast = _timed_best(lambda: run("fused"), 3)
+    (f_bc, e_bc, _), t_bincount = _timed_best(lambda: run("fast"), 3)
+    ok = (
+        np.allclose(f_ref, f_fast, atol=1e-9) and np.isclose(e_ref, e_fast)
+        and np.allclose(f_ref, f_bc, atol=1e-9) and np.isclose(e_ref, e_bc)
+    )
+    case = _case(
         "md_forces", t_fast, t_ref, None,
         "ok" if ok else "forces differ",
     )
+    # the pre-fusion fast path rides along so the fused kernel's win
+    # over plain bincount scatter stays visible in the report
+    case["bincount_wall_s"] = round(t_bincount, 6)
+    return case
 
 
 def case_sched_events(smoke: bool) -> Dict:
@@ -233,7 +260,7 @@ def case_trace_pricing(smoke: bool) -> Dict:
     machine = get_machine("sierra")
     ref_model = RooflineModel(machine, memo_size=0)
     fast_model = RooflineModel(machine)
-    rep_ref, t_ref = _timed(lambda: ref_model.run_on_gpu(plain))
+    rep_ref, t_ref = _timed_best(lambda: ref_model.run_on_gpu(plain), 3)
     # the fast pricing is microseconds; average it for a stable wall
     reps = 100
 
@@ -265,7 +292,7 @@ def case_jit_warm_start(smoke: bool) -> Dict:
         + [f"    acc = acc * $A + $B + {i}" for i in range(30)]
         + ["    return acc"]
     )
-    tmp = tempfile.mkdtemp(prefix="bench-jit-")
+    tmps: List[str] = []
     try:
         def compile_all(cache: JitCache) -> float:
             total = 0.0
@@ -276,8 +303,17 @@ def case_jit_warm_start(smoke: bool) -> Dict:
                 total += k(1.0)
             return total
 
-        cold = JitCache(persist_dir=tmp)
-        v_cold, t_cold = _timed(lambda: compile_all(cold))
+        # each cold sample gets its own empty persist dir (a reused
+        # dir would turn samples 2-3 into warm starts); best-of-3 on
+        # the cold side mirrors the warm side's statistic
+        t_cold = float("inf")
+        v_cold = None
+        for _ in range(3):
+            tmp = tempfile.mkdtemp(prefix="bench-jit-")
+            tmps.append(tmp)
+            cold = JitCache(persist_dir=tmp)
+            v_cold, t = _timed(lambda: compile_all(cold))
+            t_cold = min(t_cold, t)
         # each fresh cache instance is a genuine warm start (in-memory
         # cache empty, disk populated); best-of-3 keeps this ~1 ms
         # sample from being poisoned by a scheduling hiccup
@@ -285,7 +321,7 @@ def case_jit_warm_start(smoke: bool) -> Dict:
         v_warm = None
         ok = True
         for _ in range(3):
-            warm = JitCache(persist_dir=tmp)
+            warm = JitCache(persist_dir=tmps[-1])
             v_warm, t = _timed(lambda: compile_all(warm))
             t_warm = min(t_warm, t)
             ok = ok and warm.disk_hits == n_kernels
@@ -296,7 +332,8 @@ def case_jit_warm_start(smoke: bool) -> Dict:
             f"disk hits {warm.disk_hits}/{n_kernels}",
         )
     finally:
-        shutil.rmtree(tmp, ignore_errors=True)
+        for tmp in tmps:
+            shutil.rmtree(tmp, ignore_errors=True)
 
 
 def case_guard_overhead(smoke: bool) -> Dict:
@@ -632,6 +669,101 @@ def case_durability_overhead(smoke: bool) -> Dict:
     return case
 
 
+def _sleep_task(args):
+    """One sub-millisecond fan-out unit: a modeled service wait plus a
+    deterministic value so result lists are comparable bit-for-bit."""
+    idx, delay = args
+    time.sleep(delay)
+    return idx * 3 + 1
+
+
+def case_fine_grain_fanout(smoke: bool) -> Dict:
+    """Work stealing vs static chunking on a skewed fine-grained fan-out.
+
+    ~1000 sub-millisecond tasks with a heavy cluster at the *front* of
+    the item list — the adversarial shape for static chunking, which
+    hands the whole cluster to whichever worker draws the first chunk
+    and leaves the rest idle.  The steal backend splits the cluster on
+    demand.  Gates: steal-thread:4 speedup over serial above the bar
+    AND static thread:4 below it on the same items (if static chunking
+    also clears the bar, the case is not measuring stealing), plus
+    bit-exact result lists across all three backends.
+    """
+    from repro.par import map_fanout
+
+    n = 300 if smoke else 1000
+    n_heavy = 12 if smoke else 30
+    heavy = 0.010 if smoke else 0.014
+    light = 0.0003
+    steal_min = 2.0 if smoke else 2.5
+    static_max = 2.2 if smoke else 2.0
+    items = [(i, heavy if i < n_heavy else light) for i in range(n)]
+
+    serial, t_serial = _timed_best(
+        lambda: map_fanout(_sleep_task, items, backend="serial"), 2
+    )
+    map_fanout(_sleep_task, items[:8], backend="thread:4")  # warm pool
+    static, t_static = _timed_best(
+        lambda: map_fanout(_sleep_task, items, backend="thread:4"), 2
+    )
+    steal, t_steal = _timed_best(
+        lambda: map_fanout(_sleep_task, items, backend="steal-thread:4"), 2
+    )
+    static_speedup = t_serial / t_static
+    steal_speedup = t_serial / t_steal
+    if static != serial or steal != serial:
+        check = "backend results differ"
+    elif steal_speedup < steal_min:
+        check = (f"steal speedup {steal_speedup:.2f}x < {steal_min}x "
+                 "at 4 workers")
+    elif static_speedup >= static_max:
+        check = (f"static chunking already {static_speedup:.2f}x >= "
+                 f"{static_max}x; skew too weak to measure stealing")
+    else:
+        check = "ok"
+    case = _case("fine_grain_fanout", t_steal, t_serial, None, check)
+    case["static_wall_s"] = round(t_static, 6)
+    case["static_speedup"] = round(static_speedup, 2)
+    case["steal_speedup"] = round(steal_speedup, 2)
+    return case
+
+
+def case_scaling_curve(smoke: bool) -> Dict:
+    """steal-thread strong-scaling curve at 1/2/4 workers.
+
+    Uniform latency-bound tasks, so ideal scaling is achievable on any
+    host and the curve measures scheduler overhead (deque contention,
+    steal traffic, assembly) rather than core count.  Gate: parallel
+    efficiency at 4 workers ``t1 / (4 * t4)`` >= 0.75, with all worker
+    counts returning bit-identical results.
+    """
+    from repro.par import map_fanout
+
+    n = 32 if smoke else 64
+    delay = 0.002 if smoke else 0.003
+    items = [(i, delay) for i in range(n)]
+
+    walls: Dict[int, float] = {}
+    results = {}
+    for w in (1, 2, 4):
+        results[w], walls[w] = _timed_best(
+            lambda: map_fanout(_sleep_task, items,
+                               backend=f"steal-thread:{w}"), 2
+        )
+    eff4 = walls[1] / (4 * walls[4])
+    if not (results[1] == results[2] == results[4]):
+        check = "results differ across worker counts"
+    elif eff4 < 0.75:
+        check = f"efficiency at 4 workers {eff4:.2f} < 0.75"
+    else:
+        check = "ok"
+    case = _case("scaling_curve", walls[4], walls[1], None, check)
+    case["wall_by_workers"] = {str(w): round(t, 6)
+                               for w, t in walls.items()}
+    case["efficiency_4"] = round(eff4, 3)
+    return case
+
+
 CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("gauss_seidel", case_gauss_seidel),
     ("md_neighbor", case_md_neighbor),
@@ -641,6 +773,8 @@ CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("jit_warm_start", case_jit_warm_start),
     ("guard_overhead", case_guard_overhead),
     ("par_fanout", case_par_fanout),
+    ("fine_grain_fanout", case_fine_grain_fanout),
+    ("scaling_curve", case_scaling_curve),
     ("durability_overhead", case_durability_overhead),
 ]
 

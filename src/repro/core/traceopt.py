@@ -21,14 +21,27 @@ Two passes are available, both order-preserving:
   launches) groups via :meth:`KernelTrace.compacted`.  Compaction
   never changes modeled time (pricing is linear in launches); it makes
   pricing a 10^5-launch trace cost ~unique-specs.
+
+The fuse pass normally refuses to merge kernels from different
+efficiency classes — ``fused`` takes the min of each efficiency, so a
+blind merge can *slow the model down*.  With ``cross_class=True`` and
+a target machine, the optimizer instead prices both alternatives on
+the machine's roofline and fuses exactly when the modeled time (launch
+overhead included) goes down: small launch-bound kernels fuse across
+the class boundary (the ddcMD bonded/angle scatters into the nonbonded
+accumulation — the fused-force path `md/potentials.py` implements for
+real), while big compute-bound kernels of mismatched efficiency stay
+separate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.core.kernels import KernelSpec, KernelTrace
+from repro.core.machine import Machine, get_machine
+from repro.core.roofline import RooflineModel
 
 
 #: Longest chain of kernels merged into one fused kernel.  Unbounded
@@ -64,8 +77,12 @@ class TraceOptStats:
     launches_out: int = 0
     #: kernels absorbed by the fusion pass
     fused_away: int = 0
+    #: of those, merges across efficiency classes (profitability-priced)
+    cross_fused: int = 0
     #: intermediate store+load bytes removed by fusion
     bytes_saved: float = 0.0
+    #: modeled GPU seconds removed by cross-class fusion decisions
+    modeled_saved_s: float = 0.0
 
     @property
     def launches_saved(self) -> int:
@@ -80,14 +97,52 @@ class TraceOptimizer:
     """
 
     def __init__(self, fuse: bool = True, compact: bool = True,
-                 max_chain: int = MAX_FUSE_CHAIN):
+                 max_chain: int = MAX_FUSE_CHAIN,
+                 cross_class: bool = False,
+                 machine: Union[None, str, Machine] = None):
         if max_chain < 1:
             raise ValueError("max_chain must be >= 1")
         self.fuse = fuse
         self.compact = compact
         self.max_chain = max_chain
+        self.cross_class = cross_class
+        self._model: Optional[RooflineModel] = None
+        if cross_class:
+            if machine is None:
+                raise ValueError(
+                    "cross_class fusion needs a machine to price "
+                    "profitability on"
+                )
+            if isinstance(machine, str):
+                machine = get_machine(machine)
+            if machine.gpu is None:
+                raise ValueError(
+                    f"{machine.name} has no GPU; cross-class fusion "
+                    "prices the GPU roofline"
+                )
+            self._model = RooflineModel(machine)
 
     # -- passes ----------------------------------------------------------
+
+    def _cross_fusion(self, a: KernelSpec,
+                      b: KernelSpec) -> Optional[Tuple[KernelSpec, float]]:
+        """The fused spec and modeled seconds saved, if profitable.
+
+        The fused kernel inherits the *min* of each efficiency, so the
+        merge trades launch overhead and intermediate traffic against
+        a possibly slower compute/bandwidth term; the roofline decides
+        which side wins on this machine.
+        """
+        if a.launches != b.launches or a.precision != b.precision:
+            return None
+        model = self._model
+        fused = a.fused(b)
+        t_fused = model.gpu_kernel_time(fused) + model.gpu_launch_time(fused)
+        t_split = (model.gpu_kernel_time(a) + model.gpu_launch_time(a)
+                   + model.gpu_kernel_time(b) + model.gpu_launch_time(b))
+        if t_fused >= t_split:
+            return None
+        return fused, t_split - t_fused
 
     def _fuse_pass(self, kernels: List[KernelSpec],
                    stats: TraceOptStats) -> List[KernelSpec]:
@@ -98,11 +153,22 @@ class TraceOptimizer:
             if acc is None:
                 acc, chain = k, 1
                 continue
-            if chain < self.max_chain and fusible(acc, k):
-                before = acc.bytes_total + k.bytes_total
-                acc = acc.fused(k)
+            merged: Optional[KernelSpec] = None
+            if chain < self.max_chain:
+                if fusible(acc, k):
+                    merged = acc.fused(k)
+                elif self.cross_class:
+                    cross = self._cross_fusion(acc, k)
+                    if cross is not None:
+                        merged, saved_s = cross
+                        stats.cross_fused += 1
+                        stats.modeled_saved_s += saved_s
+            if merged is not None:
                 stats.fused_away += 1
-                stats.bytes_saved += before - acc.bytes_total
+                stats.bytes_saved += (
+                    acc.bytes_total + k.bytes_total - merged.bytes_total
+                )
+                acc = merged
                 chain += 1
             else:
                 out.append(acc)

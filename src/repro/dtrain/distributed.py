@@ -36,7 +36,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.dtrain.nn import MLP
-from repro.par import Backend, SharedArray, get_backend, map_fanout
+from repro.par import Backend, ShmStage, get_backend, map_fanout
 from repro.util.rng import make_rng, spawn_rngs
 
 
@@ -58,13 +58,13 @@ def _rebuild_mlp(blueprint: Tuple[int, int, Tuple[int, ...]]) -> MLP:
 
 def _kavg_local_round(args):
     """One learner's K local SGD steps (pure: params in, params out)."""
-    blueprint, params, idx, k_steps, lr, batch_size, rng_state, sx, sy = args
+    blueprint, sp, idx, k_steps, lr, batch_size, rng_state, sx, sy = args
     x = sx.asarray()
     y = sy.asarray()
     rng = np.random.default_rng()
     rng.bit_generator.state = rng_state
     model = _rebuild_mlp(blueprint)
-    p = params.copy()
+    p = sp.asarray().copy()
     for _ in range(k_steps):
         batch = idx[rng.integers(0, idx.size, batch_size)]
         model.set_params(p)
@@ -74,10 +74,14 @@ def _kavg_local_round(args):
 
 
 def _asgd_gradient(args):
-    """One (possibly stale) gradient: pure function of params + batch."""
-    blueprint, params, idx, sx, sy = args
+    """One (possibly stale) gradient: pure function of params + batch.
+
+    The block's stale parameter versions arrive stacked in one shared
+    segment; each task reads its own row (zero-copy view).
+    """
+    blueprint, sp, row, idx, sx, sy = args
     model = _rebuild_mlp(blueprint)
-    model.set_params(params)
+    model.set_params(sp.asarray()[row])
     x = sx.asarray()
     y = sy.asarray()
     return model.gradient(x[idx], y[idx])
@@ -199,29 +203,33 @@ class AsgdServer:
         """
         n = x.shape[0]
         blueprint = _mlp_blueprint(self.model)
-        sx = SharedArray.share(x, be.kind)
-        sy = SharedArray.share(y, be.kind)
         losses: List[float] = []
         keep = self.staleness + 2
         done = 0
-        try:
+        with ShmStage(be.kind) as stage:
+            sx = stage.share(x)
+            sy = stage.share(y)
             while done < n_updates:
                 block = min(self.staleness, n_updates - done)
                 # parent-side draws, serial order: backend-independent
                 batches = [rng.integers(0, n, batch_size)
                            for _ in range(block)]
-                stale_params = [
+                stale_params = np.stack([
                     self._versions[
                         max(0, len(self._versions) - 1 - self.staleness + b)
                     ]
                     for b in range(block)
-                ]
-                grads = map_fanout(
-                    _asgd_gradient,
-                    [(blueprint, stale_params[b], batches[b], sx, sy)
-                     for b in range(block)],
-                    backend=be,
-                )
+                ])
+                # one segment per block for the weight exchange, not
+                # one pickled vector per task
+                with ShmStage(be.kind) as block_stage:
+                    sp = block_stage.share(stale_params)
+                    grads = map_fanout(
+                        _asgd_gradient,
+                        [(blueprint, sp, b, batches[b], sx, sy)
+                         for b in range(block)],
+                        backend=be,
+                    )
                 for loss, grad in grads:
                     new = self._versions[-1] - self.lr * grad
                     self._versions.append(new)
@@ -229,9 +237,6 @@ class AsgdServer:
                         self._versions = self._versions[-keep:]
                     losses.append(loss)
                 done += block
-        finally:
-            sx.unlink()
-            sy.unlink()
         self.model.set_params(self._versions[-1])
         return losses
 
@@ -272,27 +277,28 @@ def kavg_train(
     history: List[float] = []
     be = get_backend(backend)
     blueprint = _mlp_blueprint(model)
-    sx = SharedArray.share(x, be.kind)
-    sy = SharedArray.share(y, be.kind)
-    try:
+    with ShmStage(be.kind) as stage:
+        sx = stage.share(x)
+        sy = stage.share(y)
         for _ in range(rounds):
-            outs = map_fanout(
-                _kavg_local_round,
-                [
-                    (blueprint, params, shard[l], k_steps, lr, batch_size,
-                     rngs[l].bit_generator.state, sx, sy)
-                    for l in range(n_learners)
-                ],
-                backend=be,
-            )
+            # the round's weight exchange: the global model crosses to
+            # every learner through one shared segment
+            with ShmStage(be.kind) as round_stage:
+                sp = round_stage.share(params)
+                outs = map_fanout(
+                    _kavg_local_round,
+                    [
+                        (blueprint, sp, shard[l], k_steps, lr, batch_size,
+                         rngs[l].bit_generator.state, sx, sy)
+                        for l in range(n_learners)
+                    ],
+                    backend=be,
+                )
             for l, (_, state) in enumerate(outs):
                 rngs[l].bit_generator.state = state
             params = np.mean([p for p, _ in outs], axis=0)
             model.set_params(params)
             history.append(model.loss(x, y))
-    finally:
-        sx.unlink()
-        sy.unlink()
     return history
 
 

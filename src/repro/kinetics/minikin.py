@@ -34,7 +34,7 @@ from repro.kinetics.ratematrix import (
     steady_state_populations,
 )
 from repro.kinetics.rates import rate_kernel_flops
-from repro.par import Backend, SharedArray, get_backend, map_fanout
+from repro.par import Backend, SharedArray, ShmStage, get_backend, map_fanout
 
 #: frequency bins in the opacity workspace (drives per-zone memory)
 N_FREQ_BINS = 7000
@@ -89,12 +89,12 @@ def _solve_zone_task(args):
     return steady_state_populations(r, solver=solver)
 
 
-def _share_model(model: AtomicModel, backend_kind: str
+def _share_model(model: AtomicModel, stage: ShmStage
                  ) -> Tuple[SharedArray, SharedArray, SharedArray]:
     return (
-        SharedArray.share(model.energies, backend_kind),
-        SharedArray.share(model.degeneracies, backend_kind),
-        SharedArray.share(model.oscillator_strengths, backend_kind),
+        stage.share(model.energies),
+        stage.share(model.degeneracies),
+        stage.share(model.oscillator_strengths),
     )
 
 
@@ -135,18 +135,16 @@ class Minikin:
                 space=MemorySpace.DEVICE, name="zone-workspace",
             )
         be = get_backend(backend)
-        se, sg, sf = _share_model(self.model, be.kind)
         try:
-            pops = map_fanout(
-                _solve_zone_task,
-                [(self.model.name, se, sg, sf, z.t_e, z.n_e, solver, True)
-                 for z in zones],
-                backend=be,
-            )
+            with ShmStage(be.kind) as stage:
+                se, sg, sf = _share_model(self.model, stage)
+                pops = map_fanout(
+                    _solve_zone_task,
+                    [(self.model.name, se, sg, sf, z.t_e, z.n_e, solver,
+                      True) for z in zones],
+                    backend=be,
+                )
         finally:
-            se.unlink()
-            sg.unlink()
-            sf.unlink()
             if workspace is not None:
                 workspace.free()
         return np.stack(pops)

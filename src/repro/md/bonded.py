@@ -10,11 +10,27 @@ post-marshaling layout.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.md.particles import ParticleSystem
+
+
+def _scatter(forces: np.ndarray, n: int, idx: np.ndarray,
+             fvec: np.ndarray, sign: float = 1.0) -> None:
+    """Accumulate per-term force vectors with a bincount scatter.
+
+    The contiguous weighted-histogram scatter the pair processor uses;
+    ``np.add.at`` on the same indices computes the same sums in a
+    different fp order but is ~5x slower for these term counts.
+    """
+    for d in range(3):
+        w = np.bincount(idx, weights=fvec[:, d], minlength=n)
+        if sign < 0:
+            forces[:, d] -= w
+        else:
+            forces[:, d] += w
 
 
 @dataclass
@@ -40,8 +56,16 @@ class BondTerm:
     def n_bonds(self) -> int:
         return self.i.shape[0]
 
-    def compute(self, system: ParticleSystem) -> Tuple[np.ndarray, float]:
-        """(forces, energy)."""
+    def compute(self, system: ParticleSystem,
+                out: Optional[np.ndarray] = None
+                ) -> Tuple[np.ndarray, float]:
+        """(forces, energy).
+
+        With ``out`` given, forces are accumulated *into* it (fused
+        accumulation: the caller's per-step force buffer takes the
+        scatter directly, skipping the zeros + add round trip) and
+        ``out`` is returned.
+        """
         dx = system.box.minimum_image(
             system.x[self.i].astype(np.float64)
             - system.x[self.j].astype(np.float64)
@@ -51,9 +75,11 @@ class BondTerm:
         energy = float(0.5 * self.k * (stretch * stretch).sum())
         fmag = -self.k * stretch / np.maximum(r, 1e-300)
         fvec = fmag[:, None] * dx
-        forces = np.zeros((system.n, 3))
-        np.add.at(forces, self.i, fvec)
-        np.add.at(forces, self.j, -fvec)
+        forces = np.zeros((system.n, 3)) if out is None else out
+        _scatter(forces, system.n, self.i, fvec)
+        _scatter(forces, system.n, self.j, fvec, sign=-1.0)
+        if out is not None:
+            return out, energy
         return forces.astype(system.dtype), energy
 
 
@@ -82,7 +108,9 @@ class AngleTerm:
     def n_angles(self) -> int:
         return self.i.shape[0]
 
-    def compute(self, system: ParticleSystem) -> Tuple[np.ndarray, float]:
+    def compute(self, system: ParticleSystem,
+                out: Optional[np.ndarray] = None
+                ) -> Tuple[np.ndarray, float]:
         x = system.x.astype(np.float64)
         box = system.box
         a = box.minimum_image(x[self.i] - x[self.j])
@@ -101,8 +129,10 @@ class AngleTerm:
         fi = -coeff * da
         fk = -coeff * db
         fj = -(fi + fk)
-        forces = np.zeros((system.n, 3))
-        np.add.at(forces, self.i, fi)
-        np.add.at(forces, self.j, fj)
-        np.add.at(forces, self.k_idx, fk)
+        forces = np.zeros((system.n, 3)) if out is None else out
+        _scatter(forces, system.n, self.i, fi)
+        _scatter(forces, system.n, self.j, fj)
+        _scatter(forces, system.n, self.k_idx, fk)
+        if out is not None:
+            return out, energy
         return forces.astype(system.dtype), energy

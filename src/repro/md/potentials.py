@@ -57,6 +57,26 @@ class LennardJones:
         f_over_r = 24.0 * self.epsilon * (2.0 * s12 - s6) / r2
         return e, f_over_r
 
+    def energy_force_into(self, r2: np.ndarray, e: np.ndarray,
+                          f: np.ndarray, tmp: np.ndarray) -> None:
+        """Allocation-free twin of :meth:`energy_force`.
+
+        Writes per-pair energy into *e* and ``f_over_r`` into *f*
+        using *tmp* as scratch; every per-pair value is bit-identical
+        to the allocating path (same operation order), so the fused
+        kernel inherits the validation contract for free.
+        """
+        np.divide(self.sigma * self.sigma, r2, out=tmp)   # s2
+        np.multiply(tmp, tmp, out=f)
+        np.multiply(f, tmp, out=f)                        # s6
+        np.multiply(f, f, out=e)                          # s12
+        np.subtract(e, f, out=tmp)                        # s12 - s6
+        np.multiply(e, 2.0, out=e)
+        np.subtract(e, f, out=f)                          # 2 s12 - s6
+        np.multiply(f, 24.0 * self.epsilon, out=f)
+        np.divide(f, r2, out=f)
+        np.multiply(tmp, 4.0 * self.epsilon, out=e)
+
 
 @dataclass(frozen=True)
 class Exp6:
@@ -123,21 +143,75 @@ class MartiniLJ:
         return e_shifted, f_over_r_shifted
 
 
+def _pair_block_task(args):
+    """Worker: fused evaluation of one contiguous pair-list block.
+
+    Receives positions and index arrays as :class:`SharedArray`
+    handles (zero-copy attach under process backends) plus the
+    ``[lo, hi)`` block bounds; rebuilding the particle system from the
+    shared positions is bit-exact because ``PeriodicBox.wrap`` is
+    idempotent on already-wrapped coordinates.
+    """
+    pot, lengths, sx, spi, spj, lo, hi = args
+    from repro.md.particles import ParticleSystem, PeriodicBox
+
+    x = sx.asarray()
+    pairs_i = np.ascontiguousarray(spi.asarray()[lo:hi])
+    pairs_j = np.ascontiguousarray(spj.asarray()[lo:hi])
+    system = ParticleSystem(x, PeriodicBox(lengths))
+    proc = PairProcessor(pot)
+    forces, energy, virial = proc._compute_fused(system, pairs_i, pairs_j)
+    return forces.copy(), energy, virial
+
+
+class _FusedWorkspace:
+    """Preallocated pair-length scratch reused across force evals.
+
+    The fused kernel's whole point is that between two calls on the
+    same (reused) neighbor list, nothing is allocated: geometry,
+    potential math, masking and the virial all run through these
+    buffers, and the scatter writes into the same ``forces`` array.
+    """
+
+    __slots__ = ("m", "n", "dx", "r2", "tmp", "e", "f", "mask", "forces")
+
+    def __init__(self, m: int, n: int):
+        self.m = m
+        self.n = n
+        self.dx = np.empty((3, m))
+        self.r2 = np.empty(m)
+        self.tmp = np.empty(m)
+        self.e = np.empty(m)
+        self.f = np.empty(m)
+        self.mask = np.empty(m)
+        self.forces = np.empty((n, 3))
+
+
 class PairProcessor:
     """Evaluate any pair potential over a neighbor list.
 
     ``potential`` may be one object (all pairs identical) or a dict
     keyed by sorted type pairs ``(ti, tj)`` for mixed systems.
 
-    Force accumulation has two paths: ``method="fast"`` (default)
-    scatters per-pair forces with ``np.bincount`` — one contiguous
-    weighted histogram per component, the vectorized analog of the
-    paper's contiguous-neighbor-list GPU accumulation — while
-    ``method="reference"`` keeps the original ``np.add.at`` scatter.
-    Both compute the same sums; only fp summation order differs.
+    Force accumulation has three paths.  ``method="fused"`` (default,
+    single-potential systems) runs one cross-kernel pipeline — gather,
+    minimum image, potential math, cutoff mask, energy/virial
+    reductions and the bincount scatter — entirely in preallocated
+    per-pair workspaces with the cutoff applied as a 0/1 multiply, so
+    a neighbor-list-reuse step does no gather-by-fancy-index copies
+    and no allocation.  ``method="fast"`` scatters per-pair forces
+    with ``np.bincount`` — one contiguous weighted histogram per
+    component, the vectorized analog of the paper's
+    contiguous-neighbor-list GPU accumulation — and is what ``fused``
+    falls back to for type-pair tables (per-group gathers are the
+    right shape there).  ``method="reference"`` keeps the original
+    ``np.add.at`` scatter.  All paths compute the same sums; only fp
+    summation order differs (and per-pair LJ terms in the fused path
+    are bit-identical to the reference formula).
     """
 
     def __init__(self, potential, max_cutoff: Optional[float] = None):
+        self._ws: Optional[_FusedWorkspace] = None
         if isinstance(potential, dict):
             if not potential:
                 raise ValueError("empty potential table")
@@ -153,20 +227,173 @@ class PairProcessor:
         if max_cutoff is not None:
             self.cutoff = max_cutoff
 
+    def _fused_workspace(self, m: int, n: int) -> _FusedWorkspace:
+        if self._ws is None or self._ws.m != m or self._ws.n != n:
+            self._ws = _FusedWorkspace(m, n)
+        return self._ws
+
+    def _compute_fused(
+        self,
+        system: ParticleSystem,
+        pairs_i: np.ndarray,
+        pairs_j: np.ndarray,
+    ) -> Tuple[np.ndarray, float, float]:
+        """One fused pass over the pair list, zero allocations.
+
+        Component-major geometry (``(3, m)`` workspaces) replaces the
+        ``(m, 3)`` fancy-index gathers of the unfused paths: each
+        component is a contiguous 1-D ``take`` / subtract / round
+        chain, the cutoff is a 0/1 float multiply instead of an index
+        selection, and the per-component scatter reuses the same
+        ``bincount`` indices for every call on a reused neighbor list.
+        """
+        pot = self.single
+        x = system.x.astype(np.float64, copy=False)
+        n = system.n
+        m = int(pairs_i.size)
+        ws = self._fused_workspace(m, n)
+        forces = ws.forces
+        forces.fill(0.0)
+        energy = 0.0
+        virial = 0.0
+        if m:
+            box = system.box.array
+            xt = np.ascontiguousarray(x.T)
+            dx, r2, tmp = ws.dx, ws.r2, ws.tmp
+            r2.fill(0.0)
+            for d in range(3):
+                dxd = dx[d]
+                np.take(xt[d], pairs_i, out=dxd)
+                np.take(xt[d], pairs_j, out=tmp)
+                np.subtract(dxd, tmp, out=dxd)
+                np.divide(dxd, box[d], out=tmp)
+                np.round(tmp, out=tmp)
+                np.multiply(tmp, box[d], out=tmp)
+                np.subtract(dxd, tmp, out=dxd)
+                np.multiply(dxd, dxd, out=tmp)
+                np.add(r2, tmp, out=r2)
+            e, f = ws.e, ws.f
+            if hasattr(pot, "energy_force_into"):
+                pot.energy_force_into(r2, e, f, tmp)
+            else:
+                ev, fv = pot.energy_force(r2)
+                e[...] = ev
+                f[...] = fv
+            np.less_equal(r2, pot.cutoff * pot.cutoff, out=ws.mask)
+            np.multiply(e, ws.mask, out=e)
+            np.multiply(f, ws.mask, out=f)
+            energy = float(e.sum())
+            np.multiply(f, r2, out=tmp)
+            virial = float(tmp.sum())
+            for d in range(3):
+                np.multiply(f, dx[d], out=tmp)
+                forces[:, d] += np.bincount(pairs_i, weights=tmp,
+                                            minlength=n)
+                forces[:, d] -= np.bincount(pairs_j, weights=tmp,
+                                            minlength=n)
+        return forces, energy, virial
+
+    def compute_fanout(
+        self,
+        system: ParticleSystem,
+        pairs_i: np.ndarray,
+        pairs_j: np.ndarray,
+        backend=None,
+        blocks: Optional[int] = None,
+    ) -> Tuple[np.ndarray, float, float]:
+        """Fan the fused pair kernel out over a ``repro.par`` backend.
+
+        Positions and the neighbor-list index arrays are staged once
+        as shared-memory segments (zero-copy attach under process
+        backends); each worker evaluates one contiguous block of the
+        pair list and the per-block partial forces/energy/virial are
+        combined in fixed block order — deterministic for a given
+        block count regardless of backend kind, worker count, or
+        steal timing.  Type-pair tables and serial/single-worker
+        backends fall through to :meth:`compute`.
+        """
+        from repro.par import ShmStage, get_backend, map_fanout
+
+        be = get_backend(backend)
+        m = int(pairs_i.size)
+        nb = int(blocks) if blocks else 4 * be.workers
+        nb = min(nb, max(1, m))
+        if (self.table is not None or be.kind == "serial"
+                or be.workers <= 1 or nb <= 1):
+            return self.compute(system, pairs_i, pairs_j)
+        bounds = np.linspace(0, m, nb + 1).astype(np.int64)
+        pot = self.single
+        lengths = tuple(float(l) for l in system.box.lengths)
+        x64 = np.ascontiguousarray(system.x.astype(np.float64, copy=False))
+        with ShmStage(be.kind) as stage:
+            sx = stage.share(x64)
+            spi = stage.share(np.ascontiguousarray(pairs_i, dtype=np.int64))
+            spj = stage.share(np.ascontiguousarray(pairs_j, dtype=np.int64))
+            payloads = [
+                (pot, lengths, sx, spi, spj,
+                 int(bounds[b]), int(bounds[b + 1]))
+                for b in range(nb)
+                if bounds[b + 1] > bounds[b]
+            ]
+            parts = map_fanout(_pair_block_task, payloads, backend=be)
+        forces = np.zeros((system.n, 3))
+        energy = 0.0
+        virial = 0.0
+        for fpart, e, w in parts:
+            forces += fpart
+            energy += e
+            virial += w
+        _metrics.counter("md.forces.evals").add()
+        _metrics.counter("md.forces.fanout").add()
+        if _validate.validation_enabled():
+            f_ref, e_ref, w_ref = self.compute(
+                system, pairs_i, pairs_j, method="reference"
+            )
+            _validate.check_allclose(
+                "md.forces", forces.astype(system.dtype), f_ref,
+                rtol=1e-9, atol=1e-9,
+            )
+            _validate.check_allclose(
+                "md.forces.energy", [energy, virial], [e_ref, w_ref],
+                rtol=1e-9, atol=1e-9,
+            )
+        return forces.astype(system.dtype), energy, virial
+
     def compute(
         self,
         system: ParticleSystem,
         pairs_i: np.ndarray,
         pairs_j: np.ndarray,
-        method: str = "fast",
+        method: str = "fused",
     ) -> Tuple[np.ndarray, float, float]:
         """Returns (forces (n,3), potential energy, virial).
 
         Virial convention: W = sum over pairs of r . F; pressure is
         then ``(2 K + W) / (3 V)``.
         """
-        if method not in ("fast", "reference"):
+        if method not in ("fused", "fast", "reference"):
             raise ValueError(f"unknown accumulation method {method!r}")
+        if method == "fused" and self.table is not None:
+            method = "fast"
+        if method == "fused":
+            forces, energy, virial = self._compute_fused(
+                system, pairs_i, pairs_j
+            )
+            _metrics.counter("md.forces.evals").add()
+            _metrics.counter("md.forces.fused").add()
+            if _validate.validation_enabled():
+                f_ref, e_ref, w_ref = self.compute(
+                    system, pairs_i, pairs_j, method="reference"
+                )
+                _validate.check_allclose(
+                    "md.forces", forces.astype(system.dtype), f_ref,
+                    rtol=1e-9, atol=1e-9,
+                )
+                _validate.check_allclose(
+                    "md.forces.energy", [energy, virial], [e_ref, w_ref],
+                    rtol=1e-9, atol=1e-9,
+                )
+            return forces.astype(system.dtype), energy, virial
         x = system.x.astype(np.float64, copy=False)
         dx = system.box.minimum_image(x[pairs_i] - x[pairs_j])
         r2 = (dx * dx).sum(axis=1)

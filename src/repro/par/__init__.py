@@ -5,16 +5,20 @@ The paper's premise is a heterogeneous, massively parallel machine
 this repo — KAVG/ASGD learner rounds, the three-stream ensemble, MuMMI
 per-cycle micro evaluation, minikin zone sweeps, the bench case runner
 — is an embarrassingly parallel fan-out.  ``repro.par`` gives them one
-engine with three interchangeable backends (``serial`` / ``thread`` /
-``process``, selected per call or via ``REPRO_PAR``), under a hard
+engine with interchangeable backends (``serial`` / ``thread`` /
+``process`` plus the work-stealing ``steal-thread`` / ``steal-process``
+variants, selected per call or via ``REPRO_PAR``), under a hard
 determinism contract: *for pure task functions, every backend returns
-bit-identical results* (see DESIGN.md §12).
+bit-identical results* (see DESIGN.md §12 and §14).
 
 Public surface:
 
 - :func:`map_fanout` — ordered, chunked map over items.
 - :func:`run_ensemble` — heterogeneous :class:`Task` fan-out.
-- :class:`SharedArray` — shared-memory transport for large operands.
+- :class:`SharedArray` — shared-memory transport for large operands,
+  refcounted; :class:`ShmStage` scopes a staging handshake to one
+  fan-out and :func:`live_segments` / :func:`sweep_leaked_segments`
+  expose the leak detector that runs on pool shutdown.
 - :func:`get_backend` / :class:`Backend` — spec resolution
   (``"process:4"``, env default, worker counts).
 - :class:`WorkerTaskError` / :class:`WorkerCrashError` /
@@ -52,7 +56,13 @@ from repro.par.errors import (
     WorkerCrashError,
     WorkerTaskError,
 )
-from repro.par.shm import SharedArray
+from repro.par.shm import (
+    SharedArray,
+    ShmStage,
+    live_segments,
+    sweep_leaked_segments,
+)
+from repro.par.steal import STEAL_KINDS, StealScheduler
 from repro.par.supervisor import Supervisor
 
 __all__ = [
@@ -61,15 +71,20 @@ __all__ = [
     "PROPAGATED_ENV",
     "ParError",
     "PoisonTaskError",
+    "STEAL_KINDS",
     "SharedArray",
+    "ShmStage",
+    "StealScheduler",
     "Supervisor",
     "Task",
     "WorkerCrashError",
     "WorkerTaskError",
     "backend_from_env",
     "get_backend",
+    "live_segments",
     "map_fanout",
     "parse_backend_spec",
     "run_ensemble",
     "shutdown_pools",
+    "sweep_leaked_segments",
 ]

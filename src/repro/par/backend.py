@@ -1,6 +1,7 @@
-"""Pluggable execution backends: ``serial`` / ``thread`` / ``process``.
+"""Pluggable execution backends: ``serial`` / ``thread`` / ``process``
+plus the work-stealing ``steal-thread`` / ``steal-process`` variants.
 
-One fan-out API, three engines:
+One fan-out API, five engines:
 
 - **serial** — an inline loop in the caller's process.  The reference
   semantics; its overhead over a bare ``for`` loop is one function
@@ -15,6 +16,13 @@ One fan-out API, three engines:
   :class:`~repro.par.shm.SharedArray` segments, and each chunk ships
   back its counter/gauge deltas and trace spans, which the parent
   merges into the process-wide registries on join.
+- **steal-thread / steal-process** — work-stealing variants for
+  fine-grained or skewed task sets (:mod:`repro.par.steal`).  Instead
+  of static pre-chunking, a parent-side scheduler holds per-worker
+  deques of index ranges; owners nibble small chunks off the front of
+  their own deque and idle workers steal half of the largest victim's
+  remaining range from the back, splitting down to a minimum grain.
+  Same determinism/obs/error contract as the static backends.
 
 Backend selection: an explicit ``backend=`` argument wins, otherwise
 the ``REPRO_PAR`` environment variable (``serial`` when unset).  Both
@@ -61,7 +69,7 @@ PROPAGATED_ENV = (
     "REPRO_JIT_CACHE_DIR",
 )
 
-KINDS = ("serial", "thread", "process")
+KINDS = ("serial", "thread", "process", "steal-thread", "steal-process")
 
 #: trace records buffered per worker chunk before the oldest drop
 WORKER_TRACE_CAPACITY = 65536
@@ -251,7 +259,7 @@ def _merge_obs(counters, gauges, spans) -> None:
 # cached pools
 # ---------------------------------------------------------------------------
 
-_POOLS: Dict[Tuple[str, int], Any] = {}
+_POOLS: Dict[Tuple[str, int, str], Any] = {}
 _POOLS_LOCK = threading.Lock()
 
 
@@ -260,8 +268,32 @@ def _worker_bootstrap() -> None:
     os.environ[BACKEND_ENV] = "serial"
 
 
+def _mp_context():
+    """The multiprocessing context process pools are built on."""
+    try:
+        import multiprocessing as mp
+
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return None
+
+
+def _pool_key(kind: str, workers: int) -> Tuple[str, int, str]:
+    """Cache key: (kind, workers, mp context name).
+
+    The context name matters: a pool forked under one start method
+    must not be reused if the preferred context changes (e.g. a test
+    monkeypatching to spawn), or chunk payloads pickled for one
+    context land on workers bootstrapped under another.
+    """
+    if kind == "thread":
+        return (kind, workers, "")
+    ctx = _mp_context()
+    return (kind, workers, getattr(ctx, "_name", None) or "default")
+
+
 def _get_pool(kind: str, workers: int):
-    key = (kind, workers)
+    key = _pool_key(kind, workers)
     with _POOLS_LOCK:
         pool = _POOLS.get(key)
         if pool is None:
@@ -271,15 +303,9 @@ def _get_pool(kind: str, workers: int):
                     thread_name_prefix="repro-par",
                 )
             else:
-                try:
-                    import multiprocessing as mp
-
-                    ctx = mp.get_context("fork")
-                except ValueError:  # pragma: no cover - non-fork platforms
-                    ctx = None
                 pool = ProcessPoolExecutor(
                     max_workers=workers,
-                    mp_context=ctx,
+                    mp_context=_mp_context(),
                     initializer=_worker_bootstrap,
                 )
             _POOLS[key] = pool
@@ -288,18 +314,26 @@ def _get_pool(kind: str, workers: int):
 
 def _drop_pool(kind: str, workers: int) -> None:
     with _POOLS_LOCK:
-        pool = _POOLS.pop((kind, workers), None)
+        pool = _POOLS.pop(_pool_key(kind, workers), None)
     if pool is not None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
 def shutdown_pools() -> None:
-    """Shut down every cached executor (tests, interpreter exit)."""
+    """Shut down every cached executor (tests, interpreter exit).
+
+    Also sweeps the shared-memory registry: any segment still owned
+    once the pools are gone has no worker left to consume it and is
+    reported (and reclaimed) as a leak.
+    """
     with _POOLS_LOCK:
         pools = list(_POOLS.values())
         _POOLS.clear()
     for pool in pools:
         pool.shutdown(wait=False, cancel_futures=True)
+    from repro.par import shm as _shm
+
+    _shm.sweep_leaked_segments(warn=True)
 
 
 atexit.register(shutdown_pools)
@@ -403,6 +437,16 @@ def map_fanout(
     deadline_at = _deadline_at(deadline)
     if be.kind == "serial":
         return _unwrap(_run_items(fn, items, 0, deadline_at), "serial")
+
+    if be.kind.startswith("steal-"):
+        from repro.par.steal import steal_fanout
+
+        # chunk_size doubles as the minimum steal grain: ranges are
+        # split on steal, but never below this many items
+        return steal_fanout(
+            fn, items, be, deadline_at=deadline_at,
+            capture_obs=capture_obs, min_grain=chunk_size,
+        )
 
     chunk = _chunk_bounds(len(items), be.workers, chunk_size)
     starts = list(range(0, len(items), chunk))

@@ -9,13 +9,25 @@ worker maps the same physical pages read-only-by-convention.
 
 For the serial and thread backends the class degrades to a plain
 by-reference wrapper (same process, same address space — there is
-nothing to transport), so call sites can use one code path for all
-three backends:
+nothing to transport), so call sites can use one code path for every
+backend.  The staging handshake used by the hot paths (minikin zone
+solves, KAVG/ASGD weight exchange, MuMMI candidate eval, md pair
+forces) is the :class:`ShmStage` context manager:
 
->>> sx = SharedArray.share(x, backend_kind)    # parent, once
->>> ... map_fanout(fn, [(sx, ...) for ...])    # handle in payloads
->>> x = sx.asarray()                           # worker, zero-copy
->>> sx.unlink()                                # parent, when done
+>>> with ShmStage(backend.kind) as stage:
+...     sx = stage.share(x)                    # parent, once
+...     out = map_fanout(fn, [(sx, i) for i in parts], backend=backend)
+... # segments released here, even if the fan-out raised
+
+Lifecycle is refcounted on the owner side: every segment is tracked
+in a module registry; :meth:`SharedArray.close` drops one reference
+and the segment is unlinked when the count reaches zero
+(:meth:`SharedArray.addref` takes an extra one when a segment feeds
+two overlapping fan-outs).  ``close`` is idempotent, ``asarray`` after
+close raises, attaching to an already-released segment raises a clean
+:class:`~repro.par.errors.ParError`, and whatever is still registered
+when the cached pools shut down is reported — and reclaimed — by
+:func:`sweep_leaked_segments` as a leak.
 
 The contract is read-only: workers must not write through
 :meth:`asarray` views (the segment is shared; a write would race the
@@ -24,7 +36,9 @@ other workers and break the serial/process bit-exactness contract).
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+import threading
+import warnings
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +46,12 @@ try:  # stdlib since 3.8; guarded for exotic minimal builds
     from multiprocessing import shared_memory as _shm
 except ImportError:  # pragma: no cover - always present on CPython
     _shm = None
+
+from repro.par.errors import ParError
+
+#: backend kinds whose workers live in other processes (and therefore
+#: need a real shared segment rather than a by-reference wrapper)
+PROCESS_KINDS = ("process", "steal-process")
 
 
 def _fork_available() -> bool:
@@ -67,30 +87,98 @@ def _unregister_tracker(name: str) -> None:
         pass
 
 
+class _OwnedSegment:
+    """Registry record for one parent-owned segment."""
+
+    __slots__ = ("segment", "refs")
+
+    def __init__(self, segment: Any):
+        self.segment = segment
+        self.refs = 1
+
+
+_REGISTRY: Dict[str, _OwnedSegment] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def live_segments() -> Tuple[str, ...]:
+    """Names of segments this process still owns (leak detector probe)."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def sweep_leaked_segments(warn: bool = False) -> List[str]:
+    """Force-release every still-owned segment; returns their names.
+
+    Called on pool shutdown (and from tests): a segment still in the
+    registry at that point has no consumer left and is a leak — some
+    staging path exited without closing.  The sweep reclaims the OS
+    resources so a leak can't outlive the interpreter, and optionally
+    warns so the offending path gets fixed rather than papered over.
+    """
+    with _REGISTRY_LOCK:
+        leaked = dict(_REGISTRY)
+        _REGISTRY.clear()
+    for name, owned in leaked.items():
+        try:
+            owned.segment.close()
+            owned.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+    names = sorted(leaked)
+    if names and warn:
+        warnings.warn(
+            f"repro.par.shm: swept {len(names)} leaked shared-memory "
+            f"segment(s): {', '.join(names)}",
+            ResourceWarning, stacklevel=2,
+        )
+    return names
+
+
+def _release_owned(name: str) -> None:
+    """Drop one owner reference; unlink the segment at zero."""
+    with _REGISTRY_LOCK:
+        owned = _REGISTRY.get(name)
+        if owned is None:
+            return
+        owned.refs -= 1
+        if owned.refs > 0:
+            return
+        del _REGISTRY[name]
+    owned.segment.close()
+    try:
+        owned.segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
 class SharedArray:
-    """Picklable handle to an ndarray for cross-process fan-out."""
+    """Picklable, refcounted handle to an ndarray for process fan-out."""
 
     def __init__(self, array: np.ndarray,
                  segment: Optional[Any] = None, owner: bool = False):
         self._array = array
         self._segment = segment
         self._owner = owner
+        self._closed = False
 
     @classmethod
     def share(cls, array: np.ndarray, backend_kind: str = "process"
               ) -> "SharedArray":
         """Wrap *array* for transport under *backend_kind*.
 
-        Only the process backend pays for a shared segment (plus one
-        copy into it); serial and thread backends share the caller's
-        array by reference.
+        Only the process-based backends pay for a shared segment (plus
+        one copy into it); serial and thread backends share the
+        caller's array by reference.
         """
         array = np.asarray(array)
-        if backend_kind != "process" or _shm is None:
+        if backend_kind not in PROCESS_KINDS or _shm is None:
             return cls(array)
         seg = _shm.SharedMemory(create=True, size=max(1, array.nbytes))
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
         view[...] = array
+        with _REGISTRY_LOCK:
+            _REGISTRY[seg.name] = _OwnedSegment(seg)
         return cls(view, segment=seg, owner=True)
 
     @property
@@ -101,27 +189,71 @@ class SharedArray:
     def dtype(self) -> np.dtype:
         return self._array.dtype
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def asarray(self) -> np.ndarray:
         """The wrapped array (zero-copy in every backend)."""
+        if self._closed:
+            raise ParError(
+                "SharedArray is closed; the segment may already be "
+                "unlinked — stage a fresh handle instead"
+            )
         return self._array
 
-    def unlink(self) -> None:
-        """Release the shared segment (parent side, once, when done)."""
+    def addref(self) -> "SharedArray":
+        """A fresh owner handle on the same segment (close it too).
+
+        Lets one staged segment feed two overlapping fan-outs: each
+        scope closes its own handle and the segment is unlinked when
+        the last one goes.
+        """
+        if self._closed:
+            raise ParError("cannot addref a closed SharedArray")
+        if not (self._owner and self._segment is not None):
+            return SharedArray(self._array)
+        with _REGISTRY_LOCK:
+            owned = _REGISTRY.get(self._segment.name)
+            if owned is None:
+                raise ParError(
+                    "SharedArray segment already released from the "
+                    "registry; cannot addref"
+                )
+            owned.refs += 1
+        return SharedArray(self._array, segment=self._segment, owner=True)
+
+    def close(self) -> None:
+        """Release this handle (idempotent).
+
+        Owner side: drops one registry reference; the segment is
+        unlinked when the last reference goes.  Worker side: detaches
+        the local mapping.  After close, :meth:`asarray` raises.
+        """
+        if self._closed:
+            return
+        self._closed = True
         seg, self._segment = self._segment, None
+        self._array = None
         if seg is None:
             return
-        # drop the buffer view before closing the mapping
-        self._array = np.array(self._array, copy=True)
-        seg.close()
         if self._owner:
+            _release_owned(seg.name)
+        else:
             try:
-                seg.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
+                seg.close()
+            except BufferError:  # pragma: no cover - live views in worker
                 pass
+
+    # backwards-compatible spelling used by the original call sites;
+    # identical to close() under the refcounted lifecycle
+    unlink = close
 
     # -- pickling: segment-backed arrays travel as handles -------------
 
     def __getstate__(self):
+        if self._closed:
+            raise ParError("cannot pickle a closed SharedArray")
         if self._segment is not None:
             return ("handle", self._segment.name, self._array.shape,
                     self._array.dtype.str)
@@ -132,7 +264,57 @@ class SharedArray:
             self.__init__(state[1])
             return
         _, name, shape, dtype = state
-        seg = _shm.SharedMemory(name=name)
+        try:
+            seg = _shm.SharedMemory(name=name)
+        except FileNotFoundError:
+            raise ParError(
+                f"cannot attach SharedArray segment {name!r}: it was "
+                "already closed/unlinked by its owner (stage handles "
+                "must outlive the fan-out that consumes them)"
+            ) from None
         _unregister_tracker(name)
         array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
         self.__init__(array, segment=seg, owner=False)
+
+
+class ShmStage:
+    """Staging scope: share arrays for one fan-out, release on exit.
+
+    Guarantees release even when the fan-out raises (worker exception,
+    crash, deadline) — the classic leak path is a ``share`` followed
+    by an exception before the matching ``unlink``.  Reusable pattern
+    for every shm hot path; cheap no-op for in-process backends.
+    """
+
+    def __init__(self, backend_kind: str = "process"):
+        self.backend_kind = backend_kind
+        self._handles: List[SharedArray] = []
+        self._closed = False
+
+    def share(self, array: np.ndarray) -> SharedArray:
+        if self._closed:
+            raise ParError("ShmStage is closed")
+        handle = SharedArray.share(array, self.backend_kind)
+        self._handles.append(handle)
+        return handle
+
+    def adopt(self, handle: SharedArray) -> SharedArray:
+        """Tie an existing handle's release to this stage's exit."""
+        if self._closed:
+            raise ParError("ShmStage is closed")
+        self._handles.append(handle)
+        return handle
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        handles, self._handles = self._handles, []
+        for handle in reversed(handles):
+            handle.close()
+
+    def __enter__(self) -> "ShmStage":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -55,7 +55,7 @@ def _supervised_worker(worker_id, fn, task_q, result_q, heartbeat):
 
     os.environ[BACKEND_ENV] = "serial"  # never nest pools
     while True:
-        heartbeat.value = time.time()
+        heartbeat.value = time.monotonic()
         try:
             msg = task_q.get(timeout=_WORKER_POLL)
         except _queue.Empty:
@@ -63,7 +63,7 @@ def _supervised_worker(worker_id, fn, task_q, result_q, heartbeat):
         if msg is None:
             break
         index, item = msg
-        heartbeat.value = time.time()  # task start: hang clock begins
+        heartbeat.value = time.monotonic()  # task start: hang clock begins
         try:
             out = (worker_id, index, True, fn(item))
         except BaseException as exc:
@@ -74,7 +74,7 @@ def _supervised_worker(worker_id, fn, task_q, result_q, heartbeat):
                 _traceback.format_exc(),
             ))
         result_q.put(out)
-        heartbeat.value = time.time()
+        heartbeat.value = time.monotonic()
 
 
 class _WorkerSlot:
@@ -97,7 +97,12 @@ class Supervisor:
 
     ``heartbeat_timeout`` doubles as the per-task hang limit: a worker
     whose in-flight task outlives it is presumed wedged and killed
-    (the kill counts as a crash against that task index).
+    (the kill counts as a crash against that task index).  All
+    liveness arithmetic runs on ``time.monotonic()`` — on Linux
+    CLOCK_MONOTONIC is shared across processes on a host, so worker
+    heartbeat stamps and the parent's hang clock stay comparable, and
+    an NTP step of the wall clock can neither fake a hang nor mask
+    one.
     """
 
     def __init__(
@@ -161,7 +166,7 @@ class Supervisor:
         if not self._slots:
             self._slots = [_WorkerSlot(i) for i in range(self.workers)]
         for slot in self._slots:
-            if slot.process is None and time.time() >= slot.respawn_at:
+            if slot.process is None and time.monotonic() >= slot.respawn_at:
                 self._spawn(slot)
 
     def _spawn(self, slot: _WorkerSlot) -> None:
@@ -170,7 +175,7 @@ class Supervisor:
         # but never fetched must not reach the replacement (the index
         # is resubmitted through `pending` instead)
         slot.task_q = ctx.Queue()
-        slot.heartbeat = ctx.Value("d", time.time())
+        slot.heartbeat = ctx.Value("d", time.monotonic())
         slot.process = ctx.Process(
             target=_supervised_worker,
             args=(slot.worker_id, self.fn, slot.task_q, self._result_q,
@@ -188,11 +193,11 @@ class Supervisor:
                     slot.task_q.put(None)
                 except Exception:
                     pass
-        deadline = time.time() + 2.0
+        deadline = time.monotonic() + 2.0
         for slot in self._slots:
             if slot.process is None:
                 continue
-            slot.process.join(max(0.0, deadline - time.time()))
+            slot.process.join(max(0.0, deadline - time.monotonic()))
             if slot.process.is_alive():
                 slot.process.kill()
                 slot.process.join()
@@ -258,10 +263,10 @@ class Supervisor:
                     self.journal_skips += 1
                     _metrics.counter("par.supervisor.journal_skips").add()
         pending = deque(i for i in range(n) if i not in results)
-        deadline_at = None if timeout is None else time.time() + timeout
+        deadline_at = None if timeout is None else time.monotonic() + timeout
         try:
             while len(results) + len(quarantined) < n:
-                if deadline_at is not None and time.time() >= deadline_at:
+                if deadline_at is not None and time.monotonic() >= deadline_at:
                     raise TimeoutError(
                         f"supervised fan-out did not finish within "
                         f"{timeout}s ({len(results)}/{n} done)"
@@ -321,7 +326,7 @@ class Supervisor:
 
     def _police(self, pending, results, crash_counts, quarantined,
                 wal) -> None:
-        now = time.time()
+        now = time.monotonic()
         for slot in self._slots:
             if slot.process is None:
                 if now >= slot.respawn_at:

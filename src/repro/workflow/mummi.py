@@ -22,7 +22,7 @@ from repro.core.machine import Machine, get_machine
 from repro.md.gromacs_baseline import modeled_step_times
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
-from repro.par import Backend, get_backend, map_fanout
+from repro.par import Backend, ShmStage, get_backend, map_fanout
 from repro.sched.policies import Fcfs
 from repro.sched.simulator import ClusterSimulator, Job
 from repro.util.rng import make_rng
@@ -35,7 +35,8 @@ def _micro_analysis(args):
     spawned RNG stream, and the fidelity rung's noise scale — so the
     result is identical no matter which backend/worker evaluates it.
     """
-    comp, seq, noise_scale = args
+    sc, idx, seq, noise_scale = args
+    comp = float(sc.asarray()[idx])
     rng = np.random.default_rng(seq)
     return MicroResult(
         composition=comp,
@@ -296,12 +297,17 @@ class MummiCampaign:
         backends; the spawn counter is part of the checkpoint state.
         """
         seqs = self._eval_root.spawn(int(candidates.size))
-        results = map_fanout(
-            _micro_analysis,
-            [(float(comps[int(i)]), seq, noise_scale)
-             for i, seq in zip(candidates, seqs)],
-            backend=get_backend(self.backend),
-        )
+        be = get_backend(self.backend)
+        # the macro composition snapshot crosses to the workers once
+        # as a shared segment; each candidate reads its own element
+        with ShmStage(be.kind) as stage:
+            sc = stage.share(np.ascontiguousarray(comps, dtype=np.float64))
+            results = map_fanout(
+                _micro_analysis,
+                [(sc, int(i), seq, noise_scale)
+                 for i, seq in zip(candidates, seqs)],
+                backend=be,
+            )
         for result in results:
             self.explored.append(result.composition)
             self.results.append(result)

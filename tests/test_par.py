@@ -35,7 +35,10 @@ from repro.par import (
     run_ensemble,
 )
 
-BACKENDS = ["serial", "thread:2", "process:2"]
+BACKENDS = ["serial", "thread:2", "process:2",
+            "steal-thread:2", "steal-process:2"]
+#: every parallel engine — the bit-exactness lists for call sites
+PAR_BACKENDS = BACKENDS[1:]
 
 
 # -- top-level task fns (process backend pickles them by qualname) --------
@@ -86,6 +89,13 @@ def _slow(x):
 def _shared_sum(args):
     sx, scale = args
     return float(sx.asarray().sum()) * scale
+
+
+def _shared_boom(args):
+    sx, i = args
+    if i == 2:
+        raise ValueError("mid-fanout failure with staged arrays live")
+    return float(sx.asarray().sum()) * i
 
 
 def _mul(a, b, offset=0):
@@ -272,12 +282,59 @@ class TestSharedArray:
         finally:
             sa.unlink()
 
-    def test_unlink_keeps_data_and_is_idempotent(self):
+    def test_close_is_idempotent_and_fences_asarray(self):
+        from repro.par.errors import ParError
+
         x = np.arange(8.0)
         sa = SharedArray.share(x, "process")
         sa.unlink()
         sa.unlink()
-        assert np.array_equal(sa.asarray(), x)
+        assert sa.closed
+        with pytest.raises(ParError):
+            sa.asarray()
+
+    def test_attach_after_close_raises_typed(self):
+        import pickle
+
+        from repro.par.errors import ParError
+
+        sa = SharedArray.share(np.arange(4.0), "process")
+        blob = pickle.dumps(sa)
+        sa.close()
+        with pytest.raises(ParError):
+            pickle.loads(blob)
+        # and pickling an already-closed handle is refused up front
+        with pytest.raises(ParError):
+            pickle.dumps(sa)
+
+    def test_addref_keeps_segment_alive(self):
+        from repro.par import live_segments
+
+        sa = SharedArray.share(np.arange(4.0), "process")
+        ref = sa.addref()
+        sa.close()
+        assert len(live_segments()) == 1  # ref still holds it
+        assert float(ref.asarray().sum()) == 6.0
+        ref.close()
+        assert live_segments() == ()
+
+    def test_stage_releases_on_worker_exception(self):
+        from repro.par import ShmStage, live_segments
+
+        x = np.arange(12.0)
+        for backend in ("process:2", "steal-process:2"):
+            with pytest.raises(WorkerTaskError):
+                with ShmStage("process") as stage:
+                    sx = stage.share(x)
+                    map_fanout(_shared_boom, [(sx, i) for i in range(6)],
+                               backend=backend)
+            assert live_segments() == ()
+
+    def test_suite_leaves_no_leaked_segments(self):
+        from repro.par import live_segments, sweep_leaked_segments
+
+        assert sweep_leaked_segments() == []
+        assert live_segments() == ()
 
 
 # -- wired call sites: process must be bit-exact vs serial ----------------
@@ -290,7 +347,7 @@ class TestCallSitesBitExact:
         model = make_model("small", seed=3)
         grids = ([60.0, 150.0], [1e20, 3e20, 1e21])
         ref = sweep_conditions(model, *grids, backend="serial")
-        for backend in ("thread:2", "process:2"):
+        for backend in PAR_BACKENDS:
             got = sweep_conditions(model, *grids, backend=backend)
             assert np.array_equal(ref, got)
 
@@ -309,7 +366,7 @@ class TestCallSitesBitExact:
             return hist, model.get_params()
 
         ref_hist, ref_params = run("serial")
-        for backend in ("thread:2", "process:2"):
+        for backend in PAR_BACKENDS:
             hist, params = run(backend)
             assert hist == ref_hist
             assert np.array_equal(params, ref_params)
@@ -329,7 +386,7 @@ class TestCallSitesBitExact:
             return losses, server.params
 
         ref_losses, ref_params = run("serial")
-        for backend in ("thread:2", "process:2"):
+        for backend in PAR_BACKENDS:
             losses, params = run(backend)
             assert losses == ref_losses
             assert np.array_equal(params, ref_params)
@@ -350,7 +407,7 @@ class TestCallSitesBitExact:
             return combine_and_score(data, models, seed=4, backend=backend)
 
         ref = run("serial")
-        for backend in ("thread:2", "process:2"):
+        for backend in PAR_BACKENDS:
             assert run(backend) == ref
 
     def test_mummi_cycle(self):
@@ -364,7 +421,7 @@ class TestCallSitesBitExact:
                     [r.observable for r in camp.results])
 
         ref = run("serial")
-        for backend in ("thread:2", "process:2"):
+        for backend in PAR_BACKENDS:
             got = run(backend)
             assert all(np.array_equal(a, b) for a, b in zip(ref, got))
 
