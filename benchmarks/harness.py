@@ -764,6 +764,93 @@ def case_scaling_curve(smoke: bool) -> Dict:
     return case
 
 
+def case_traffic_openloop(smoke: bool) -> Dict:
+    """Open-loop traffic through the guarded scheduler, with replay.
+
+    A Poisson stream at throttled offered load (~0.8) from a simulated
+    user population, with deadlines, admission shedding, a breaker,
+    and FaultInjector chaos all active — the §4.7 regime the traffic
+    layer exists to exercise.  The experiment is recorded to a trace
+    and replayed; gates:
+
+    - **replay**: the replay fingerprint (shed decisions + reasons,
+      ``guard.*`` counter deltas, completion order and times) must be
+      bit-identical to the recorded run;
+    - **latency**: p50/p99 turnaround on the *simulated* clock — a
+      deterministic function of the seeds, so the bands are exact
+      across hosts (p50 under 4x mean service, p99 under 20x);
+    - **shed rate**: nonzero (the guard paths actually ran) and under
+      25% (throttled load must not collapse into mass shedding).
+
+    ``wall_s`` is the recorded run (generation + simulation),
+    ``ref_wall_s`` the replay pass; only these wall clocks are
+    host-dependent.
+    """
+    from repro.traffic import (
+        AdmissionSpec, ChaosSpec, OpenLoopDriver, PoissonArrivals,
+        UserPopulation, record_experiment, replay_experiment,
+    )
+
+    n_jobs = 400 if smoke else 2000
+    # smoke's short stream never builds a backlog on 8 GPUs; a
+    # 4-GPU machine at the same offered load saturates (and sheds)
+    # within 400 jobs
+    n_gpus = 4 if smoke else 8
+    mean_service = 10.0
+    rate = 0.8 * n_gpus / mean_service  # offered load ~0.8
+    process = PoissonArrivals(rate=rate)
+    population = UserPopulation(
+        n_users=50_000, seed=0, mean_service=mean_service,
+        best_effort_fraction=0.3,
+    )
+    driver = OpenLoopDriver(
+        n_gpus=n_gpus,
+        policy="fcfs",
+        admission=AdmissionSpec(
+            max_queue=3 * n_gpus, protect_priority=2,
+            breaker_failure_threshold=3, breaker_recovery_time=40.0,
+        ),
+        chaos=ChaosSpec(mtbf=300.0, seed=1),
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench-traffic-") as root:
+        path = Path(root) / "openloop.trace"
+
+        def record():
+            return record_experiment(path, process, population, driver,
+                                     n_jobs=n_jobs)
+
+        (_, recorded), t_record = _timed(record)
+        (replayed, _), t_replay = _timed(lambda: replay_experiment(path))
+
+    p50 = recorded.p50_turnaround
+    p99 = recorded.p99_turnaround
+    shed_rate = recorded.shed_rate
+    if replayed.fingerprint() != recorded.fingerprint():
+        check = "replay fingerprint diverged from the recorded run"
+    elif recorded.result.failures == 0:
+        check = "chaos never fired; case not exercising fault paths"
+    elif not (0.0 < shed_rate < 0.25):
+        check = f"shed rate {shed_rate:.3f} outside (0, 0.25)"
+    elif p50 > 4.0 * mean_service:
+        check = f"p50 turnaround {p50:.1f} > {4.0 * mean_service}"
+    elif p99 > 20.0 * mean_service:
+        check = f"p99 turnaround {p99:.1f} > {20.0 * mean_service}"
+    else:
+        check = "ok"
+    case = _case("traffic_openloop", t_record, t_replay, None, check)
+    case["p50_turnaround"] = round(p50, 6)
+    case["p99_turnaround"] = round(p99, 6)
+    case["p50_wait"] = round(recorded.p50_wait, 6)
+    case["p99_wait"] = round(recorded.p99_wait, 6)
+    case["shed_rate"] = round(shed_rate, 6)
+    case["shed_reasons"] = sorted(
+        {reason for _, reason in recorded.shed_log}
+    )
+    case["failures"] = recorded.result.failures
+    return case
+
+
 CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("gauss_seidel", case_gauss_seidel),
     ("md_neighbor", case_md_neighbor),
@@ -776,6 +863,7 @@ CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("fine_grain_fanout", case_fine_grain_fanout),
     ("scaling_curve", case_scaling_curve),
     ("durability_overhead", case_durability_overhead),
+    ("traffic_openloop", case_traffic_openloop),
 ]
 
 

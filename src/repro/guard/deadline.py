@@ -8,12 +8,14 @@ should *shed* its least valuable work, not collapse.  Three pieces:
   MuMMI campaign).  It propagates by value through call chains and
   answers ``remaining``/``expired``/``require``.
 - :class:`CircuitBreaker` — the classic closed/open/half-open state
-  machine over a sliding failure count.  Consumers call
-  :meth:`allow` before expensive work and
+  machine over a sliding failure count.  Consumers that will report
+  back call :meth:`try_acquire_probe` before expensive work and
   :meth:`record_success`/:meth:`record_failure` after; an open
   breaker routes callers to their degraded rung (lower-fidelity
   surrogate, shed) until ``recovery_time`` has passed, then admits one
-  probe request (half-open).
+  probe request (half-open).  Pure queries — admission checks,
+  dashboards — use the side-effect-free :meth:`peek`, which can never
+  claim (and strand) the probe.
 - :class:`AdmissionController` — a shed-or-admit decision per job at
   enqueue time: jobs that can no longer meet their deadline, or that
   arrive below the protected priority while the queue is saturated or
@@ -27,7 +29,7 @@ fault injector), and every shed/trip lands in ``guard.*`` counters.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.guard.config import guard_strict
 from repro.guard.errors import CircuitOpenError, DeadlineExceededError
@@ -95,8 +97,33 @@ class CircuitBreaker:
         self.opened_at = 0.0
         self.trips = 0
 
-    def allow(self, now: float) -> bool:
-        """May the caller do the protected (full-fidelity) work?"""
+    def peek(self, now: float) -> bool:
+        """Side-effect-free query: is full-fidelity work flowing?
+
+        True only in the closed state.  An open breaker — even one
+        whose ``recovery_time`` has elapsed — still answers False: the
+        half-open probe slot is reserved for callers that will report
+        back via :meth:`record_success`/:meth:`record_failure`, and a
+        query must never consume it (the pre-split
+        ``AdmissionController.admit`` did exactly that, stranding the
+        breaker half-open with the probe handed to a shed check that
+        reports nothing).  Pure: calling ``peek`` any number of times
+        leaves :meth:`checkpoint_state` bit-identical.
+        """
+        del now  # kept for signature symmetry with try_acquire_probe
+        return self.state == "closed"
+
+    def try_acquire_probe(self, now: float) -> bool:
+        """May the caller do the protected (full-fidelity) work?
+
+        For callers that WILL report the outcome back: a ``True``
+        return from an open-past-recovery breaker claims the single
+        half-open probe, and the breaker stays half-open (everyone
+        else degraded) until the caller's
+        :meth:`record_success`/:meth:`record_failure` resolves it.
+        Pure queries (admission checks, dashboards) must use
+        :meth:`peek` instead.
+        """
         if self.state == "closed":
             return True
         if self.state == "open":
@@ -108,9 +135,13 @@ class CircuitBreaker:
         # stay degraded until record_success/record_failure resolves it
         return False
 
+    #: legacy alias — existing report-back call sites predate the
+    #: peek/acquire split and keep the acquire semantics
+    allow = try_acquire_probe
+
     def require(self, now: float) -> None:
         """Strict-mode gate: raise instead of silently degrading."""
-        if not self.allow(now) and guard_strict():
+        if not self.try_acquire_probe(now) and guard_strict():
             raise CircuitOpenError(
                 f"circuit {self.name!r} open", where=self.name,
                 context={"now": now, "opened_at": self.opened_at},
@@ -184,6 +215,10 @@ class AdmissionController:
         self.backlog_estimate = backlog_estimate
         self.shed_count = 0
         self.admitted = 0
+        #: ``(job_id, reason)`` per shed decision, in decision order —
+        #: the replay-verification surface: two runs of the same event
+        #: sequence must produce identical logs
+        self.shed_log: List[Tuple[Optional[int], str]] = []
 
     def record_failure(self, now: float) -> None:
         if self.breaker is not None:
@@ -193,30 +228,42 @@ class AdmissionController:
         if self.breaker is not None:
             self.breaker.record_success(now)
 
-    def admit(self, job, now: float, queue_len: int, n_running: int,
-              n_gpus: int) -> bool:
-        """Admit *job* into the queue, or shed it (False)."""
-        shed_reason = None
+    def decide(self, job, now: float, queue_len: int, n_running: int,
+               n_gpus: int) -> Optional[str]:
+        """Classify *job*: the shed reason, or ``None`` to admit.
+
+        Pure — no counters, no accounting, and (via
+        :meth:`CircuitBreaker.peek`) no breaker mutation, so a replayed
+        event sequence classifies identically and a query can never
+        strand the breaker's half-open probe.
+        """
         deadline = getattr(job, "deadline", None)
         priority = getattr(job, "priority", 0)
         if deadline is not None:
             if now + job.service > deadline:
-                shed_reason = "deadline_unmeetable"
-            elif self.backlog_estimate and queue_len > 0:
+                return "deadline_unmeetable"
+            if self.backlog_estimate and queue_len > 0:
                 # every queued job ahead of this one occupies ~one
                 # service slot across the n_gpus-wide machine
                 est_wait = (queue_len / max(n_gpus, 1)) * job.service
                 if now + est_wait + job.service > deadline:
-                    shed_reason = "deadline_backlog"
-        if shed_reason is None and priority < self.protect_priority:
+                    return "deadline_backlog"
+        if priority < self.protect_priority:
             if self.max_queue is not None and queue_len >= self.max_queue:
-                shed_reason = "queue_saturated"
-            elif self.breaker is not None and not self.breaker.allow(now):
-                shed_reason = "breaker_open"
+                return "queue_saturated"
+            if self.breaker is not None and not self.breaker.peek(now):
+                return "breaker_open"
+        return None
+
+    def admit(self, job, now: float, queue_len: int, n_running: int,
+              n_gpus: int) -> bool:
+        """Admit *job* into the queue, or shed it (False)."""
+        shed_reason = self.decide(job, now, queue_len, n_running, n_gpus)
         if shed_reason is None:
             self.admitted += 1
             return True
         self.shed_count += 1
+        self.shed_log.append((getattr(job, "job_id", None), shed_reason))
         _metrics.counter("guard.shed").add()
         _metrics.counter(f"guard.shed.{shed_reason}").add()
         return False
@@ -227,6 +274,7 @@ class AdmissionController:
         return {
             "shed_count": self.shed_count,
             "admitted": self.admitted,
+            "shed_log": list(self.shed_log),
             "breaker": (
                 None if self.breaker is None
                 else self.breaker.checkpoint_state()
@@ -236,5 +284,8 @@ class AdmissionController:
     def restore_state(self, state: Dict[str, Any]) -> None:
         self.shed_count = state["shed_count"]
         self.admitted = state["admitted"]
+        self.shed_log = [
+            (j, r) for j, r in state.get("shed_log", [])
+        ]
         if self.breaker is not None and state["breaker"] is not None:
             self.breaker.restore_state(state["breaker"])

@@ -27,7 +27,13 @@ from repro.sched.simulator import (
     SimulatorSession,
 )
 from repro.sched.policies import Fcfs, Sjf, SjfWithQuota
-from repro.sched.workloads import batch_workload, poisson_workload
+from repro.sched.workloads import (
+    batch_workload,
+    draw_services,
+    jobs_from_arrivals,
+    offered_load,
+    poisson_workload,
+)
 
 __all__ = [
     "Job",
@@ -40,5 +46,8 @@ __all__ = [
     "Sjf",
     "SjfWithQuota",
     "batch_workload",
+    "draw_services",
+    "jobs_from_arrivals",
+    "offered_load",
     "poisson_workload",
 ]

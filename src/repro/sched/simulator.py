@@ -88,6 +88,14 @@ class SimResult:
     goodput: float = 0.0
     #: (time, queue length) samples at every event
     queue_series: List[Tuple[float, int]] = field(default_factory=list)
+    #: per-attempt waits, in start order (basis of the percentiles)
+    waits: List[float] = field(default_factory=list)
+    #: per-attempt turnarounds (wait + service), in start order
+    turnarounds: List[float] = field(default_factory=list)
+    #: ``(time, job_id)`` per completion, in completion order — the
+    #: replay-verification surface: two runs of the same event
+    #: sequence must complete the same jobs in the same order
+    completions: List[Tuple[float, int]] = field(default_factory=list)
 
     @property
     def peak_queue(self) -> int:
@@ -96,6 +104,28 @@ class SimResult:
     @property
     def final_queue(self) -> int:
         return self.queue_series[-1][1] if self.queue_series else 0
+
+    @property
+    def completion_order(self) -> List[int]:
+        return [job_id for _, job_id in self.completions]
+
+    @property
+    def shed_rate(self) -> float:
+        """Shed jobs / resolved jobs (completed, dropped, or shed)."""
+        resolved = self.completed + self.dropped + self.shed
+        return self.shed / resolved if resolved else 0.0
+
+    def wait_percentile(self, q: float) -> float:
+        """The *q*-th percentile wait (0 when nothing started)."""
+        if not self.waits:
+            return 0.0
+        return float(np.percentile(self.waits, q))
+
+    def turnaround_percentile(self, q: float) -> float:
+        """The *q*-th percentile turnaround (0 when nothing started)."""
+        if not self.turnarounds:
+            return 0.0
+        return float(np.percentile(self.turnarounds, q))
 
 
 class _ReferenceQueue:
@@ -308,6 +338,7 @@ class SimulatorSession:
     ):
         if n_gpus < 1:
             raise ValueError("need at least one GPU")
+        jobs = list(jobs)  # accept any iterable (arrival streams)
         if not jobs:
             raise ValueError("no jobs to schedule")
         if queue is None:
@@ -335,6 +366,7 @@ class SimulatorSession:
         self.wasted_time = 0.0
         self.t = 0.0
         self.queue_series: List[Tuple[float, int]] = []
+        self.completions: List[Tuple[float, int]] = []
         self.completed = 0
         self.dropped = 0
         self.shed = 0
@@ -425,6 +457,7 @@ class SimulatorSession:
         if t_fin <= t_next and self.running:
             finish, _, job, start = heapq.heappop(self.running)
             self.completed += 1
+            self.completions.append((t, job.job_id))
             self.busy_time += finish - start
             self.useful_time += job.service
             if self.admission is not None:
@@ -512,6 +545,9 @@ class SimulatorSession:
             wasted_time=self.wasted_time,
             goodput=min(goodput, 1.0),
             queue_series=list(self.queue_series),
+            waits=list(self.waits),
+            turnarounds=list(self.turnarounds),
+            completions=list(self.completions),
         )
 
     # -- checkpoint protocol -------------------------------------------
@@ -534,6 +570,7 @@ class SimulatorSession:
             "wasted_time": self.wasted_time,
             "t": self.t,
             "queue_series": list(self.queue_series),
+            "completions": list(self.completions),
             "completed": self.completed,
             "dropped": self.dropped,
             "shed": self.shed,
@@ -567,6 +604,9 @@ class SimulatorSession:
         self.wasted_time = state["wasted_time"]
         self.t = state["t"]
         self.queue_series = list(state["queue_series"])
+        self.completions = [
+            (t, j) for t, j in state.get("completions", [])
+        ]
         self.completed = state["completed"]
         self.dropped = state["dropped"]
         self.shed = state["shed"]
@@ -673,6 +713,7 @@ class ClusterSimulator:
         two :class:`SimResult`\\ s must be bit-identical — the PR 2
         fast-engine contract, enforced at runtime.
         """
+        jobs = list(jobs)  # accept any iterable (arrival streams)
         if not jobs:
             raise ValueError("no jobs to schedule")
         jobs = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
@@ -753,6 +794,7 @@ class ClusterSimulator:
         wasted_time = 0.0
         t = 0.0
         queue_series: List[Tuple[float, int]] = []
+        completions: List[Tuple[float, int]] = []
         completed = 0
         dropped = 0
         shed = 0
@@ -821,6 +863,7 @@ class ClusterSimulator:
             if t_fin <= t_next and running:
                 finish, _, job, start = heapq.heappop(running)
                 completed += 1
+                completions.append((t, job.job_id))
                 busy_time += finish - start
                 useful_time += job.service
                 if admission is not None:
@@ -899,4 +942,7 @@ class ClusterSimulator:
             wasted_time=wasted_time,
             goodput=min(goodput, 1.0),
             queue_series=queue_series,
+            waits=waits,
+            turnarounds=turnarounds,
+            completions=completions,
         )

@@ -1,0 +1,56 @@
+"""Open-loop traffic generation, trace record/replay, and drivers.
+
+The paper's workload is *offered*: thousands of users submit to a
+shared machine whether or not it is keeping up.  This package
+synthesizes that regime — arrival processes
+(:class:`~repro.traffic.arrivals.PoissonArrivals`,
+:class:`~repro.traffic.arrivals.MMPPArrivals`,
+:class:`~repro.traffic.arrivals.DiurnalArrivals`) over a lazily
+materialized :class:`~repro.traffic.population.UserPopulation` — and
+makes every experiment a recorded artifact: a
+:class:`~repro.traffic.trace.TrafficTrace` (JSONL in WAL framing)
+whose header carries the complete generator + driver configuration,
+so any run replays bit-exactly via
+:func:`~repro.traffic.driver.replay_experiment`.
+"""
+
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    process_from_description,
+)
+from repro.traffic.driver import (
+    AdmissionSpec,
+    ChaosSpec,
+    OpenLoopDriver,
+    TrafficReport,
+    drive_campaign,
+    generate_jobs,
+    record_experiment,
+    replay_experiment,
+    verify_replay,
+)
+from repro.traffic.population import UserPopulation, UserProfile
+from repro.traffic.trace import TrafficTrace
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "DiurnalArrivals",
+    "process_from_description",
+    "UserPopulation",
+    "UserProfile",
+    "TrafficTrace",
+    "OpenLoopDriver",
+    "TrafficReport",
+    "AdmissionSpec",
+    "ChaosSpec",
+    "generate_jobs",
+    "record_experiment",
+    "replay_experiment",
+    "verify_replay",
+    "drive_campaign",
+]

@@ -1,0 +1,409 @@
+"""Open-loop traffic driver: offered load against the guard layer.
+
+Everything the repo had before this module was closed-loop: a batch of
+jobs, run to completion, next batch.  Real clusters see *offered*
+load — arrivals keep coming whether or not the machine is keeping up —
+and that is the regime where the paper's throttling recommendation
+(§4.7) and the guard layer's shed/breaker paths actually live.
+
+:class:`OpenLoopDriver` composes the pieces end to end: an arrival
+process + user population (or a recorded :class:`TrafficTrace`) feeds
+the event-driven :class:`~repro.sched.simulator.SimulatorSession`,
+with an :class:`~repro.guard.deadline.AdmissionController` shedding at
+enqueue time and a :class:`~repro.resilience.faults.FaultInjector`
+composable on top for chaos.  Each run produces a
+:class:`TrafficReport` whose :meth:`~TrafficReport.fingerprint` is the
+replay contract: shed decisions and reasons, ``guard.*`` counter
+deltas, and the job completion order, all of which must be
+bit-identical when a recorded trace is replayed.
+
+Experiment configuration is declarative (:class:`ChaosSpec`,
+:class:`AdmissionSpec`) so a trace header carries everything needed to
+rebuild the exact run — :func:`record_experiment` writes it,
+:func:`replay_experiment` rebuilds from the file alone, and
+:func:`verify_replay` runs the replay twice and demands identical
+fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.guard.deadline import AdmissionController, CircuitBreaker
+from repro.obs import metrics as _metrics
+from repro.resilience.faults import FaultInjector
+from repro.sched.policies import Fcfs, Sjf, SjfWithQuota
+from repro.sched.simulator import SimResult, SimulatorSession
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    process_from_description,
+)
+from repro.traffic.population import UserPopulation
+from repro.traffic.trace import TrafficTrace
+
+#: policy registry for trace headers (name -> factory(n_gpus))
+_POLICIES = {
+    "fcfs": lambda n_gpus: Fcfs(),
+    "sjf": lambda n_gpus: Sjf(),
+    "sjf_quota": lambda n_gpus: SjfWithQuota(n_gpus, 0.25),
+}
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Declarative fault-injector configuration (trace-header-able)."""
+
+    mtbf: float
+    seed: int = 0
+
+    def make(self) -> FaultInjector:
+        return FaultInjector(mtbf=self.mtbf, seed=self.seed)
+
+    def describe(self) -> Dict[str, Any]:
+        return {"mtbf": self.mtbf, "seed": self.seed}
+
+    @classmethod
+    def from_description(cls, desc: Dict[str, Any]) -> "ChaosSpec":
+        return cls(mtbf=desc["mtbf"], seed=desc["seed"])
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """Declarative admission-controller + breaker configuration."""
+
+    max_queue: Optional[int] = None
+    protect_priority: int = 0
+    backlog_estimate: bool = True
+    breaker_failure_threshold: Optional[int] = None
+    breaker_recovery_time: float = 1.0
+
+    def make(self) -> AdmissionController:
+        breaker = None
+        if self.breaker_failure_threshold is not None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.breaker_failure_threshold,
+                recovery_time=self.breaker_recovery_time,
+                name="traffic",
+            )
+        return AdmissionController(
+            max_queue=self.max_queue,
+            protect_priority=self.protect_priority,
+            breaker=breaker,
+            backlog_estimate=self.backlog_estimate,
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "max_queue": self.max_queue,
+            "protect_priority": self.protect_priority,
+            "backlog_estimate": self.backlog_estimate,
+            "breaker_failure_threshold": self.breaker_failure_threshold,
+            "breaker_recovery_time": self.breaker_recovery_time,
+        }
+
+    @classmethod
+    def from_description(cls, desc: Dict[str, Any]) -> "AdmissionSpec":
+        return cls(
+            max_queue=desc["max_queue"],
+            protect_priority=desc["protect_priority"],
+            backlog_estimate=desc["backlog_estimate"],
+            breaker_failure_threshold=desc["breaker_failure_threshold"],
+            breaker_recovery_time=desc["breaker_recovery_time"],
+        )
+
+
+@dataclass
+class TrafficReport:
+    """One open-loop run, summarized for gates and replay checks."""
+
+    result: SimResult
+    #: (job_id, reason) per shed decision, in decision order
+    shed_log: List[Tuple[Optional[int], str]] = field(default_factory=list)
+    #: ``guard.*`` counter deltas accumulated during the run
+    guard_counters: Dict[str, float] = field(default_factory=dict)
+    breaker_state: Optional[Dict[str, Any]] = None
+
+    @property
+    def p50_wait(self) -> float:
+        return self.result.wait_percentile(50.0)
+
+    @property
+    def p99_wait(self) -> float:
+        return self.result.wait_percentile(99.0)
+
+    @property
+    def p50_turnaround(self) -> float:
+        return self.result.turnaround_percentile(50.0)
+
+    @property
+    def p99_turnaround(self) -> float:
+        return self.result.turnaround_percentile(99.0)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.result.shed_rate
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """The replay contract: two runs of the same trace under the
+        same specs must produce an identical (bit-exact) fingerprint —
+        same shed decisions and reasons, same ``guard.*`` counters,
+        same completion order and times."""
+        return {
+            "completions": [
+                [t, j] for t, j in self.result.completions
+            ],
+            "shed_log": [[j, r] for j, r in self.shed_log],
+            "guard_counters": dict(self.guard_counters),
+            "breaker_state": (
+                None if self.breaker_state is None
+                else dict(self.breaker_state)
+            ),
+            "makespan": self.result.makespan,
+            "completed": self.result.completed,
+            "shed": self.result.shed,
+            "dropped": self.result.dropped,
+            "failures": self.result.failures,
+            "retries": self.result.retries,
+        }
+
+
+class OpenLoopDriver:
+    """Feed an offered-load job stream through the guarded scheduler.
+
+    Each :meth:`run` builds *fresh* chaos and admission state from the
+    declarative specs, so runs are independent and a replayed trace
+    meets exactly the machine state the recorded run met.
+    """
+
+    def __init__(
+        self,
+        n_gpus: int,
+        policy: str = "fcfs",
+        admission: Optional[AdmissionSpec] = None,
+        chaos: Optional[ChaosSpec] = None,
+        retry_policy=None,
+        horizon: Optional[float] = None,
+        engine: str = "auto",
+    ):
+        if policy not in _POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; one of {sorted(_POLICIES)}"
+            )
+        self.n_gpus = n_gpus
+        self.policy = policy
+        self.admission = admission
+        self.chaos = chaos
+        self.retry_policy = retry_policy
+        self.horizon = horizon
+        self.engine = engine
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "n_gpus": self.n_gpus,
+            "policy": self.policy,
+            "admission": (
+                None if self.admission is None
+                else self.admission.describe()
+            ),
+            "chaos": None if self.chaos is None else self.chaos.describe(),
+            "horizon": self.horizon,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_description(cls, desc: Dict[str, Any]) -> "OpenLoopDriver":
+        return cls(
+            n_gpus=desc["n_gpus"],
+            policy=desc["policy"],
+            admission=(
+                None if desc.get("admission") is None
+                else AdmissionSpec.from_description(desc["admission"])
+            ),
+            chaos=(
+                None if desc.get("chaos") is None
+                else ChaosSpec.from_description(desc["chaos"])
+            ),
+            horizon=desc.get("horizon"),
+            engine=desc.get("engine", "auto"),
+        )
+
+    def run(self, jobs) -> TrafficReport:
+        """Drive *jobs* (any iterable of :class:`Job`) to resolution."""
+        admission = None if self.admission is None else self.admission.make()
+        injector = None if self.chaos is None else self.chaos.make()
+        guard_before = _guard_counter_snapshot()
+        session = SimulatorSession(
+            self.n_gpus, jobs, _POLICIES[self.policy](self.n_gpus),
+            horizon=self.horizon, fault_injector=injector,
+            retry_policy=self.retry_policy, engine=self.engine,
+            admission=admission,
+        )
+        result = session.run_to_completion()
+        guard_after = _guard_counter_snapshot()
+        deltas = {
+            k: guard_after[k] - guard_before.get(k, 0)
+            for k in guard_after
+            if guard_after[k] != guard_before.get(k, 0)
+        }
+        return TrafficReport(
+            result=result,
+            shed_log=[] if admission is None else list(admission.shed_log),
+            guard_counters=deltas,
+            breaker_state=(
+                None if admission is None or admission.breaker is None
+                else admission.breaker.checkpoint_state()
+            ),
+        )
+
+
+def _guard_counter_snapshot() -> Dict[str, float]:
+    from repro.obs import snapshot
+
+    return {
+        k: v for k, v in snapshot()["counters"].items()
+        if k.startswith("guard.")
+    }
+
+
+# ---------------------------------------------------------------------------
+# record / replay experiments
+# ---------------------------------------------------------------------------
+
+
+def generate_jobs(process: ArrivalProcess, population: UserPopulation,
+                  n_jobs: int, arrival_seed: int = 0):
+    """Synthesize *n_jobs* open-loop jobs: process times x population."""
+    arrivals = process.sample(n_jobs, seed=arrival_seed)
+    return population.jobs_for(arrivals)
+
+
+def record_experiment(
+    path: Union[str, Path],
+    process: ArrivalProcess,
+    population: UserPopulation,
+    driver: OpenLoopDriver,
+    n_jobs: int,
+    arrival_seed: int = 0,
+    sync: bool = False,
+) -> Tuple[TrafficTrace, TrafficReport]:
+    """Generate, run, and record one open-loop experiment.
+
+    The trace header carries the full experiment description — arrival
+    process, population, driver (admission + chaos + policy), seeds —
+    so :func:`replay_experiment` needs nothing but the file.
+    """
+    jobs = generate_jobs(process, population, n_jobs,
+                         arrival_seed=arrival_seed)
+    meta = {
+        "process": process.describe(),
+        "population": population.describe(),
+        "driver": driver.describe(),
+        "n_jobs": n_jobs,
+        "arrival_seed": arrival_seed,
+    }
+    trace = TrafficTrace.record(path, jobs, meta=meta, sync=sync)
+    report = driver.run(jobs)
+    _metrics.counter("traffic.experiments_recorded").add()
+    return trace, report
+
+
+def replay_experiment(
+    path: Union[str, Path],
+) -> Tuple[TrafficReport, TrafficTrace]:
+    """Rebuild the driver from the trace header and re-run the jobs."""
+    trace = TrafficTrace.load(path)
+    driver = OpenLoopDriver.from_description(trace.meta["driver"])
+    report = driver.run(trace.jobs)
+    _metrics.counter("traffic.experiments_replayed").add()
+    return report, trace
+
+
+def verify_replay(path: Union[str, Path]) -> TrafficReport:
+    """Replay *path* twice and demand bit-identical fingerprints.
+
+    Also regenerates the job stream from the recorded generator
+    parameters and checks it matches the recorded jobs — the trace is
+    simultaneously a replay input and a cross-check on the generator.
+    Raises ``AssertionError`` on any divergence; returns the replay
+    report on success.
+    """
+    first, trace = replay_experiment(path)
+    second, _ = replay_experiment(path)
+    if first.fingerprint() != second.fingerprint():
+        raise AssertionError(
+            f"{path}: replay diverged from itself — nondeterministic "
+            "driver state leaked between runs"
+        )
+    meta = trace.meta
+    regenerated = generate_jobs(
+        process_from_description(meta["process"]),
+        UserPopulation.from_description(meta["population"]),
+        meta["n_jobs"], arrival_seed=meta["arrival_seed"],
+    )
+    if regenerated != trace.jobs:
+        raise AssertionError(
+            f"{path}: regenerated job stream differs from the recorded "
+            "trace — generator determinism broken"
+        )
+    return first
+
+
+# ---------------------------------------------------------------------------
+# MuMMI coupling: arrival-modulated campaign cycles
+# ---------------------------------------------------------------------------
+
+
+def drive_campaign(
+    campaign,
+    process: ArrivalProcess,
+    n_cycles: int,
+    window: float,
+    arrival_seed: int = 0,
+    min_jobs: int = 1,
+) -> List[Dict[str, float]]:
+    """Drive a :class:`~repro.workflow.mummi.MummiCampaign` open-loop.
+
+    Instead of a fixed ``jobs_per_cycle``, each cycle launches as many
+    micro MD jobs as the arrival process delivered in that cycle's
+    *window* (clamped to ``[min_jobs, n_patches]``) — candidate demand
+    becomes offered load, so bursts pile work onto the cluster
+    simulator and exercise the campaign's breaker/shedding paths the
+    way a tenant pile-up would.  Returns the per-cycle metric dicts,
+    each annotated with the cycle's ``offered_jobs``.
+    """
+    if n_cycles < 1:
+        raise ValueError("n_cycles must be >= 1")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    n_patches = campaign.macro.patch_compositions().size
+    rng = np.random.default_rng(
+        np.random.SeedSequence(arrival_seed, spawn_key=(3,))
+    )
+    # draw generously, then bin into cycle windows
+    horizon = n_cycles * window
+    arrivals: List[float] = []
+    block = max(16, campaign.jobs_per_cycle * n_cycles)
+    while not arrivals or arrivals[-1] < horizon:
+        more = process.times(block, rng)
+        offset = arrivals[-1] if arrivals else 0.0
+        arrivals.extend((offset + t) for t in more.tolist())
+    counts = np.histogram(
+        np.asarray(arrivals), bins=n_cycles, range=(0.0, horizon)
+    )[0]
+    out: List[Dict[str, float]] = []
+    nominal = campaign.jobs_per_cycle
+    try:
+        for c in range(n_cycles):
+            offered = int(min(max(int(counts[c]), min_jobs), n_patches))
+            campaign.jobs_per_cycle = offered
+            metrics = campaign.run_cycle()
+            metrics["offered_jobs"] = float(offered)
+            out.append(metrics)
+    finally:
+        campaign.jobs_per_cycle = nominal
+    _metrics.counter("traffic.campaign_cycles").add(len(out))
+    return out

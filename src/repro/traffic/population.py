@@ -1,0 +1,205 @@
+"""A large simulated user population behind the arrival stream.
+
+The paper's cluster serves many users at once; what matters for the
+guard layer is that jobs are *heterogeneous* — different users bring
+different service demands, priorities, and deadline discipline.  A
+:class:`UserPopulation` models millions of users without materializing
+any of them:
+
+- **Lazy per-user RNG streams.**  User *u*'s stream is
+  ``SeedSequence(seed, spawn_key=(NS, u))`` — a pure function of the
+  population seed and the user id, constructed on first touch.  No
+  O(n_users) state, no overlap between users (SeedSequence spawn-key
+  partitioning), and bit-reproducibility regardless of how many users
+  the run actually touches.
+- **Skewed popularity.**  Job submitters follow a power-law: arrival
+  *k*'s user is ``floor(n_users * u^skew)`` for a uniform draw *u*
+  from the assignment stream, concentrating traffic on the heavy
+  users the way production queues see it.
+- **Per-user profiles.**  Each user gets a stable service-scale,
+  priority class, deadline slack, and best-effort flag, drawn once
+  from a dedicated profile stream; services then come from the user's
+  own job stream via :func:`repro.sched.workloads.draw_services`, so
+  the population's realized mean service stays ``mean_service``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sched.simulator import Job
+from repro.sched.workloads import draw_services, jobs_from_arrivals
+
+#: spawn-key namespaces: assignment stream / per-user jobs / profiles
+_NS_ASSIGN, _NS_JOBS, _NS_PROFILE = 0, 1, 2
+
+
+class UserProfile:
+    """Stable per-user traits (a pure function of seed and user id)."""
+
+    __slots__ = ("user_id", "mean_scale", "priority", "slack",
+                 "best_effort")
+
+    def __init__(self, user_id: int, mean_scale: float, priority: int,
+                 slack: float, best_effort: bool):
+        self.user_id = user_id
+        self.mean_scale = mean_scale
+        self.priority = priority
+        self.slack = slack
+        self.best_effort = best_effort
+
+
+class UserPopulation:
+    """Millions of lazily-materialized simulated users.
+
+    ``jobs_for(arrivals)`` assigns each arrival to a user and draws
+    that job's service/priority/deadline from the user's own streams.
+    The mapping is deterministic: the same population (seed + params)
+    fed the same arrival count sequence produces bit-identical jobs,
+    which is what lets a recorded trace double as a cross-check on the
+    generator.
+    """
+
+    def __init__(
+        self,
+        n_users: int = 1_000_000,
+        seed: int = 0,
+        mean_service: float = 10.0,
+        sigma: float = 0.8,
+        long_fraction: float = 0.1,
+        skew: float = 2.0,
+        n_priorities: int = 3,
+        deadline_slack: Sequence[float] = (2.0, 6.0),
+        best_effort_fraction: float = 0.25,
+    ):
+        if n_users < 1:
+            raise ValueError("need at least one user")
+        if mean_service <= 0 or sigma <= 0:
+            raise ValueError("bad service parameters")
+        if skew < 1.0:
+            raise ValueError("skew >= 1 (1 = uniform popularity)")
+        if n_priorities < 1:
+            raise ValueError("need at least one priority class")
+        if len(deadline_slack) != 2 or deadline_slack[0] <= 0 \
+                or deadline_slack[1] < deadline_slack[0]:
+            raise ValueError("deadline_slack is (lo, hi), 0 < lo <= hi")
+        if not (0.0 <= best_effort_fraction <= 1.0):
+            raise ValueError("best_effort_fraction in [0, 1]")
+        self.n_users = n_users
+        self.seed = seed
+        self.mean_service = mean_service
+        self.sigma = sigma
+        self.long_fraction = long_fraction
+        self.skew = skew
+        self.n_priorities = n_priorities
+        self.deadline_slack = (float(deadline_slack[0]),
+                               float(deadline_slack[1]))
+        self.best_effort_fraction = best_effort_fraction
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind every stream to the just-constructed state."""
+        self._assign_rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(_NS_ASSIGN,))
+        )
+        self._user_rngs: Dict[int, np.random.Generator] = {}
+        self._profiles: Dict[int, UserProfile] = {}
+
+    # -- lazy per-user state -------------------------------------------
+
+    def _user_stream(self, ns: int, user_id: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(ns, user_id))
+        )
+
+    def profile(self, user_id: int) -> UserProfile:
+        """The stable profile of *user_id* (cached after first touch)."""
+        if not (0 <= user_id < self.n_users):
+            raise ValueError("user_id out of range")
+        prof = self._profiles.get(user_id)
+        if prof is None:
+            rng = self._user_stream(_NS_PROFILE, user_id)
+            lo, hi = self.deadline_slack
+            # lognormal service scale with unit mean, so the
+            # population-wide realized mean stays `mean_service`
+            mean_scale = float(np.exp(rng.normal(-0.08, 0.4)))
+            prof = UserProfile(
+                user_id=user_id,
+                mean_scale=mean_scale,
+                priority=int(rng.integers(self.n_priorities)),
+                slack=float(rng.uniform(lo, hi)),
+                best_effort=bool(rng.random() < self.best_effort_fraction),
+            )
+            self._profiles[user_id] = prof
+        return prof
+
+    def pick_user(self) -> int:
+        """Draw the next submitter from the power-law popularity."""
+        u = float(self._assign_rng.random())
+        return min(int(self.n_users * u ** self.skew), self.n_users - 1)
+
+    # -- job synthesis --------------------------------------------------
+
+    def jobs_for(self, arrivals: Sequence[float],
+                 job_id_base: int = 0) -> List[Job]:
+        """One :class:`Job` per arrival, drawn from per-user streams."""
+        arrivals = np.asarray(arrivals, dtype=float)
+        n = arrivals.size
+        services = np.empty(n)
+        longs = np.empty(n, dtype=bool)
+        prios = np.empty(n, dtype=int)
+        deadlines: List[Optional[float]] = []
+        for k in range(n):
+            uid = self.pick_user()
+            prof = self.profile(uid)
+            rng = self._user_rngs.get(uid)
+            if rng is None:
+                rng = self._user_stream(_NS_JOBS, uid)
+                self._user_rngs[uid] = rng
+            svc, is_long = draw_services(
+                rng, 1, self.mean_service * prof.mean_scale,
+                self.sigma, self.long_fraction,
+            )
+            services[k] = svc[0]
+            longs[k] = is_long[0]
+            prios[k] = prof.priority
+            deadlines.append(
+                None if prof.best_effort
+                else float(arrivals[k] + prof.slack * services[k])
+            )
+        return jobs_from_arrivals(
+            arrivals, services, is_long=longs, priorities=prios,
+            deadlines=deadlines, job_id_base=job_id_base,
+        )
+
+    @property
+    def touched_users(self) -> int:
+        """Users whose job stream has been materialized so far."""
+        return len(self._user_rngs)
+
+    def describe(self) -> dict:
+        """JSON-able parameter record for trace headers."""
+        return {
+            "n_users": self.n_users,
+            "seed": self.seed,
+            "mean_service": self.mean_service,
+            "sigma": self.sigma,
+            "long_fraction": self.long_fraction,
+            "skew": self.skew,
+            "n_priorities": self.n_priorities,
+            "deadline_slack": list(self.deadline_slack),
+            "best_effort_fraction": self.best_effort_fraction,
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict) -> "UserPopulation":
+        return cls(
+            n_users=desc["n_users"], seed=desc["seed"],
+            mean_service=desc["mean_service"], sigma=desc["sigma"],
+            long_fraction=desc["long_fraction"], skew=desc["skew"],
+            n_priorities=desc["n_priorities"],
+            deadline_slack=tuple(desc["deadline_slack"]),
+            best_effort_fraction=desc["best_effort_fraction"],
+        )

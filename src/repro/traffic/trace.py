@@ -1,0 +1,155 @@
+"""Record/replay traffic traces: JSONL records in WAL framing.
+
+A trace is the full, self-describing record of one offered-load
+experiment: a header (format version, arrival-process and population
+parameters, chaos and admission configuration) followed by one record
+per job.  Records are JSON payloads inside
+:class:`repro.durable.wal.WriteAheadLog` CRC frames, which buys the
+durability semantics the incident-replay story needs for free: a
+recorder killed mid-write leaves a torn tail that the open scan
+truncates, a committed record is a record that replays, and corruption
+is detected rather than parsed.
+
+Python's ``json`` emits shortest-round-trip ``repr`` floats, so every
+arrival/service/deadline survives the write-read cycle bit-exactly —
+the property the replay-determinism tests (same shed reasons, same
+counters, same completion order) rest on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.durable.wal import WriteAheadLog
+from repro.sched.simulator import Job
+
+FORMAT = "repro-traffic-trace"
+VERSION = 1
+
+
+def _job_record(job: Job) -> Dict[str, Any]:
+    return {
+        "id": job.job_id,
+        "arrival": job.arrival,
+        "service": job.service,
+        "is_long": job.is_long,
+        "priority": job.priority,
+        "deadline": job.deadline,
+    }
+
+
+def _job_from_record(rec: Dict[str, Any]) -> Job:
+    return Job(
+        job_id=int(rec["id"]),
+        arrival=float(rec["arrival"]),
+        service=float(rec["service"]),
+        is_long=bool(rec["is_long"]),
+        priority=int(rec["priority"]),
+        deadline=(
+            None if rec["deadline"] is None else float(rec["deadline"])
+        ),
+    )
+
+
+class TrafficTrace:
+    """An in-memory trace: header metadata plus the job sequence."""
+
+    def __init__(self, jobs: List[Job],
+                 meta: Optional[Dict[str, Any]] = None,
+                 complete: bool = True):
+        self.jobs = list(jobs)
+        self.meta = dict(meta or {})
+        #: False when the on-disk trace lost committed-count jobs to a
+        #: torn tail (the header promised more records than survived)
+        self.complete = complete
+
+    # -- write path -----------------------------------------------------
+
+    @classmethod
+    def record(
+        cls,
+        path: Union[str, Path],
+        jobs: List[Job],
+        meta: Optional[Dict[str, Any]] = None,
+        sync: bool = False,
+    ) -> "TrafficTrace":
+        """Write *jobs* (with *meta*) to a fresh trace at *path*.
+
+        ``sync=True`` fsyncs every frame — incident-recorder mode,
+        where the trace must survive the machine, not just the
+        process.  The default flush-only mode is what tests and the
+        bench harness want.
+        """
+        path = Path(path)
+        if path.exists():
+            path.unlink()  # a trace file is immutable once recorded
+        trace = cls(jobs, meta)
+        with WriteAheadLog(path, sync=sync) as wal:
+            header = {
+                "format": FORMAT,
+                "version": VERSION,
+                "n_jobs": len(trace.jobs),
+                "meta": trace.meta,
+            }
+            wal.append(json.dumps(header, sort_keys=True).encode())
+            for job in trace.jobs:
+                wal.append(
+                    json.dumps(_job_record(job), sort_keys=True).encode()
+                )
+        return trace
+
+    # -- read path ------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Union[str, Path],
+             strict: bool = True) -> "TrafficTrace":
+        """Read a trace back; committed frames only (WAL semantics).
+
+        With ``strict`` (default) a truncated trace — fewer surviving
+        job records than the header committed to — raises; pass
+        ``strict=False`` to get the surviving prefix with
+        ``complete=False`` (incident triage on a torn trace).
+        """
+        wal = WriteAheadLog(path, sync=False)
+        try:
+            payloads = wal.records()
+        finally:
+            wal.close()
+        if not payloads:
+            raise ValueError(f"{path}: not a traffic trace (no header)")
+        header = json.loads(payloads[0].decode())
+        if header.get("format") != FORMAT:
+            raise ValueError(f"{path}: not a traffic trace")
+        if header.get("version") != VERSION:
+            raise ValueError(
+                f"{path}: trace version {header.get('version')!r} "
+                f"!= {VERSION}"
+            )
+        jobs = [_job_from_record(json.loads(p.decode()))
+                for p in payloads[1:]]
+        complete = len(jobs) == header.get("n_jobs")
+        if strict and not complete:
+            raise ValueError(
+                f"{path}: torn trace — header committed "
+                f"{header.get('n_jobs')} jobs, {len(jobs)} survived"
+            )
+        return cls(jobs, header.get("meta"), complete=complete)
+
+    # -- comparison surface ---------------------------------------------
+
+    def same_jobs(self, other: "TrafficTrace") -> bool:
+        """Bit-exact job-stream equality (Jobs are frozen dataclasses,
+        so ``==`` compares every field exactly)."""
+        return self.jobs == other.jobs
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TrafficTrace)
+            and self.jobs == other.jobs
+            and self.meta == other.meta
+        )

@@ -204,8 +204,10 @@ class MummiCampaign:
         # graceful degradation: with the breaker open (fault storm /
         # repeated budget overruns), serve this cycle from the cheap
         # macro surrogate instead of launching micro MD.  The breaker
-        # runs on the cycle-count clock.
-        if self.breaker is not None and not self.breaker.allow(
+        # runs on the cycle-count clock.  This caller reports back
+        # (record_success/record_failure at cycle end), so it is the
+        # one legitimately entitled to the half-open probe.
+        if self.breaker is not None and not self.breaker.try_acquire_probe(
             float(self.cycles_done)
         ):
             return self._run_surrogate_cycle(candidates, comps)

@@ -3,6 +3,7 @@ deadline/shedding primitives, and the hardened retry policies."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.guard import (
     AdmissionController,
@@ -749,3 +750,138 @@ class TestMummiGuards:
         assert camp.checkpoint_state()["rungs_served"] == (
             camp2_state["rungs_served"]
         )
+
+
+class TestBreakerQueryVsAcquire:
+    """The peek / try_acquire_probe split (stranded-probe regression).
+
+    The old single ``allow()`` served both report-back callers (MuMMI
+    cycles, ``require``) and pure shed queries (``AdmissionController``).
+    An open breaker past ``recovery_time`` handed its one half-open
+    probe to whoever asked first — including a shed check that never
+    reports back, which stranded the breaker half-open with the probe
+    burned and every later caller degraded forever.
+    """
+
+    def test_admit_query_does_not_consume_probe(self):
+        br = CircuitBreaker(failure_threshold=1, recovery_time=1.0)
+        adm = AdmissionController(protect_priority=5, breaker=br)
+        adm.record_failure(0.0)
+        assert br.state == "open"
+        # a low-priority admit query well past recovery_time: with the
+        # old mutating allow(), this flipped the breaker half-open and
+        # burned the probe on a caller that reports nothing
+        assert not adm.admit(_FakeJob(1.0, priority=0), now=5.0,
+                             queue_len=0, n_running=0, n_gpus=1)
+        assert br.state == "open"
+        # the probe is still there for the caller that reports back
+        assert br.try_acquire_probe(5.0)
+        assert br.state == "half-open"
+        br.record_success(5.1)
+        assert br.state == "closed"
+
+    def test_peek_is_pure(self):
+        br = CircuitBreaker(failure_threshold=1, recovery_time=1.0)
+        br.record_failure(0.0)
+        snap = br.checkpoint_state()
+        for now in (0.0, 0.5, 2.0, 1e9):
+            br.peek(now)
+        assert br.checkpoint_state() == snap
+
+    def test_peek_true_only_when_closed(self):
+        br = CircuitBreaker(failure_threshold=1, recovery_time=1.0)
+        assert br.peek(0.0)
+        br.record_failure(0.0)
+        assert not br.peek(0.5)   # open, pre-recovery
+        # open past recovery: the probe slot is reserved for
+        # report-back callers, so a query still answers False
+        assert not br.peek(2.0)
+        assert br.try_acquire_probe(2.0)
+        assert not br.peek(2.1)   # half-open: probe in flight
+        br.record_success(2.2)
+        assert br.peek(2.3)
+
+    def test_allow_alias_keeps_acquire_semantics(self):
+        br = CircuitBreaker(failure_threshold=1, recovery_time=1.0)
+        br.record_failure(0.0)
+        assert br.allow(2.0)
+        assert br.state == "half-open"
+
+
+class TestBreakerStateMachine:
+    """Property tests: breaker vs an independent reference model."""
+
+    OPS = st.lists(
+        st.one_of(
+            st.just("peek"),
+            st.just("acquire"),
+            st.just("success"),
+            st.just("failure"),
+            st.floats(min_value=0.0, max_value=10.0,
+                      allow_nan=False),  # advance clock
+        ),
+        min_size=1, max_size=60,
+    )
+
+    @given(ops=OPS, threshold=st.integers(1, 4),
+           recovery=st.floats(0.5, 5.0))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference_model(self, ops, threshold, recovery):
+        br = CircuitBreaker(failure_threshold=threshold,
+                            recovery_time=recovery, name="prop")
+        # reference model, written independently of the implementation
+        state, consec, opened_at, trips = "closed", 0, 0.0, 0
+        now = 0.0
+        for op in ops:
+            if isinstance(op, float):
+                now += op
+                continue
+            if op == "peek":
+                got = br.peek(now)
+                assert got == (state == "closed")
+            elif op == "acquire":
+                got = br.try_acquire_probe(now)
+                if state == "closed":
+                    want = True
+                elif state == "open" and now - opened_at >= recovery:
+                    want, state = True, "half-open"
+                else:
+                    want = False
+                assert got == want
+            elif op == "success":
+                br.record_success(now)
+                state, consec = "closed", 0
+            elif op == "failure":
+                br.record_failure(now)
+                consec += 1
+                if state == "half-open" or (
+                    state == "closed" and consec >= threshold
+                ):
+                    state, opened_at = "open", now
+                    trips += 1
+            assert br.state == state
+            assert br.consecutive_failures == consec
+            assert br.trips == trips
+            if state != "closed":
+                assert br.opened_at == opened_at
+
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_probe_accounting_single_probe(self, ops):
+        """From half-open, no sequence of peeks/acquires admits a
+        second probe until the first resolves."""
+        br = CircuitBreaker(failure_threshold=1, recovery_time=1.0)
+        br.record_failure(0.0)
+        assert br.try_acquire_probe(5.0)   # claim the probe
+        now = 5.0
+        for op in ops:
+            if isinstance(op, float):
+                now += op
+            elif op == "peek":
+                assert not br.peek(now)
+            elif op == "acquire":
+                assert not br.try_acquire_probe(now)
+            else:
+                break  # success/failure resolves the probe
+        else:
+            assert br.state == "half-open"

@@ -181,15 +181,15 @@ class TestSchedulerRecovery:
             retry_policy=ImmediateRetry())
         slow = ClusterSimulator(4).run(
             jobs, Fcfs(), fault_injector=FaultInjector(mtbf=80.0, seed=3),
-            retry_policy=ExponentialBackoff(base=50.0, factor=2.0))
+            retry_policy=ExponentialBackoff(base=200.0, factor=2.0))
         assert fast.failures > 0
         assert slow.makespan > fast.makespan
 
     def test_goodput_degrades_as_mtbf_shrinks(self):
-        jobs = batch_workload(n_jobs=200, seed=0)
+        jobs = batch_workload(n_jobs=400, seed=0)
         goodputs = []
         for mtbf in (1e9, 200.0, 50.0):
-            inj = FaultInjector(mtbf=mtbf, seed=1)
+            inj = FaultInjector(mtbf=mtbf, seed=0)
             r = ClusterSimulator(8).run(jobs, Fcfs(), fault_injector=inj,
                                         retry_policy=ImmediateRetry())
             goodputs.append(r.goodput)

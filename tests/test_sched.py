@@ -115,7 +115,7 @@ class TestThrottling:
         # overloaded: rate * service / gpus ~ 1.7
         over = poisson_workload(n_jobs=400, arrival_rate=2.7,
                                 mean_service=mean_service, seed=1)
-        # throttled: ~0.7 (the long-job tail inflates effective service)
+        # throttled: rate * service / gpus ~ 0.53
         throttled = poisson_workload(n_jobs=400, arrival_rate=0.85,
                                      mean_service=mean_service, seed=1)
         r_over = sim.run(over, Fcfs())
@@ -394,3 +394,67 @@ class TestTieBreakEquivalence:
         validated, rng_validated = run("1")
         assert plain == validated
         assert repr(rng_plain) == repr(rng_validated)
+
+
+class TestWorkloadCalibration:
+    """Regressions for the offered_load window and the long-tail
+    renormalization in draw_services."""
+
+    def test_offered_load_batch_sane(self):
+        """All-at-once batches have zero arrival span; the old window
+        max(arrivals, 1e-12) reported load ~1e13x too high.  The
+        makespan-aware window (span + mean service) puts an n-job
+        batch on n_gpus at ~n_jobs / n_gpus."""
+        n_jobs, n_gpus = 64, 16
+        jobs = batch_workload(n_jobs=n_jobs, mean_service=10.0, seed=3)
+        rho = offered_load(jobs, n_gpus)
+        assert rho == pytest.approx(n_jobs / n_gpus, rel=0.01)
+        assert rho < 1e3  # the bug reported ~1e13
+
+    def test_offered_load_matches_poisson_nominal(self):
+        """For a long Poisson stream the window estimate converges to
+        rate * mean_service / n_gpus."""
+        jobs = poisson_workload(n_jobs=4000, arrival_rate=1.6,
+                                mean_service=10.0, seed=7)
+        rho = offered_load(jobs, n_gpus=16)
+        assert rho == pytest.approx(1.6 * 10.0 / 16.0, rel=0.1)
+
+    def test_offered_load_validation(self):
+        assert offered_load([], n_gpus=4) == 0.0
+        with pytest.raises(ValueError):
+            offered_load(batch_workload(n_jobs=2, seed=0), n_gpus=0)
+
+    def test_draw_services_realized_mean(self):
+        """The 6x long tail used to inflate the realized mean to
+        (1 + 5 * long_fraction) * mean_service; after renormalization
+        the realized mean matches the parameter for any tail share."""
+        from repro.sched.workloads import draw_services
+
+        rng = np.random.default_rng(11)
+        for long_fraction in (0.0, 0.1, 0.3, 1.0):
+            services, is_long = draw_services(
+                rng, 200_000, mean_service=10.0, sigma=0.8,
+                long_fraction=long_fraction,
+            )
+            assert services.mean() == pytest.approx(10.0, rel=0.05)
+            assert abs(is_long.mean() - long_fraction) < 0.01
+
+    def test_long_jobs_still_longer(self):
+        """Renormalizing must not erase the tail itself: flagged jobs
+        remain ~6x the body on average."""
+        from repro.sched.workloads import draw_services
+
+        rng = np.random.default_rng(12)
+        services, is_long = draw_services(
+            rng, 100_000, mean_service=10.0, sigma=0.8,
+            long_fraction=0.2,
+        )
+        ratio = services[is_long].mean() / services[~is_long].mean()
+        assert ratio == pytest.approx(6.0, rel=0.1)
+
+    def test_poisson_workload_mean_service_calibrated(self):
+        jobs = poisson_workload(n_jobs=50_000, arrival_rate=1.0,
+                                mean_service=10.0, long_fraction=0.1,
+                                seed=4)
+        mean = float(np.mean([j.service for j in jobs]))
+        assert mean == pytest.approx(10.0, rel=0.05)

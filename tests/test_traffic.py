@@ -1,0 +1,334 @@
+"""Tests for the open-loop traffic layer: arrival processes, the
+simulated user population, trace record/replay, and the driver's
+bit-exact replay contract (shed reasons, guard counters, completion
+order) with chaos and admission shedding active."""
+
+import numpy as np
+import pytest
+
+from repro.sched.simulator import Job
+from repro.traffic import (
+    AdmissionSpec,
+    ChaosSpec,
+    DiurnalArrivals,
+    MMPPArrivals,
+    OpenLoopDriver,
+    PoissonArrivals,
+    TrafficTrace,
+    UserPopulation,
+    drive_campaign,
+    generate_jobs,
+    process_from_description,
+    record_experiment,
+    replay_experiment,
+    verify_replay,
+)
+
+
+class TestArrivalProcesses:
+    def test_poisson_deterministic_and_sorted(self):
+        p = PoissonArrivals(rate=2.0)
+        a = p.sample(500, seed=3)
+        b = p.sample(500, seed=3)
+        assert np.array_equal(a, b)
+        assert np.all(np.diff(a) > 0)
+        assert not np.array_equal(a, p.sample(500, seed=4))
+
+    def test_poisson_rate_calibrated(self):
+        p = PoissonArrivals(rate=2.0)
+        a = p.sample(4000, seed=0)
+        assert 4000 / a[-1] == pytest.approx(2.0, rel=0.1)
+
+    def test_mmpp_burstier_than_poisson(self):
+        """Interarrival CV: Poisson is exactly 1; a 2-state MMPP with
+        strong rate contrast must sit clearly above it."""
+        mmpp = MMPPArrivals(quiet_rate=0.5, burst_rate=8.0,
+                            mean_dwell=(20.0, 5.0))
+        gaps = np.diff(mmpp.sample(6000, seed=1))
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.2
+        poisson_gaps = np.diff(
+            PoissonArrivals(rate=mmpp.mean_rate).sample(6000, seed=1)
+        )
+        assert poisson_gaps.std() / poisson_gaps.mean() == pytest.approx(
+            1.0, abs=0.1
+        )
+
+    def test_mmpp_mean_rate(self):
+        mmpp = MMPPArrivals(quiet_rate=1.0, burst_rate=6.0,
+                            mean_dwell=(10.0, 2.0))
+        assert mmpp.mean_rate == pytest.approx((10.0 + 12.0) / 12.0)
+        a = mmpp.sample(8000, seed=2)
+        assert 8000 / a[-1] == pytest.approx(mmpp.mean_rate, rel=0.15)
+
+    def test_diurnal_peaks_mid_period(self):
+        """Raised-cosine rate: trough at phase 0, peak at phase 1/2 —
+        the mid-period half-window must collect most arrivals."""
+        d = DiurnalArrivals(base_rate=0.5, peak_ratio=6.0, period=100.0)
+        phases = np.mod(d.sample(4000, seed=5), 100.0)
+        mid = np.sum((phases > 25.0) & (phases < 75.0))
+        assert mid > 0.65 * 4000
+        assert d.rate_at(50.0) == pytest.approx(3.0)
+        assert d.rate_at(0.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(quiet_rate=2.0, burst_rate=1.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(quiet_rate=1.0, burst_rate=2.0,
+                         mean_dwell=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            DiurnalArrivals(base_rate=1.0, peak_ratio=0.5)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=1.0).sample(0)
+
+    def test_describe_roundtrip(self):
+        for proc in (
+            PoissonArrivals(rate=1.5),
+            MMPPArrivals(quiet_rate=0.4, burst_rate=3.0,
+                         mean_dwell=(7.0, 3.0)),
+            DiurnalArrivals(base_rate=0.8, peak_ratio=5.0, period=60.0),
+        ):
+            clone = process_from_description(proc.describe())
+            assert np.array_equal(proc.sample(200, seed=9),
+                                  clone.sample(200, seed=9))
+        with pytest.raises(ValueError):
+            process_from_description({"kind": "nope"})
+
+
+class TestUserPopulation:
+    def test_jobs_deterministic_across_reset(self):
+        pop = UserPopulation(n_users=10_000, seed=3)
+        arrivals = PoissonArrivals(rate=1.0).sample(200, seed=0)
+        jobs_a = pop.jobs_for(arrivals)
+        pop.reset()
+        jobs_b = pop.jobs_for(arrivals)
+        assert jobs_a == jobs_b
+
+    def test_per_user_streams_are_pure_functions(self):
+        """Two populations with the same seed agree on every user's
+        profile regardless of touch order."""
+        p1 = UserPopulation(n_users=1_000, seed=7)
+        p2 = UserPopulation(n_users=1_000, seed=7)
+        for uid in (999, 0, 421):
+            a, b = p1.profile(uid), p2.profile(uid)
+            assert (a.mean_scale, a.priority, a.slack, a.best_effort) \
+                == (b.mean_scale, b.priority, b.slack, b.best_effort)
+
+    def test_population_is_lazy(self):
+        """A million-user population only materializes touched users."""
+        pop = UserPopulation(n_users=1_000_000, seed=0)
+        pop.jobs_for(PoissonArrivals(rate=1.0).sample(300, seed=1))
+        assert 0 < pop.touched_users <= 300
+
+    def test_mean_service_calibrated(self):
+        pop = UserPopulation(n_users=500, seed=2, mean_service=10.0,
+                             skew=1.0, best_effort_fraction=0.0)
+        jobs = pop.jobs_for(
+            PoissonArrivals(rate=1.0).sample(20_000, seed=3)
+        )
+        mean = float(np.mean([j.service for j in jobs]))
+        assert mean == pytest.approx(10.0, rel=0.15)
+
+    def test_deadline_and_priority_structure(self):
+        pop = UserPopulation(n_users=2_000, seed=4,
+                             best_effort_fraction=0.5, n_priorities=3)
+        jobs = pop.jobs_for(PoissonArrivals(rate=1.0).sample(2000, seed=5))
+        be = sum(1 for j in jobs if j.deadline is None) / len(jobs)
+        assert 0.3 < be < 0.7
+        assert {j.priority for j in jobs} <= {0, 1, 2}
+        for j in jobs:
+            if j.deadline is not None:
+                assert j.deadline >= j.arrival + 2.0 * j.service
+
+    def test_describe_roundtrip(self):
+        pop = UserPopulation(n_users=5_000, seed=11, skew=3.0)
+        clone = UserPopulation.from_description(pop.describe())
+        arrivals = PoissonArrivals(rate=1.0).sample(150, seed=0)
+        assert pop.jobs_for(arrivals) == clone.jobs_for(arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserPopulation(n_users=0)
+        with pytest.raises(ValueError):
+            UserPopulation(skew=0.5)
+        with pytest.raises(ValueError):
+            UserPopulation(deadline_slack=(3.0, 2.0))
+        with pytest.raises(ValueError):
+            UserPopulation(best_effort_fraction=1.5)
+        with pytest.raises(ValueError):
+            UserPopulation().profile(10**9)
+
+
+class TestTrafficTrace:
+    def _jobs(self, n=40):
+        pop = UserPopulation(n_users=1_000, seed=0)
+        return pop.jobs_for(PoissonArrivals(rate=1.0).sample(n, seed=0))
+
+    def test_record_load_bit_exact(self, tmp_path):
+        jobs = self._jobs()
+        path = tmp_path / "t.trace"
+        meta = {"note": "unit", "x": 1.25}
+        recorded = TrafficTrace.record(path, jobs, meta=meta)
+        loaded = TrafficTrace.load(path)
+        assert loaded == recorded
+        assert loaded.same_jobs(recorded)
+        assert loaded.complete
+        assert loaded.meta == meta
+        # bit-exact floats, not approx: frozen-dataclass equality
+        assert loaded.jobs == jobs
+
+    def test_torn_tail_truncates(self, tmp_path):
+        jobs = self._jobs()
+        path = tmp_path / "t.trace"
+        TrafficTrace.record(path, jobs)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])  # tear the last frame
+        with pytest.raises(ValueError, match="torn"):
+            TrafficTrace.load(path)
+        partial = TrafficTrace.load(path, strict=False)
+        assert not partial.complete
+        assert len(partial) == len(jobs) - 1
+        assert partial.jobs == jobs[:-1]
+
+    def test_rejects_non_trace(self, tmp_path):
+        from repro.durable.wal import WriteAheadLog
+
+        path = tmp_path / "w.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(b'{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a traffic trace"):
+            TrafficTrace.load(path)
+
+    def test_overwrites_previous_trace(self, tmp_path):
+        path = tmp_path / "t.trace"
+        TrafficTrace.record(path, self._jobs(30))
+        TrafficTrace.record(path, self._jobs(10))
+        assert len(TrafficTrace.load(path)) == 10
+
+
+def _driver(n_gpus=4):
+    return OpenLoopDriver(
+        n_gpus=n_gpus,
+        policy="fcfs",
+        admission=AdmissionSpec(
+            max_queue=3 * n_gpus, protect_priority=2,
+            breaker_failure_threshold=3, breaker_recovery_time=40.0,
+        ),
+        chaos=ChaosSpec(mtbf=250.0, seed=1),
+    )
+
+
+def _population():
+    return UserPopulation(n_users=20_000, seed=0, mean_service=10.0,
+                          best_effort_fraction=0.3)
+
+
+class TestReplayDeterminism:
+    """The ISSUE's acceptance criterion: a recorded trace — Poisson
+    and MMPP, with FaultInjector chaos and admission shedding active —
+    replays bit-exactly: same shed decisions and reasons, same
+    guard.* counters, same job completion order."""
+
+    @pytest.mark.parametrize("process", [
+        PoissonArrivals(rate=0.55),
+        MMPPArrivals(quiet_rate=0.25, burst_rate=1.6,
+                     mean_dwell=(12.0, 4.0)),
+    ], ids=["poisson", "mmpp"])
+    def test_replay_bit_exact(self, tmp_path, process):
+        path = tmp_path / f"{process.kind}.trace"
+        trace, recorded = record_experiment(
+            path, process, _population(), _driver(), n_jobs=220,
+        )
+        # the run must actually exercise the paths under test
+        assert recorded.result.failures > 0, "chaos never fired"
+        assert recorded.shed_log, "admission never shed"
+        assert recorded.guard_counters, "no guard.* counters moved"
+
+        first, loaded = replay_experiment(path)
+        second, _ = replay_experiment(path)
+
+        assert loaded.same_jobs(trace)
+        for replayed in (first, second):
+            fp, ref = replayed.fingerprint(), recorded.fingerprint()
+            assert fp["shed_log"] == ref["shed_log"]
+            assert fp["guard_counters"] == ref["guard_counters"]
+            assert fp["completions"] == ref["completions"]
+            assert fp == ref
+        assert [j for _, j in first.result.completions] == \
+            first.result.completion_order
+
+    def test_verify_replay_helper(self, tmp_path):
+        path = tmp_path / "v.trace"
+        record_experiment(path, PoissonArrivals(rate=0.5),
+                          _population(), _driver(), n_jobs=120)
+        report = verify_replay(path)
+        assert report.result.completed > 0
+
+    def test_latency_percentiles_exposed(self, tmp_path):
+        path = tmp_path / "l.trace"
+        _, rep = record_experiment(path, PoissonArrivals(rate=0.6),
+                                   _population(), _driver(), n_jobs=150)
+        assert 0.0 <= rep.p50_wait <= rep.p99_wait
+        assert rep.p50_turnaround <= rep.p99_turnaround
+        assert 0.0 < rep.shed_rate < 1.0
+
+    def test_driver_describe_roundtrip(self):
+        d = _driver()
+        clone = OpenLoopDriver.from_description(d.describe())
+        assert clone.describe() == d.describe()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            OpenLoopDriver(n_gpus=2, policy="lifo")
+
+
+class TestCampaignCoupling:
+    def test_drive_campaign_deterministic(self):
+        from repro.workflow.mummi import MummiCampaign
+
+        def run():
+            camp = MummiCampaign(n_gpus=4, jobs_per_cycle=6, seed=0,
+                                 steps_per_sim=1000)
+            out = drive_campaign(
+                camp, MMPPArrivals(quiet_rate=0.1, burst_rate=2.0,
+                                   mean_dwell=(30.0, 10.0)),
+                n_cycles=4, window=25.0, arrival_seed=2,
+            )
+            return camp, out
+        camp_a, a = run()
+        camp_b, b = run()
+        assert [m["offered_jobs"] for m in a] == \
+            [m["offered_jobs"] for m in b]
+        assert [m["simulations"] for m in a] == \
+            [m["simulations"] for m in b]
+        assert camp_a.jobs_per_cycle == 6  # nominal restored
+        # bursty arrivals actually modulate the cycle sizes
+        assert len({m["offered_jobs"] for m in a}) > 1
+
+    def test_drive_campaign_validation(self):
+        from repro.workflow.mummi import MummiCampaign
+
+        camp = MummiCampaign(n_gpus=2, jobs_per_cycle=2, seed=0,
+                             steps_per_sim=500)
+        with pytest.raises(ValueError):
+            drive_campaign(camp, PoissonArrivals(rate=1.0),
+                           n_cycles=0, window=10.0)
+        with pytest.raises(ValueError):
+            drive_campaign(camp, PoissonArrivals(rate=1.0),
+                           n_cycles=1, window=0.0)
+
+
+class TestCli:
+    def test_main_smoke(self, tmp_path, capsys):
+        from repro.traffic.__main__ import main
+
+        rc = main(["--out", str(tmp_path), "--jobs", "120",
+                   "--processes", "poisson,mmpp"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replay OK" in out
+        assert (tmp_path / "poisson.trace").exists()
+        assert (tmp_path / "mmpp.fingerprint.json").exists()
