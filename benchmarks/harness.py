@@ -851,6 +851,239 @@ def case_traffic_openloop(smoke: bool) -> Dict:
     return case
 
 
+def case_multitenant_pileup(smoke: bool) -> Dict:
+    """Noisy-neighbor containment by the tenant layer, end to end.
+
+    The standard pile-up: three compliant tenants each offering 0.8x
+    their fair share, one noisy tenant offering 4x, all on one
+    machine.  Every gated number runs on the *simulated* clock, so the
+    bands are exact across hosts:
+
+    - **fairness**: Jain index over per-tenant delivered service
+      >= 0.9 (equal weights — without the arbiter the noisy stream
+      starves everyone and the index collapses);
+    - **containment**: each compliant tenant's p99 turnaround within
+      3x of its isolated baseline (same jobs, empty machine), and its
+      shed rate within 5 points of isolated;
+    - **replay**: the dumped incident trace must replay with a
+      fingerprint bit-identical to the recorded run
+      (:func:`repro.tenant.verify_incident` replays twice and checks
+      both);
+    - **overhead**: wall-clock tax of the registry with the arbiter
+      disabled, against a plain dict of the very same per-tenant
+      controllers on the identical stream — the arbiter machinery
+      must be nearly free when switched off (gated < 3%).  The
+      irreducible price of per-tenant isolation itself (that guard
+      dict vs one shared controller) is reported alongside as
+      ``isolation_overhead_pct``, ungated.
+
+    ``wall_s`` is the arbitrated pile-up run + incident dump;
+    ``ref_wall_s`` is the replay-verify pass (two replays).
+    """
+    import dataclasses
+
+    from repro.tenant import (
+        jain_index,
+        multitenant_pileup,
+        record_incident,
+        verify_incident,
+    )
+    from repro.traffic.driver import AdmissionSpec, OpenLoopDriver
+
+    n_gpus = 8
+    n_jobs = 120 if smoke else 400
+    bundle = multitenant_pileup(
+        n_gpus=n_gpus, n_compliant=3, noisy_factor=4.0,
+        n_jobs_per_tenant=n_jobs, seed=0,
+    )
+    compliant = [n for n in sorted(bundle.rates) if n != bundle.noisy]
+
+    def tenancy_driver(tenancy):
+        return OpenLoopDriver(n_gpus=n_gpus, policy="fcfs",
+                              tenancy=tenancy)
+
+    with tempfile.TemporaryDirectory(prefix="bench-tenant-") as root:
+        path = Path(root) / "incident-pileup.trace"
+        (_, report), t_record = _timed(
+            lambda: record_incident(
+                path, bundle.jobs, tenancy_driver(bundle.tenancy),
+                reason="bench",
+            )
+        )
+        replay_problem = None
+        t_replay = 0.0
+        try:
+            _, t_replay = _timed(lambda: verify_incident(path))
+        except AssertionError as exc:
+            replay_problem = str(exc)
+    result = report.result
+    fairness = jain_index(
+        result.tenant_completed_service.get(n, 0.0)
+        for n in sorted(bundle.rates)
+    )
+
+    # isolated baselines: each compliant tenant's own stream on an
+    # empty machine, under the same contract
+    band_problems: List[str] = []
+    p99_shared: Dict[str, float] = {}
+    p99_iso: Dict[str, float] = {}
+    for name in compliant:
+        iso = tenancy_driver(bundle.tenancy).run(
+            list(bundle.jobs_by_tenant[name])
+        ).result
+        p99_iso[name] = iso.tenant_turnaround_percentile(name, 99.0)
+        p99_shared[name] = result.tenant_turnaround_percentile(
+            name, 99.0
+        )
+        if p99_shared[name] > 3.0 * p99_iso[name]:
+            band_problems.append(
+                f"{name} p99 {p99_shared[name]:.2f} > 3x isolated "
+                f"{p99_iso[name]:.2f}"
+            )
+        shed_delta = (result.tenant_shed_rate(name)
+                      - iso.tenant_shed_rate(name))
+        if shed_delta > 0.05:
+            band_problems.append(
+                f"{name} shed rate +{shed_delta:.3f} over isolated"
+            )
+
+    # tenant-layer overhead with arbitration off.  Two comparisons,
+    # both on the identical tagged stream:
+    #
+    # - the **gate**: disabled registry vs a plain dict of the very
+    #   same per-tenant controllers (``TenantSpec.make_controller``)
+    #   — the arbiter machinery must cost < 3% over the guard stack a
+    #   user would run without it;
+    # - the **isolation tax** (informational): that guard dict vs the
+    #   single shared controller — the irreducible price of
+    #   per-tenant isolation, a feature chosen on its own merits.
+    #
+    # Methodology: the true delta is tens of microseconds on a
+    # millisecond run, well below this host's steal noise, so the
+    # estimator is one-sided-robust: back-to-back pairs in
+    # alternating order, median of per-pair ratios within a block
+    # (slow-host episodes hit both halves of a pair and cancel), best
+    # of three blocks with freshly constructed drivers (steal spikes
+    # and unlucky heap layout only ever inflate a block).  An
+    # identical-driver A/A control of this estimator reads 0.99-1.01
+    # here; min/min and single-block medians both swing past 3% on
+    # their own.
+    ab_bundle = multitenant_pileup(
+        n_gpus=n_gpus, n_compliant=3, noisy_factor=4.0,
+        n_jobs_per_tenant=120, seed=1,
+    )
+    disabled = dataclasses.replace(ab_bundle.tenancy,
+                                   arbiter_enabled=False)
+    shared_jobs = list(ab_bundle.jobs)
+
+    class _GuardStack:
+        """Reference baseline: the registry's own per-tenant
+        controllers behind one dict probe, no arbiter machinery."""
+
+        breaker = None
+        shed_log: Tuple = ()
+
+        def __init__(self):
+            ctls = {t.name: t.make_controller()
+                    for t in disabled.tenants}
+            self._admits = {n: c.admit for n, c in ctls.items()}
+            self._successes = {
+                n: c.breaker.record_success
+                for n, c in ctls.items() if c.breaker is not None
+            }
+
+        def admit(self, job, now, queue_len, n_running, n_gpus):
+            admit = self._admits.get(job.tenant)
+            return admit is None or admit(
+                job, now, queue_len, n_running, n_gpus
+            )
+
+        def record_success(self, now, job=None):
+            if job is not None:
+                record = self._successes.get(job.tenant)
+                if record is not None:
+                    record(now)
+
+        def record_failure(self, now, job=None):
+            pass
+
+    class _InstanceSpec:
+        def __init__(self, factory):
+            self.make = factory
+
+    def stack_driver():
+        return OpenLoopDriver(n_gpus=n_gpus, policy="fcfs",
+                              admission=_InstanceSpec(_GuardStack))
+
+    def registry_driver():
+        return OpenLoopDriver(n_gpus=n_gpus, policy="fcfs",
+                              tenancy=disabled)
+
+    def single_driver():
+        return OpenLoopDriver(
+            n_gpus=n_gpus, policy="fcfs",
+            admission=AdmissionSpec(
+                protect_priority=1, breaker_failure_threshold=8,
+            ),
+        )
+
+    def paired_ratio(make_base, make_test, pairs=12):
+        """Median of back-to-back test/base wall ratios, fresh
+        drivers, one warmup run each before timing."""
+        base, test = make_base(), make_test()
+        base.run(shared_jobs)
+        test.run(shared_jobs)
+        ratios = []
+        for i in range(pairs):
+            if i % 2 == 0:
+                _, tb = _timed(lambda: base.run(shared_jobs))
+                _, tt = _timed(lambda: test.run(shared_jobs))
+            else:
+                _, tt = _timed(lambda: test.run(shared_jobs))
+                _, tb = _timed(lambda: base.run(shared_jobs))
+            ratios.append(tt / tb)
+        ratios.sort()
+        return ratios[len(ratios) // 2]
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        overhead = min(
+            paired_ratio(stack_driver, registry_driver)
+            for _ in range(3)
+        ) - 1.0
+        isolation = paired_ratio(single_driver, stack_driver) - 1.0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    if replay_problem is not None:
+        check = f"incident replay diverged: {replay_problem[:120]}"
+    elif fairness < 0.9:
+        check = f"jain fairness {fairness:.3f} < 0.9"
+    elif band_problems:
+        check = "; ".join(band_problems)
+    elif overhead > 0.03:
+        check = f"arbiter-disabled overhead {overhead * 100:.2f}% > 3%"
+    else:
+        check = "ok"
+    case = _case("multitenant_pileup", t_record, t_replay, None, check)
+    case["jain_fairness"] = round(fairness, 6)
+    case["noisy_shed_rate"] = round(
+        result.tenant_shed_rate(bundle.noisy), 6
+    )
+    case["compliant_p99"] = {
+        n: round(p99_shared[n], 6) for n in compliant
+    }
+    case["isolated_p99"] = {
+        n: round(p99_iso[n], 6) for n in compliant
+    }
+    case["overhead_pct"] = round(overhead * 100, 2)
+    case["isolation_overhead_pct"] = round(isolation * 100, 2)
+    case["breaker_trips"] = report.trips
+    return case
+
+
 CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("gauss_seidel", case_gauss_seidel),
     ("md_neighbor", case_md_neighbor),
@@ -864,6 +1097,7 @@ CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("scaling_curve", case_scaling_curve),
     ("durability_overhead", case_durability_overhead),
     ("traffic_openloop", case_traffic_openloop),
+    ("multitenant_pileup", case_multitenant_pileup),
 ]
 
 

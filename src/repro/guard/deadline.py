@@ -29,7 +29,8 @@ fault injector), and every shed/trip lands in ``guard.*`` counters.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
 
 from repro.guard.config import guard_strict
 from repro.guard.errors import CircuitOpenError, DeadlineExceededError
@@ -206,25 +207,40 @@ class AdmissionController:
         protect_priority: int = 0,
         breaker: Optional[CircuitBreaker] = None,
         backlog_estimate: bool = True,
+        shed_log_cap: int = 4096,
     ):
         if max_queue is not None and max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if shed_log_cap < 1:
+            raise ValueError("shed_log_cap must be >= 1")
         self.max_queue = max_queue
         self.protect_priority = protect_priority
         self.breaker = breaker
         self.backlog_estimate = backlog_estimate
         self.shed_count = 0
         self.admitted = 0
+        self.shed_log_cap = shed_log_cap
         #: ``(job_id, reason)`` per shed decision, in decision order —
         #: the replay-verification surface: two runs of the same event
-        #: sequence must produce identical logs
-        self.shed_log: List[Tuple[Optional[int], str]] = []
+        #: sequence must produce identical logs.  Bounded: under
+        #: sustained overload an unbounded log is itself an
+        #: availability bug (the controller that protects the machine
+        #: from memory pressure must not be the thing that OOMs it),
+        #: so the deque rotates and ``shed_log_dropped`` counts the
+        #: decisions that aged out of the window.
+        self.shed_log: Deque[Tuple[Optional[int], str]] = deque(
+            maxlen=shed_log_cap
+        )
+        #: shed decisions rotated out of the bounded log
+        self.shed_log_dropped = 0
 
-    def record_failure(self, now: float) -> None:
+    def record_failure(self, now: float, job=None) -> None:
+        del job  # single-tenant: every failure feeds the one breaker
         if self.breaker is not None:
             self.breaker.record_failure(now)
 
-    def record_success(self, now: float) -> None:
+    def record_success(self, now: float, job=None) -> None:
+        del job
         if self.breaker is not None:
             self.breaker.record_success(now)
 
@@ -255,6 +271,21 @@ class AdmissionController:
                 return "breaker_open"
         return None
 
+    def note_shed(self, job, reason: str) -> None:
+        """Account one shed decision (log rotation + counters).
+
+        Factored out of :meth:`admit` so the tenant registry can charge
+        a fair-share or brownout shed to the owning tenant's controller
+        through the exact same bookkeeping path.
+        """
+        self.shed_count += 1
+        if len(self.shed_log) == self.shed_log_cap:
+            self.shed_log_dropped += 1
+            _metrics.counter("guard.shed_log.dropped").add()
+        self.shed_log.append((getattr(job, "job_id", None), reason))
+        _metrics.counter("guard.shed").add()
+        _metrics.counter(f"guard.shed.{reason}").add()
+
     def admit(self, job, now: float, queue_len: int, n_running: int,
               n_gpus: int) -> bool:
         """Admit *job* into the queue, or shed it (False)."""
@@ -262,10 +293,7 @@ class AdmissionController:
         if shed_reason is None:
             self.admitted += 1
             return True
-        self.shed_count += 1
-        self.shed_log.append((getattr(job, "job_id", None), shed_reason))
-        _metrics.counter("guard.shed").add()
-        _metrics.counter(f"guard.shed.{shed_reason}").add()
+        self.note_shed(job, shed_reason)
         return False
 
     # -- checkpoint protocol -------------------------------------------
@@ -275,6 +303,7 @@ class AdmissionController:
             "shed_count": self.shed_count,
             "admitted": self.admitted,
             "shed_log": list(self.shed_log),
+            "shed_log_dropped": self.shed_log_dropped,
             "breaker": (
                 None if self.breaker is None
                 else self.breaker.checkpoint_state()
@@ -284,8 +313,10 @@ class AdmissionController:
     def restore_state(self, state: Dict[str, Any]) -> None:
         self.shed_count = state["shed_count"]
         self.admitted = state["admitted"]
-        self.shed_log = [
-            (j, r) for j, r in state.get("shed_log", [])
-        ]
+        self.shed_log = deque(
+            ((j, r) for j, r in state.get("shed_log", [])),
+            maxlen=self.shed_log_cap,
+        )
+        self.shed_log_dropped = state.get("shed_log_dropped", 0)
         if self.breaker is not None and state["breaker"] is not None:
             self.breaker.restore_state(state["breaker"])

@@ -40,6 +40,7 @@ from repro.obs.metrics import (
     gauge,
     reset_metrics,
     snapshot,
+    snapshot_prefix,
 )
 from repro.obs.report import report, span_summary
 from repro.obs.trace import (
@@ -72,6 +73,7 @@ __all__ = [
     "gauge",
     "reset_metrics",
     "snapshot",
+    "snapshot_prefix",
     "report",
     "span_summary",
     "FileSink",

@@ -102,6 +102,19 @@ class MetricsRegistry:
                 },
             }
 
+    def snapshot_prefix(self, prefix: str) -> Dict[str, Number]:
+        """Counter values under *prefix* only (``{name: value}``).
+
+        The cheap variant the delta-takers want (traffic fingerprints,
+        the incident flight recorder): no gauge walk, no allocation for
+        the thousands of counters outside the namespace of interest.
+        """
+        with self._lock:
+            return {
+                k: v.value for k, v in sorted(self._counters.items())
+                if k.startswith(prefix)
+            }
+
     def reset(self, prefix: Optional[str] = None) -> None:
         """Zero (and forget) metrics; *prefix* limits the purge."""
         with self._lock:
@@ -128,6 +141,10 @@ def gauge(name: str) -> Gauge:
 
 def snapshot() -> Dict[str, Dict[str, Number]]:
     return REGISTRY.snapshot()
+
+
+def snapshot_prefix(prefix: str) -> Dict[str, Number]:
+    return REGISTRY.snapshot_prefix(prefix)
 
 
 def reset_metrics(prefix: Optional[str] = None) -> None:

@@ -113,6 +113,8 @@ class Supervisor:
         heartbeat_timeout: float = 30.0,
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
+        backoff_jitter: float = 0.0,
+        rng=None,
         on_poison: str = "raise",
         journal=None,
         poll_interval: float = 0.02,
@@ -121,12 +123,24 @@ class Supervisor:
             raise ValueError("max_task_crashes must be >= 1")
         if on_poison not in ("raise", "quarantine"):
             raise ValueError("on_poison must be 'raise' or 'quarantine'")
+        if not 0.0 <= backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+        if backoff_jitter > 0.0 and rng is None:
+            # same contract as resilience.retry.ExponentialBackoff:
+            # jitter only with an *injected* stream, so chaos-harness
+            # runs with supervised pools stay seed-reproducible
+            raise ValueError(
+                "backoff_jitter requires an injected rng (determinism: "
+                "the supervisor owns no hidden randomness)"
+            )
         self.fn = fn
         self.workers = workers or max(1, os.cpu_count() or 1)
         self.max_task_crashes = max_task_crashes
         self.heartbeat_timeout = heartbeat_timeout
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
+        self.backoff_jitter = backoff_jitter
+        self.rng = rng
         self.on_poison = on_poison
         self.journal_path = journal
         self.poll_interval = poll_interval
@@ -312,6 +326,23 @@ class Supervisor:
                         {"index": index, "value": value}
                     ))
 
+    def _backoff_delay(self) -> float:
+        """Capped exponential respawn delay, optionally jittered.
+
+        Jitter multiplies by ``1 + backoff_jitter * U(-1, 1)`` drawn
+        from the injected ``rng`` — never a hidden module-level stream —
+        mirroring :class:`repro.resilience.retry.ExponentialBackoff`.
+        """
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * (2 ** max(0, self._consec_crashes - 1)),
+        )
+        if self.backoff_jitter > 0.0:
+            delay *= 1.0 + self.backoff_jitter * float(
+                self.rng.uniform(-1.0, 1.0)
+            )
+        return delay
+
     def _dispatch(self, pending, items, results, quarantined) -> None:
         for slot in self._slots:
             if not pending:
@@ -352,11 +383,7 @@ class Supervisor:
             self.crashes += 1
             self._consec_crashes += 1
             _metrics.counter("par.supervisor.crashes").add()
-            delay = min(
-                self.backoff_max,
-                self.backoff_base * (2 ** max(0, self._consec_crashes - 1)),
-            )
-            slot.respawn_at = now + delay
+            slot.respawn_at = now + self._backoff_delay()
             if index is None or index in results:
                 continue
             crash_counts[index] = crash_counts.get(index, 0) + 1

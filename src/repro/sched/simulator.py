@@ -39,6 +39,10 @@ class Job:
     #: absolute completion deadline on the simulation clock; ``None``
     #: means best-effort (never shed for deadline reasons)
     deadline: Optional[float] = None
+    #: owning tenant (campaign) name; ``None`` means the anonymous
+    #: single-tenant regime — no per-tenant accounting, no fair-share
+    #: arbitration (see :mod:`repro.tenant`)
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.arrival < 0 or self.service <= 0:
@@ -96,6 +100,20 @@ class SimResult:
     #: replay-verification surface: two runs of the same event
     #: sequence must complete the same jobs in the same order
     completions: List[Tuple[float, int]] = field(default_factory=list)
+    #: per-tenant accounting (populated only for jobs with a tenant
+    #: tag; anonymous jobs cost nothing here) — waits/turnarounds per
+    #: started attempt, completed job counts, completed service
+    #: (the "delivered" quantity fairness indices are computed over),
+    #: and shed counts
+    tenant_waits: Dict[str, List[float]] = field(default_factory=dict)
+    tenant_turnarounds: Dict[str, List[float]] = field(
+        default_factory=dict
+    )
+    tenant_completed: Dict[str, int] = field(default_factory=dict)
+    tenant_completed_service: Dict[str, float] = field(
+        default_factory=dict
+    )
+    tenant_shed: Dict[str, int] = field(default_factory=dict)
 
     @property
     def peak_queue(self) -> int:
@@ -126,6 +144,29 @@ class SimResult:
         if not self.turnarounds:
             return 0.0
         return float(np.percentile(self.turnarounds, q))
+
+    @property
+    def tenants(self) -> List[str]:
+        """Every tenant that appeared in accounting, sorted."""
+        names = (
+            set(self.tenant_waits) | set(self.tenant_completed)
+            | set(self.tenant_shed)
+        )
+        return sorted(names)
+
+    def tenant_turnaround_percentile(self, name: str, q: float) -> float:
+        """Per-tenant *q*-th percentile turnaround (0 if none started)."""
+        values = self.tenant_turnarounds.get(name)
+        if not values:
+            return 0.0
+        return float(np.percentile(values, q))
+
+    def tenant_shed_rate(self, name: str) -> float:
+        """Shed / (completed + shed) for one tenant (0 when idle)."""
+        done = self.tenant_completed.get(name, 0)
+        lost = self.tenant_shed.get(name, 0)
+        total = done + lost
+        return lost / total if total else 0.0
 
 
 class _ReferenceQueue:
@@ -374,6 +415,11 @@ class SimulatorSession:
         self.retries = 0
         self.started = 0
         self.attempts: Dict[int, int] = {}
+        self.tenant_waits: Dict[str, List[float]] = {}
+        self.tenant_turnarounds: Dict[str, List[float]] = {}
+        self.tenant_completed: Dict[str, int] = {}
+        self.tenant_completed_service: Dict[str, float] = {}
+        self.tenant_shed: Dict[str, int] = {}
         self.events = 0
         self.next_fault = (
             fault_injector.next_fault_after(0.0)
@@ -406,6 +452,13 @@ class SimulatorSession:
             for job in batch:
                 self.waits.append(now - job.arrival)
                 self.turnarounds.append(now - job.arrival + job.service)
+                if job.tenant is not None:
+                    self.tenant_waits.setdefault(job.tenant, []).append(
+                        now - job.arrival
+                    )
+                    self.tenant_turnarounds.setdefault(
+                        job.tenant, []
+                    ).append(now - job.arrival + job.service)
                 heapq.heappush(
                     running, (now + job.service, job.job_id, job, now)
                 )
@@ -417,6 +470,10 @@ class SimulatorSession:
             n_running=len(self.running), n_gpus=self.n_gpus,
         ):
             self.shed += 1
+            if job.tenant is not None:
+                self.tenant_shed[job.tenant] = (
+                    self.tenant_shed.get(job.tenant, 0) + 1
+                )
             return False
         self.queue.push(job)
         return True
@@ -460,8 +517,16 @@ class SimulatorSession:
             self.completions.append((t, job.job_id))
             self.busy_time += finish - start
             self.useful_time += job.service
+            if job.tenant is not None:
+                self.tenant_completed[job.tenant] = (
+                    self.tenant_completed.get(job.tenant, 0) + 1
+                )
+                self.tenant_completed_service[job.tenant] = (
+                    self.tenant_completed_service.get(job.tenant, 0.0)
+                    + job.service
+                )
             if self.admission is not None:
-                self.admission.record_success(t)
+                self.admission.record_success(t, job=job)
         elif t_fault <= t_next and self.fault_injector is not None:
             self.next_fault = self.fault_injector.next_fault_after(t)
             if self.running:
@@ -473,7 +538,7 @@ class SimulatorSession:
                 self.busy_time += lost
                 self.wasted_time += lost
                 if self.admission is not None:
-                    self.admission.record_failure(t)
+                    self.admission.record_failure(t, job=job)
                 attempt = self.attempts.get(job_id, 0) + 1
                 self.attempts[job_id] = attempt
                 delay = (
@@ -548,6 +613,15 @@ class SimulatorSession:
             waits=list(self.waits),
             turnarounds=list(self.turnarounds),
             completions=list(self.completions),
+            tenant_waits={
+                k: list(v) for k, v in self.tenant_waits.items()
+            },
+            tenant_turnarounds={
+                k: list(v) for k, v in self.tenant_turnarounds.items()
+            },
+            tenant_completed=dict(self.tenant_completed),
+            tenant_completed_service=dict(self.tenant_completed_service),
+            tenant_shed=dict(self.tenant_shed),
         )
 
     # -- checkpoint protocol -------------------------------------------
@@ -578,6 +652,17 @@ class SimulatorSession:
             "retries": self.retries,
             "started": self.started,
             "attempts": dict(self.attempts),
+            "tenant_waits": {
+                k: list(v) for k, v in self.tenant_waits.items()
+            },
+            "tenant_turnarounds": {
+                k: list(v) for k, v in self.tenant_turnarounds.items()
+            },
+            "tenant_completed": dict(self.tenant_completed),
+            "tenant_completed_service": dict(
+                self.tenant_completed_service
+            ),
+            "tenant_shed": dict(self.tenant_shed),
             "events": self.events,
             "next_fault": self.next_fault,
             "finished": self._finished,
@@ -614,6 +699,18 @@ class SimulatorSession:
         self.retries = state["retries"]
         self.started = state["started"]
         self.attempts = dict(state["attempts"])
+        self.tenant_waits = {
+            k: list(v) for k, v in state.get("tenant_waits", {}).items()
+        }
+        self.tenant_turnarounds = {
+            k: list(v)
+            for k, v in state.get("tenant_turnarounds", {}).items()
+        }
+        self.tenant_completed = dict(state.get("tenant_completed", {}))
+        self.tenant_completed_service = dict(
+            state.get("tenant_completed_service", {})
+        )
+        self.tenant_shed = dict(state.get("tenant_shed", {}))
         self.events = state["events"]
         self.next_fault = state["next_fault"]
         self._finished = state["finished"]
@@ -802,6 +899,11 @@ class ClusterSimulator:
         retries = 0
         started = 0
         attempts: Dict[int, int] = {}
+        tenant_waits: Dict[str, List[float]] = {}
+        tenant_turnarounds: Dict[str, List[float]] = {}
+        tenant_completed: Dict[str, int] = {}
+        tenant_completed_service: Dict[str, float] = {}
+        tenant_shed: Dict[str, int] = {}
         inf = float("inf")
         next_fault = (
             fault_injector.next_fault_after(0.0)
@@ -820,6 +922,13 @@ class ClusterSimulator:
                 for job in batch:
                     waits.append(now - job.arrival)
                     turnarounds.append(now - job.arrival + job.service)
+                    if job.tenant is not None:
+                        tenant_waits.setdefault(job.tenant, []).append(
+                            now - job.arrival
+                        )
+                        tenant_turnarounds.setdefault(
+                            job.tenant, []
+                        ).append(now - job.arrival + job.service)
                     heapq.heappush(
                         running,
                         (now + job.service, job.job_id, job, now),
@@ -834,6 +943,10 @@ class ClusterSimulator:
                 n_running=len(running), n_gpus=self.n_gpus,
             ):
                 shed += 1
+                if job.tenant is not None:
+                    tenant_shed[job.tenant] = (
+                        tenant_shed.get(job.tenant, 0) + 1
+                    )
                 return False
             queue.push(job)
             return True
@@ -866,8 +979,16 @@ class ClusterSimulator:
                 completions.append((t, job.job_id))
                 busy_time += finish - start
                 useful_time += job.service
+                if job.tenant is not None:
+                    tenant_completed[job.tenant] = (
+                        tenant_completed.get(job.tenant, 0) + 1
+                    )
+                    tenant_completed_service[job.tenant] = (
+                        tenant_completed_service.get(job.tenant, 0.0)
+                        + job.service
+                    )
                 if admission is not None:
-                    admission.record_success(t)
+                    admission.record_success(t, job=job)
             elif t_fault <= t_next and fault_injector is not None:
                 next_fault = fault_injector.next_fault_after(t)
                 if running:
@@ -879,7 +1000,7 @@ class ClusterSimulator:
                     busy_time += lost
                     wasted_time += lost
                     if admission is not None:
-                        admission.record_failure(t)
+                        admission.record_failure(t, job=job)
                     attempt = attempts.get(job_id, 0) + 1
                     attempts[job_id] = attempt
                     delay = (
@@ -945,4 +1066,9 @@ class ClusterSimulator:
             waits=waits,
             turnarounds=turnarounds,
             completions=completions,
+            tenant_waits=tenant_waits,
+            tenant_turnarounds=tenant_turnarounds,
+            tenant_completed=tenant_completed,
+            tenant_completed_service=tenant_completed_service,
+            tenant_shed=tenant_shed,
         )

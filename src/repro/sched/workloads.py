@@ -59,6 +59,8 @@ def jobs_from_arrivals(
     priorities: Optional[Sequence[int]] = None,
     deadlines: Optional[Sequence[Optional[float]]] = None,
     job_id_base: int = 0,
+    tenant: Optional[str] = None,
+    tenants: Optional[Sequence[Optional[str]]] = None,
 ) -> List[Job]:
     """Zip parallel per-job streams into :class:`Job` records.
 
@@ -84,7 +86,13 @@ def jobs_from_arrivals(
     dls: Sequence[Optional[float]] = (
         [None] * n if deadlines is None else deadlines
     )
-    if longs.size != n or prios.size != n or len(dls) != n:
+    if tenant is not None and tenants is not None:
+        raise ValueError("pass tenant= or tenants=, not both")
+    tens: Sequence[Optional[str]] = (
+        [tenant] * n if tenants is None else tenants
+    )
+    if longs.size != n or prios.size != n or len(dls) != n \
+            or len(tens) != n:
         raise ValueError("per-job streams must align with arrivals")
     return [
         Job(
@@ -94,6 +102,7 @@ def jobs_from_arrivals(
             is_long=bool(longs[k]),
             priority=int(prios[k]),
             deadline=None if dls[k] is None else float(dls[k]),
+            tenant=tens[k],
         )
         for k in range(n)
     ]

@@ -1,0 +1,197 @@
+"""Incident flight recorder: bounded transition ring + WAL'd dumps.
+
+During a run the recorder keeps a bounded ring buffer of guard-layer
+transitions — shed decisions, breaker trips, brownout ladder moves —
+plus a baseline snapshot of the ``guard.*`` counters.  On an SLO
+breach or overload trip (:meth:`TenantRegistry.incident_worthy`) the
+driver dumps an **incident trace**: the complete job stream plus a
+header carrying the driver description (tenancy included), the ring
+contents, the ``guard.*`` counter deltas, and the run's replay
+fingerprint.  The file is a plain
+:class:`~repro.traffic.trace.TrafficTrace` in
+:class:`~repro.durable.wal.WriteAheadLog` framing (``sync=True``:
+incidents must survive the machine, not just the process), so
+
+- ``python -m repro.traffic`` replays it bit-exactly for post-mortem
+  A/B against alternate tenant configs,
+- a recorder killed mid-dump leaves a torn tail that strict loading
+  rejects and lenient loading truncates to the committed prefix, and
+- :func:`verify_incident` can demand the replayed fingerprint match
+  the one recorded at dump time, bit for bit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import snapshot_prefix
+from repro.traffic.trace import TrafficTrace
+
+__all__ = [
+    "FlightRecorder",
+    "incident_paths",
+    "record_incident",
+    "replay_incident",
+    "verify_incident",
+]
+
+
+class FlightRecorder:
+    """Bounded ring of admission/breaker/ladder transitions."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        #: transitions rotated out of the bounded ring
+        self.dropped = 0
+        #: ``guard.*`` counter baseline the dump diffs against
+        self._baseline = snapshot_prefix("guard.")
+
+    def note(self, kind: str, t: float, **detail: Any) -> None:
+        """Record one transition (oldest entries rotate out)."""
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        # the kwargs dict is already a fresh allocation owned by this
+        # call — claim it as the event record instead of copying it
+        detail["kind"] = kind
+        detail["t"] = t
+        self.events.append(detail)
+
+    def guard_deltas(self) -> Dict[str, float]:
+        """``guard.*`` counter movement since the recorder started."""
+        current = snapshot_prefix("guard.")
+        return {
+            k: current[k] - self._baseline.get(k, 0)
+            for k in current
+            if current[k] != self._baseline.get(k, 0)
+        }
+
+    def summary(self, reason: str) -> Dict[str, Any]:
+        return {
+            "reason": reason,
+            "events": [dict(e) for e in self.events],
+            "events_dropped": self.dropped,
+            "guard_deltas": self.guard_deltas(),
+        }
+
+    def dump_incident(
+        self,
+        path: Union[str, Path],
+        jobs,
+        driver_description: Dict[str, Any],
+        fingerprint: Dict[str, Any],
+        reason: str = "overload",
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> TrafficTrace:
+        """Write the WAL-framed incident trace (fsync per frame)."""
+        incident = self.summary(reason)
+        if extra:
+            incident.update(extra)
+        meta = {
+            "driver": driver_description,
+            "n_jobs": len(jobs),
+            "incident": incident,
+            "fingerprint": fingerprint,
+        }
+        trace = TrafficTrace.record(path, list(jobs), meta=meta,
+                                    sync=True)
+        _metrics.counter("tenant.incidents_dumped").add()
+        return trace
+
+    # -- checkpoint protocol -------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        return {
+            "events": [dict(e) for e in self.events],
+            "dropped": self.dropped,
+            "baseline": dict(self._baseline),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.events = deque(
+            (dict(e) for e in state["events"]), maxlen=self.capacity
+        )
+        self.dropped = state["dropped"]
+        self._baseline = dict(state["baseline"])
+
+
+def record_incident(
+    path: Union[str, Path], jobs, driver, reason: Optional[str] = None
+):
+    """Run *jobs* under a tenancy-mode driver; dump an incident when
+    one is worth dumping.
+
+    Returns ``(trace_or_None, report)``: the trace is ``None`` when
+    the run finished healthy (no breaker trip, no tenant at the
+    degrade rung, no goodput-floor breach) and *reason* was not
+    forced.  Pass an explicit *reason* to dump unconditionally
+    (drills, bench gates).
+    """
+    jobs = list(jobs)
+    report = driver.run(jobs)
+    registry = report.registry
+    if registry is None:
+        raise ValueError(
+            "incident recording requires a tenancy-mode driver"
+        )
+    worthy = registry.incident_worthy(
+        driver.n_gpus, report.result.makespan
+    )
+    if reason is None and not worthy:
+        return None, report
+    trace = registry.recorder.dump_incident(
+        path, jobs, driver.describe(), report.fingerprint(),
+        reason=reason or "overload",
+        extra={"tenant_summary": registry.tenant_summary()},
+    )
+    return trace, report
+
+
+def replay_incident(
+    path: Union[str, Path], strict: bool = True
+) -> Tuple[Any, TrafficTrace]:
+    """Re-run an incident trace through a driver rebuilt from its
+    header; returns ``(TrafficReport, TrafficTrace)``.
+
+    ``strict=False`` replays the surviving prefix of a torn trace
+    (post-crash triage) — the fingerprint check then only makes sense
+    against a fresh replay, not the recorded one.
+    """
+    from repro.traffic.driver import OpenLoopDriver
+
+    trace = TrafficTrace.load(path, strict=strict)
+    driver = OpenLoopDriver.from_description(trace.meta["driver"])
+    report = driver.run(trace.jobs)
+    _metrics.counter("tenant.incidents_replayed").add()
+    return report, trace
+
+
+def verify_incident(path: Union[str, Path]):
+    """Replay *path* twice; demand both fingerprints match each other
+    **and** the fingerprint recorded at dump time.  Returns the replay
+    report; raises ``AssertionError`` on any divergence."""
+    first, trace = replay_incident(path)
+    second, _ = replay_incident(path)
+    if first.fingerprint() != second.fingerprint():
+        raise AssertionError(
+            f"{path}: incident replay diverged from itself — "
+            "nondeterministic driver state leaked between runs"
+        )
+    recorded = trace.meta.get("fingerprint")
+    if recorded is not None and first.fingerprint() != recorded:
+        raise AssertionError(
+            f"{path}: incident replay diverged from the recorded "
+            "fingerprint — the post-mortem is not looking at the "
+            "outage it thinks it is"
+        )
+    return first
+
+
+def incident_paths(directory: Union[str, Path]) -> List[Path]:
+    """Every incident trace under *directory*, sorted by name."""
+    return sorted(Path(directory).glob("incident-*.trace"))

@@ -1,0 +1,122 @@
+"""Canned multi-tenant pile-up scenarios (bench + CI + CLI).
+
+The canonical robustness experiment from the issue: several compliant
+tenants each offering just under their fair share, plus one noisy
+tenant offering a multiple of its share.  The builder synthesizes each
+tenant's stream from its own :class:`~repro.traffic.population.UserPopulation`
+and Poisson arrival process (seeded independently per tenant, so
+streams are reproducible and uncorrelated), tags every job with its
+tenant, and interleaves the streams into one offered-load sequence.
+
+The bundle also keeps the per-tenant job lists so a gate can run each
+compliant tenant *in isolation* — same jobs, empty machine — and
+compare p99 turnaround / shed rate against the pile-up run, which is
+exactly the noisy-neighbor containment the arbiter must deliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sched.simulator import Job
+from repro.tenant.spec import TenancySpec, TenantSpec
+from repro.traffic.arrivals import PoissonArrivals
+from repro.traffic.population import UserPopulation
+
+__all__ = ["PileupBundle", "multitenant_pileup"]
+
+#: job-id stride per tenant: keeps ids globally unique and makes the
+#: owning tenant recoverable from a bare id during triage
+_ID_STRIDE = 1_000_000
+
+
+@dataclass(frozen=True)
+class PileupBundle:
+    """One synthesized pile-up: the contract, the load, the pieces."""
+
+    tenancy: TenancySpec
+    #: the interleaved offered-load sequence (arrival-sorted)
+    jobs: Tuple[Job, ...]
+    #: each tenant's own stream (isolated-baseline inputs)
+    jobs_by_tenant: Dict[str, Tuple[Job, ...]]
+    #: per-tenant offered arrival rates (jobs per time unit)
+    rates: Dict[str, float]
+    #: the noisy tenant's name
+    noisy: str
+
+
+def multitenant_pileup(
+    n_gpus: int = 8,
+    n_compliant: int = 3,
+    noisy_factor: float = 4.0,
+    compliant_load: float = 0.8,
+    n_jobs_per_tenant: int = 300,
+    mean_service: float = 4.0,
+    seed: int = 0,
+    window: float = 50.0,
+    protect_priority: int = 1,
+    goodput_floor: float = 0.25,
+    breaker_failure_threshold: int = 8,
+) -> PileupBundle:
+    """Build the standard one-noisy-neighbor pile-up.
+
+    Capacity splits evenly across ``n_compliant + 1`` equal-weight
+    tenants; compliant tenants offer ``compliant_load`` x their fair
+    share, the noisy tenant offers ``noisy_factor`` x.  Jobs per
+    tenant, not duration, bounds the experiment so short CI runs and
+    long bench runs share one builder.
+    """
+    if n_compliant < 1:
+        raise ValueError("need at least one compliant tenant")
+    if noisy_factor <= 1.0:
+        raise ValueError("noisy_factor must exceed 1 (else nobody "
+                         "violates)")
+    if not (0.0 < compliant_load <= 1.0):
+        raise ValueError("compliant_load in (0, 1]")
+    n_tenants = n_compliant + 1
+    # equal weights: each tenant's fair share of the machine is
+    # n_gpus / n_tenants service-seconds per second, i.e. an arrival
+    # rate of share / mean_service jobs per second
+    share_rate = n_gpus / (n_tenants * mean_service)
+    names = [f"tenant{k}" for k in range(n_compliant)]
+    noisy = "noisy"
+    specs = [
+        TenantSpec(
+            name=name,
+            weight=1.0,
+            protect_priority=protect_priority,
+            goodput_floor=goodput_floor,
+            breaker_failure_threshold=breaker_failure_threshold,
+        )
+        for name in names + [noisy]
+    ]
+    tenancy = TenancySpec(tenants=tuple(specs), window=window)
+    rates = {name: compliant_load * share_rate for name in names}
+    rates[noisy] = noisy_factor * share_rate
+    jobs_by_tenant: Dict[str, Tuple[Job, ...]] = {}
+    for idx, name in enumerate(names + [noisy]):
+        tenant_seed = seed * 131 + idx
+        population = UserPopulation(
+            n_users=10_000,
+            seed=tenant_seed,
+            mean_service=mean_service,
+            tenant=name,
+        )
+        arrivals = PoissonArrivals(rates[name]).sample(
+            n_jobs_per_tenant, seed=tenant_seed
+        )
+        jobs_by_tenant[name] = tuple(
+            population.jobs_for(arrivals, job_id_base=idx * _ID_STRIDE)
+        )
+    merged = sorted(
+        (j for stream in jobs_by_tenant.values() for j in stream),
+        key=lambda j: (j.arrival, j.job_id),
+    )
+    return PileupBundle(
+        tenancy=tenancy,
+        jobs=tuple(merged),
+        jobs_by_tenant=jobs_by_tenant,
+        rates=rates,
+        noisy=noisy,
+    )

@@ -1,0 +1,163 @@
+"""Declarative tenant configuration (trace-header-able).
+
+A :class:`TenantSpec` is one campaign's SLO contract: its fair-share
+weight, the priority below which its work may be pressure-shed, its
+goodput floor (the fraction of fair share below which the tenant is
+considered SLO-breached), and its private breaker/queue limits.  A
+:class:`TenancySpec` is the whole machine's contract — every tenant
+plus the shared arbiter window and brownout thresholds — and follows
+the repo's spec idiom (:class:`repro.traffic.driver.ChaosSpec`):
+frozen, ``describe()``/``from_description()`` round-trippable through
+JSON trace headers, with ``make()`` building the live object.  That
+round trip is what lets an incident trace rebuild the exact tenant
+configuration it was recorded under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.guard.deadline import AdmissionController, CircuitBreaker
+
+__all__ = ["TenantSpec", "TenancySpec"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's SLO contract and guard configuration."""
+
+    name: str
+    #: fair-share weight in the weighted max-min arbiter
+    weight: float = 1.0
+    #: jobs below this priority may be pressure-shed (queue_saturated,
+    #: breaker_open, brownout); higher-priority work is protected
+    protect_priority: int = 0
+    #: SLO floor: admitted service below ``goodput_floor`` x fair
+    #: share flags an SLO breach (and trips the flight recorder dump)
+    goodput_floor: float = 0.0
+    #: deadline-slack multiplier this tenant's populations are built
+    #: with (scenario knob; carried here so the incident header
+    #: documents the contract the tenant was sold)
+    deadline_slack: float = 1.0
+    max_queue: Optional[int] = None
+    breaker_failure_threshold: Optional[int] = None
+    breaker_recovery_time: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be > 0")
+        if not (0.0 <= self.goodput_floor <= 1.0):
+            raise ValueError(
+                f"tenant {self.name!r}: goodput_floor in [0, 1]"
+            )
+        if self.deadline_slack <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: deadline_slack must be > 0"
+            )
+
+    def make_controller(self) -> AdmissionController:
+        """This tenant's private admission controller (+ breaker)."""
+        breaker = None
+        if self.breaker_failure_threshold is not None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.breaker_failure_threshold,
+                recovery_time=self.breaker_recovery_time,
+                name=f"tenant.{self.name}",
+            )
+        return AdmissionController(
+            max_queue=self.max_queue,
+            protect_priority=self.protect_priority,
+            breaker=breaker,
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "protect_priority": self.protect_priority,
+            "goodput_floor": self.goodput_floor,
+            "deadline_slack": self.deadline_slack,
+            "max_queue": self.max_queue,
+            "breaker_failure_threshold": self.breaker_failure_threshold,
+            "breaker_recovery_time": self.breaker_recovery_time,
+        }
+
+    @classmethod
+    def from_description(cls, desc: Dict[str, Any]) -> "TenantSpec":
+        return cls(
+            name=desc["name"],
+            weight=desc["weight"],
+            protect_priority=desc["protect_priority"],
+            goodput_floor=desc["goodput_floor"],
+            deadline_slack=desc.get("deadline_slack", 1.0),
+            max_queue=desc["max_queue"],
+            breaker_failure_threshold=desc["breaker_failure_threshold"],
+            breaker_recovery_time=desc["breaker_recovery_time"],
+        )
+
+
+@dataclass(frozen=True)
+class TenancySpec:
+    """The machine-wide multi-tenant contract."""
+
+    tenants: Tuple[TenantSpec, ...]
+    #: sliding window (simulated seconds) over which per-tenant
+    #: offered/admitted rates are measured for the arbiter
+    window: float = 50.0
+    #: kill switch for A/B runs: with the arbiter off, the registry
+    #: degenerates to independent per-tenant controllers (no
+    #: fair-share clipping, no brownout)
+    arbiter_enabled: bool = True
+    #: brownout hysteresis thresholds (None = ladder defaults)
+    brownout: Optional[Dict[str, float]] = None
+    #: flight-recorder ring capacity
+    recorder_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("need at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.recorder_capacity < 1:
+            raise ValueError("recorder_capacity must be >= 1")
+
+    def spec_for(self, name: str) -> TenantSpec:
+        for t in self.tenants:
+            if t.name == name:
+                return t
+        raise KeyError(f"unknown tenant {name!r}")
+
+    def make(self):
+        """Build the live :class:`~repro.tenant.TenantRegistry`."""
+        from repro.tenant.registry import TenantRegistry
+
+        return TenantRegistry(self)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "tenants": [t.describe() for t in self.tenants],
+            "window": self.window,
+            "arbiter_enabled": self.arbiter_enabled,
+            "brownout": (
+                None if self.brownout is None else dict(self.brownout)
+            ),
+            "recorder_capacity": self.recorder_capacity,
+        }
+
+    @classmethod
+    def from_description(cls, desc: Dict[str, Any]) -> "TenancySpec":
+        return cls(
+            tenants=tuple(
+                TenantSpec.from_description(t) for t in desc["tenants"]
+            ),
+            window=desc["window"],
+            arbiter_enabled=desc["arbiter_enabled"],
+            brownout=desc.get("brownout"),
+            recorder_capacity=desc.get("recorder_capacity", 256),
+        )

@@ -47,6 +47,31 @@ def _process(kind: str, rate: float):
     raise SystemExit(f"unknown process {kind!r}")
 
 
+def _replay_one(path: Path) -> int:
+    """Replay a recorded trace; verify determinism (and, for tenant
+    incident traces, the fingerprint recorded at dump time)."""
+    from repro.traffic.trace import TrafficTrace
+
+    meta = TrafficTrace.load(path).meta
+    try:
+        if "incident" in meta:
+            from repro.tenant.recorder import verify_incident
+
+            report = verify_incident(path)
+            kind = f"incident ({meta['incident'].get('reason')})"
+        else:
+            report = verify_replay(path)
+            kind = "experiment"
+    except AssertionError as exc:
+        print(f"[traffic] {path}: REPLAY FAILED: {exc}", file=sys.stderr)
+        return 1
+    fp = report.fingerprint()
+    print(f"[traffic] {path}: {kind} replayed bit-exactly -- "
+          f"completed={fp['completed']} shed={fp['shed']} "
+          f"failures={fp['failures']}")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.traffic",
@@ -54,6 +79,10 @@ def main(argv=None) -> int:
     )
     ap.add_argument("--out", type=Path, default=None,
                     help="trace directory (default: a temp dir)")
+    ap.add_argument("--replay", type=Path, default=None, metavar="TRACE",
+                    help="replay one recorded trace (experiment or "
+                         "tenant incident) and verify its fingerprint "
+                         "instead of recording new experiments")
     ap.add_argument("--processes", default="poisson,mmpp",
                     help="comma list of poisson,mmpp,diurnal")
     ap.add_argument("--jobs", type=int, default=300)
@@ -64,6 +93,9 @@ def main(argv=None) -> int:
     ap.add_argument("--chaos-mtbf", type=float, default=400.0,
                     help="fault-injector MTBF (0 disables chaos)")
     args = ap.parse_args(argv)
+
+    if args.replay is not None:
+        return _replay_one(args.replay)
 
     out = args.out
     if out is None:

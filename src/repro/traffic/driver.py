@@ -126,6 +126,14 @@ class TrafficReport:
     #: ``guard.*`` counter deltas accumulated during the run
     guard_counters: Dict[str, float] = field(default_factory=dict)
     breaker_state: Optional[Dict[str, Any]] = None
+    #: breaker trips across the run (all tenants, in tenancy mode)
+    trips: int = 0
+    #: per-tenant counters from the registry (tenancy mode only)
+    tenant_summary: Optional[Dict[str, Dict[str, Any]]] = None
+    #: the live :class:`~repro.tenant.TenantRegistry` behind the run
+    #: (tenancy mode only; carries the flight recorder for incident
+    #: dumps — never part of the fingerprint)
+    registry: Optional[Any] = None
 
     @property
     def p50_wait(self) -> float:
@@ -152,7 +160,7 @@ class TrafficReport:
         same specs must produce an identical (bit-exact) fingerprint —
         same shed decisions and reasons, same ``guard.*`` counters,
         same completion order and times."""
-        return {
+        fp: Dict[str, Any] = {
             "completions": [
                 [t, j] for t, j in self.result.completions
             ],
@@ -169,6 +177,20 @@ class TrafficReport:
             "failures": self.result.failures,
             "retries": self.result.retries,
         }
+        # tenant-keyed entries appear only when tenancy was in play, so
+        # pre-tenant fingerprints (and their recorded traces) stay
+        # byte-stable
+        if self.tenant_summary is not None:
+            fp["trips"] = self.trips
+            fp["tenant_summary"] = {
+                k: dict(v) for k, v in self.tenant_summary.items()
+            }
+            fp["tenant_completed"] = dict(self.result.tenant_completed)
+            fp["tenant_completed_service"] = dict(
+                self.result.tenant_completed_service
+            )
+            fp["tenant_shed"] = dict(self.result.tenant_shed)
+        return fp
 
 
 class OpenLoopDriver:
@@ -188,10 +210,16 @@ class OpenLoopDriver:
         retry_policy=None,
         horizon: Optional[float] = None,
         engine: str = "auto",
+        tenancy=None,
     ):
         if policy not in _POLICIES:
             raise ValueError(
                 f"unknown policy {policy!r}; one of {sorted(_POLICIES)}"
+            )
+        if admission is not None and tenancy is not None:
+            raise ValueError(
+                "pass admission= (single-tenant) or tenancy= "
+                "(multi-tenant), not both"
             )
         self.n_gpus = n_gpus
         self.policy = policy
@@ -200,6 +228,8 @@ class OpenLoopDriver:
         self.retry_policy = retry_policy
         self.horizon = horizon
         self.engine = engine
+        #: :class:`repro.tenant.TenancySpec` — multi-tenant mode
+        self.tenancy = tenancy
 
     def describe(self) -> Dict[str, Any]:
         return {
@@ -212,10 +242,19 @@ class OpenLoopDriver:
             "chaos": None if self.chaos is None else self.chaos.describe(),
             "horizon": self.horizon,
             "engine": self.engine,
+            "tenancy": (
+                None if self.tenancy is None else self.tenancy.describe()
+            ),
         }
 
     @classmethod
     def from_description(cls, desc: Dict[str, Any]) -> "OpenLoopDriver":
+        tenancy = None
+        if desc.get("tenancy") is not None:
+            # function-level import: repro.tenant sits above this module
+            from repro.tenant.spec import TenancySpec
+
+            tenancy = TenancySpec.from_description(desc["tenancy"])
         return cls(
             n_gpus=desc["n_gpus"],
             policy=desc["policy"],
@@ -229,11 +268,17 @@ class OpenLoopDriver:
             ),
             horizon=desc.get("horizon"),
             engine=desc.get("engine", "auto"),
+            tenancy=tenancy,
         )
 
     def run(self, jobs) -> TrafficReport:
         """Drive *jobs* (any iterable of :class:`Job`) to resolution."""
-        admission = None if self.admission is None else self.admission.make()
+        if self.tenancy is not None:
+            admission = self.tenancy.make()
+        elif self.admission is not None:
+            admission = self.admission.make()
+        else:
+            admission = None
         injector = None if self.chaos is None else self.chaos.make()
         guard_before = _guard_counter_snapshot()
         session = SimulatorSession(
@@ -249,6 +294,7 @@ class OpenLoopDriver:
             for k in guard_after
             if guard_after[k] != guard_before.get(k, 0)
         }
+        registry = admission if self.tenancy is not None else None
         return TrafficReport(
             result=result,
             shed_log=[] if admission is None else list(admission.shed_log),
@@ -257,16 +303,18 @@ class OpenLoopDriver:
                 None if admission is None or admission.breaker is None
                 else admission.breaker.checkpoint_state()
             ),
+            trips=0 if registry is None else registry.trips,
+            tenant_summary=(
+                None if registry is None else registry.tenant_summary()
+            ),
+            registry=registry,
         )
 
 
 def _guard_counter_snapshot() -> Dict[str, float]:
-    from repro.obs import snapshot
+    from repro.obs import snapshot_prefix
 
-    return {
-        k: v for k, v in snapshot()["counters"].items()
-        if k.startswith("guard.")
-    }
+    return snapshot_prefix("guard.")
 
 
 # ---------------------------------------------------------------------------

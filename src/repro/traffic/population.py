@@ -73,6 +73,7 @@ class UserPopulation:
         n_priorities: int = 3,
         deadline_slack: Sequence[float] = (2.0, 6.0),
         best_effort_fraction: float = 0.25,
+        tenant: Optional[str] = None,
     ):
         if n_users < 1:
             raise ValueError("need at least one user")
@@ -97,6 +98,8 @@ class UserPopulation:
         self.deadline_slack = (float(deadline_slack[0]),
                                float(deadline_slack[1]))
         self.best_effort_fraction = best_effort_fraction
+        #: tenant tag stamped on every synthesized job (None = anonymous)
+        self.tenant = tenant
         self.reset()
 
     def reset(self) -> None:
@@ -172,6 +175,7 @@ class UserPopulation:
         return jobs_from_arrivals(
             arrivals, services, is_long=longs, priorities=prios,
             deadlines=deadlines, job_id_base=job_id_base,
+            tenant=self.tenant,
         )
 
     @property
@@ -191,6 +195,7 @@ class UserPopulation:
             "n_priorities": self.n_priorities,
             "deadline_slack": list(self.deadline_slack),
             "best_effort_fraction": self.best_effort_fraction,
+            "tenant": self.tenant,
         }
 
     @classmethod
@@ -202,4 +207,6 @@ class UserPopulation:
             n_priorities=desc["n_priorities"],
             deadline_slack=tuple(desc["deadline_slack"]),
             best_effort_fraction=desc["best_effort_fraction"],
+            # .get: traces recorded before the tenant layer carry no tag
+            tenant=desc.get("tenant"),
         )

@@ -30,7 +30,7 @@ VERSION = 1
 
 
 def _job_record(job: Job) -> Dict[str, Any]:
-    return {
+    rec = {
         "id": job.job_id,
         "arrival": job.arrival,
         "service": job.service,
@@ -38,6 +38,11 @@ def _job_record(job: Job) -> Dict[str, Any]:
         "priority": job.priority,
         "deadline": job.deadline,
     }
+    # written only when set, so single-tenant traces stay byte-stable
+    # against the pre-tenant format
+    if job.tenant is not None:
+        rec["tenant"] = job.tenant
+    return rec
 
 
 def _job_from_record(rec: Dict[str, Any]) -> Job:
@@ -50,6 +55,7 @@ def _job_from_record(rec: Dict[str, Any]) -> Job:
         deadline=(
             None if rec["deadline"] is None else float(rec["deadline"])
         ),
+        tenant=rec.get("tenant"),
     )
 
 

@@ -100,6 +100,8 @@ class MummiCampaign:
         breaker=None,
         admission=None,
         backend=None,
+        tenant: Optional[str] = None,
+        ladder=None,
     ):
         if md_code not in ("ddcmd", "gromacs"):
             raise ValueError("md_code must be 'ddcmd' or 'gromacs'")
@@ -143,6 +145,15 @@ class MummiCampaign:
         #: :class:`repro.guard.deadline.AdmissionController` consulted
         #: by the cluster simulator at enqueue time
         self.admission = admission
+        #: owning tenant name, stamped on every micro MD job so a
+        #: shared-machine admission layer (the
+        #: :class:`~repro.tenant.TenantRegistry`) can charge this
+        #: campaign's load to its own contract
+        self.tenant = tenant
+        #: :class:`repro.tenant.BrownoutLadder` — at the ``degrade``
+        #: rung or worse the cycle is served from the macro surrogate
+        #: even while the breaker is closed (brownout beats fidelity)
+        self.ladder = ladder
         #: fidelity rung that served each cycle: "micro-md"/"surrogate"
         self.rungs_served: List[str] = []
         self.jobs_shed = 0
@@ -211,6 +222,11 @@ class MummiCampaign:
             float(self.cycles_done)
         ):
             return self._run_surrogate_cycle(candidates, comps)
+        # brownout: the tenant layer can demand degraded service even
+        # with a healthy breaker (the machine is overloaded, not
+        # faulting) — serve the surrogate rung, burn no GPU-hours
+        if self.ladder is not None and self.ladder.at_least("degrade"):
+            return self._run_surrogate_cycle(candidates, comps)
         service = self.steps_per_sim * self.step_time
         # job_id order is novelty rank: rank 0 is the most novel patch
         # and gets the highest priority, so under load shedding the
@@ -219,7 +235,8 @@ class MummiCampaign:
             Job(job_id=int(k), arrival=0.0,
                 service=service * float(self.rng.uniform(0.9, 1.1)),
                 priority=int(candidates.size - k),
-                deadline=self.cycle_budget)
+                deadline=self.cycle_budget,
+                tenant=self.tenant)
             for k in range(candidates.size)
         ]
         result = ClusterSimulator(self.n_gpus).run(
@@ -386,6 +403,10 @@ class MummiCampaign:
                 None if self.admission is None
                 else self.admission.checkpoint_state()
             ),
+            "ladder": (
+                None if self.ladder is None
+                else self.ladder.checkpoint_state()
+            ),
         }
 
     def restore_state(self, state: Dict[str, Any]) -> None:
@@ -421,6 +442,8 @@ class MummiCampaign:
             self.breaker.restore_state(state["breaker"])
         if self.admission is not None and state.get("admission") is not None:
             self.admission.restore_state(state["admission"])
+        if self.ladder is not None and state.get("ladder") is not None:
+            self.ladder.restore_state(state["ladder"])
 
     #: composition values live in O(1) territory; anything near this
     #: bound can only come from corrupted state
