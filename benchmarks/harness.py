@@ -1084,6 +1084,178 @@ def case_multitenant_pileup(smoke: bool) -> Dict:
     return case
 
 
+def case_ab_replay(smoke: bool) -> Dict:
+    """Live capture + A/B differential replay, end to end.
+
+    Three gates:
+
+    - **seal**: a live capture must finish complete with the run's
+      fingerprint sealed in the trailer;
+    - **contract**: :func:`repro.traffic.ab_replay` on the captured
+      trace must report ``fingerprint_matched`` (replay-vs-record,
+      bit for bit) and no same-config divergence under a two-variant
+      matrix (sjf policy, half the GPUs);
+    - **overhead**: capture mode's *streaming* tax.  The uncaptured
+      alternative that produces the same replayable artifact is the
+      ``record_experiment`` shape — write every job frame up front,
+      then run.  The gate compares that (TraceWriter batch write +
+      bare run + seal) against the live tap (identical frames,
+      written from inside the hot loop as jobs are offered,
+      ``decisions=False``) and demands < 3%.  Per-decision frames are
+      extra *data* the batch path cannot produce at all; their cost
+      is reported ungated as ``decision_frames_overhead_pct``.
+      (Against a run with *no* trace at all the comparison is
+      meaningless here: serializing a job costs a few µs while the
+      simulator spends a few µs per job *total* — the paper's system
+      amortizes capture against jobs that run for minutes.)
+
+    The overhead estimator is the ``multitenant_pileup`` one: median
+    of back-to-back pair ratios in alternating order, best of three
+    blocks, gc off (the true delta is small enough that min/min or a
+    single block swings past the gate on steal noise alone).
+
+    ``wall_s`` is the captured run (tap on, trailer sealed);
+    ``ref_wall_s`` is the A/B replay pass (baseline twice + two
+    variants).
+    """
+    from repro.traffic import (
+        ABVariant,
+        AdmissionSpec,
+        CaptureTap,
+        ChaosSpec,
+        OpenLoopDriver,
+        PoissonArrivals,
+        UserPopulation,
+        ab_replay,
+        capture_experiment,
+        generate_jobs,
+    )
+
+    n_gpus = 8
+    n_jobs = 150 if smoke else 500
+    process = PoissonArrivals(rate=0.9)
+
+    def population():
+        return UserPopulation(n_users=20_000, seed=0,
+                              mean_service=10.0,
+                              best_effort_fraction=0.3)
+
+    def make_driver():
+        return OpenLoopDriver(
+            n_gpus=n_gpus, policy="fcfs",
+            admission=AdmissionSpec(
+                max_queue=3 * n_gpus, protect_priority=2,
+                breaker_failure_threshold=3,
+                breaker_recovery_time=40.0,
+            ),
+            chaos=ChaosSpec(mtbf=250.0, seed=1),
+        )
+
+    with tempfile.TemporaryDirectory(prefix="bench-ab-") as root:
+        path = Path(root) / "live.trace"
+        (trace, report), t_capture = _timed(
+            lambda: capture_experiment(
+                path, process, population(), make_driver(),
+                n_jobs=n_jobs,
+            )
+        )
+        sealed = (trace.complete
+                  and trace.fingerprint == report.fingerprint())
+        ab, t_ab = _timed(lambda: ab_replay(path, [
+            ABVariant("sjf", {"policy": "sjf"}),
+            ABVariant("half_gpus", {"n_gpus": n_gpus // 2}),
+        ]))
+
+        # streaming tax: batch write-then-run vs live tap, identical
+        # frames and fresh drivers, paired alternating order (see
+        # docstring)
+        from repro.traffic import TraceWriter
+
+        # the overhead run is kept at full length even in smoke mode:
+        # shorter runs put pair-ratio noise on the same order as the
+        # 3% gate itself
+        jobs = generate_jobs(process, population(), 300, arrival_seed=2)
+        scratch = Path(root) / "overhead.trace"
+
+        def run_batch():
+            writer = TraceWriter(scratch, n_jobs=len(jobs))
+            try:
+                for job in jobs:
+                    writer.append_job(job)
+                report = make_driver().run(jobs)
+                writer.seal(report.fingerprint())
+            finally:
+                writer.close()
+            return report
+
+        def run_tapped(decisions=False):
+            tap = CaptureTap(scratch, n_jobs=len(jobs),
+                             decisions=decisions)
+            try:
+                report = make_driver().run(jobs, tap=tap)
+                tap.seal(report.fingerprint())
+            finally:
+                tap.close()
+            return report
+
+        def paired_ratio(test, base, pairs=16):
+            base()
+            test()
+            ratios = []
+            for i in range(pairs):
+                if i % 2 == 0:
+                    _, tb = _timed(base)
+                    _, tt = _timed(test)
+                else:
+                    _, tt = _timed(test)
+                    _, tb = _timed(base)
+                ratios.append(tt / tb)
+            ratios.sort()
+            return ratios[len(ratios) // 2]
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            # five blocks: a single block's A/A control reads up to
+            # +-8% on this host; the min across blocks is the robust
+            # one-sided estimate (noise only ever inflates a block)
+            overhead = min(
+                paired_ratio(run_tapped, run_batch) for _ in range(5)
+            ) - 1.0
+            decision_tax = min(
+                paired_ratio(lambda: run_tapped(True), run_batch)
+                for _ in range(3)
+            ) - 1.0
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    if not sealed:
+        check = "capture did not seal the run fingerprint"
+    elif ab.fingerprint_matched is not True:
+        check = "replay fingerprint does not match the sealed trailer"
+    elif ab.diverged:
+        check = "same-config replay diverged"
+    elif overhead > 0.03:
+        check = f"capture overhead {overhead * 100:.2f}% > 3%"
+    else:
+        check = "ok"
+    case = _case("ab_replay", t_capture, t_ab, None, check)
+    case["n_jobs"] = len(trace)
+    case["capture_overhead_pct"] = round(overhead * 100, 2)
+    case["decision_frames_overhead_pct"] = round(decision_tax * 100, 2)
+    case["fingerprint_matched"] = ab.fingerprint_matched
+    case["variant_deltas"] = {
+        v["name"]: {
+            "p99_wait": round(v["deltas"]["p99_wait"], 4),
+            "shed_rate": round(v["deltas"]["shed_rate"], 4),
+            "completed": v["deltas"]["completed"],
+        }
+        for v in ab.variants
+    }
+    return case
+
+
 CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("gauss_seidel", case_gauss_seidel),
     ("md_neighbor", case_md_neighbor),
@@ -1098,6 +1270,7 @@ CASES: List[Tuple[str, Callable[[bool], Dict]]] = [
     ("durability_overhead", case_durability_overhead),
     ("traffic_openloop", case_traffic_openloop),
     ("multitenant_pileup", case_multitenant_pileup),
+    ("ab_replay", case_ab_replay),
 ]
 
 

@@ -31,7 +31,7 @@ from repro.durable.campaign import (
 )
 from repro.durable.chaos import ChaosReport, run_chaos, state_mismatches
 from repro.durable.store import DurableStore
-from repro.durable.wal import WriteAheadLog
+from repro.durable.wal import WriteAheadLog, read_records
 
 __all__ = [
     "ChaosReport",
@@ -39,6 +39,7 @@ __all__ = [
     "DurableStore",
     "ResumableCampaign",
     "WriteAheadLog",
+    "read_records",
     "run_chaos",
     "state_mismatches",
 ]

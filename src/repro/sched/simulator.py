@@ -340,6 +340,59 @@ def _build_queue(policy, engine: str, n_gpus: int):
     return factory(n_gpus)
 
 
+class _StreamSource:
+    """One-job lookahead over a lazily generated arrival stream.
+
+    Presents exactly the interface the event loop needs — the next
+    arrival time (``peek_time``) and the next job (``pop``) — while
+    pulling from a generator that may be unbounded.  The horizon is
+    the cut: the first job whose arrival exceeds it marks the source
+    exhausted *without being offered*, which is precisely how a
+    materialized job list truncated at the horizon behaves (jobs with
+    ``arrival <= horizon`` offered, the strict ``t_next > horizon``
+    stop untouched).  That equivalence — streamed session ≡
+    materialized session on the truncated list — is gated by test.
+
+    Arrivals must be nondecreasing (generated streams are; a shuffled
+    source would need materializing and sorting anyway).
+    """
+
+    __slots__ = ("horizon", "exhausted", "_it", "_next", "_last_t")
+
+    def __init__(self, it, horizon: float):
+        self._it = iter(it)
+        self.horizon = horizon
+        self.exhausted = False
+        self._next: Optional[Job] = None
+        self._last_t = float("-inf")
+        self._advance()
+
+    def _advance(self) -> None:
+        try:
+            job = next(self._it)
+        except StopIteration:
+            self._next, self._it, self.exhausted = None, None, True
+            return
+        if job.arrival < self._last_t:
+            raise ValueError(
+                "stream arrivals must be nondecreasing "
+                f"({job.arrival} after {self._last_t})"
+            )
+        self._last_t = job.arrival
+        if job.arrival > self.horizon:
+            self._next, self._it, self.exhausted = None, None, True
+        else:
+            self._next = job
+
+    def peek_time(self) -> float:
+        return self._next.arrival if self._next is not None else float("inf")
+
+    def pop(self) -> Job:
+        job = self._next
+        self._advance()
+        return job
+
+
 class SimulatorSession:
     """Stepwise, checkpointable twin of the batch event loop.
 
@@ -363,12 +416,22 @@ class SimulatorSession:
     event-heap state mid-schedule.  Restoring requires a session
     constructed with the same jobs, policy, and engine as the one
     that checkpointed.
+
+    Two capture-mode extensions (both default-off, with zero effect
+    on the materialized path): ``stream=`` feeds the session from a
+    lazy job generator bounded by the horizon instead of a
+    materialized list (see :class:`_StreamSource`; such sessions are
+    not checkpointable — the generator state cannot be snapshotted),
+    and ``tap=`` attaches an observer whose ``on_job(job)`` is called
+    once per offered job and ``on_decision(kind, t, job_id)`` on
+    sheds, completions, faults, and drops — the hook live trace
+    capture hangs off.
     """
 
     def __init__(
         self,
         n_gpus: int,
-        jobs: Sequence[Job],
+        jobs: Optional[Sequence[Job]],
         policy=None,
         horizon: Optional[float] = None,
         fault_injector=None,
@@ -376,26 +439,51 @@ class SimulatorSession:
         engine: str = "auto",
         admission=None,
         queue=None,
+        stream=None,
+        tap=None,
     ):
         if n_gpus < 1:
             raise ValueError("need at least one GPU")
-        jobs = list(jobs)  # accept any iterable (arrival streams)
-        if not jobs:
-            raise ValueError("no jobs to schedule")
+        if stream is not None:
+            if jobs is not None:
+                raise ValueError("pass jobs or stream, not both")
+            if horizon is None:
+                raise ValueError(
+                    "streamed sessions need a horizon (the stream "
+                    "may be unbounded)"
+                )
+        else:
+            jobs = list(jobs)  # accept any iterable (arrival streams)
+            if not jobs:
+                raise ValueError("no jobs to schedule")
         if queue is None:
             if policy is None:
                 raise ValueError("pass a policy (or a prebuilt queue)")
             queue = _build_queue(policy, engine, n_gpus)
         self.n_gpus = n_gpus
-        self.jobs = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
         self.horizon = horizon
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
         self.admission = admission
         self.queue = queue
+        self.tap = tap
+        # bound-method cache for the hot loop: a tap that opts out of
+        # a hook (``on_decision = None``) costs nothing per event
+        self._tap_job = None if tap is None else \
+            getattr(tap, "on_job", None)
+        self._tap_decision = None if tap is None else \
+            getattr(tap, "on_decision", None)
         # --- live event-loop state (the checkpointed part) ----------
-        self.n = len(self.jobs)
-        self.arrivals = [(j.arrival, j.job_id, j) for j in self.jobs]
+        if stream is not None:
+            self.jobs = None
+            self._stream = _StreamSource(stream, horizon)
+            self.n = 0  # grows as the stream offers jobs
+            self.arrivals = []
+        else:
+            self.jobs = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+            self._stream = None
+            self.n = len(self.jobs)
+            self.arrivals = [(j.arrival, j.job_id, j) for j in self.jobs]
         self.next_arrival = 0
         self.requeues: List[Tuple[float, int, Job]] = []
         self.requeue_seq = 0
@@ -437,6 +525,9 @@ class SimulatorSession:
 
     @property
     def done(self) -> bool:
+        if self._stream is not None and not self._stream.exhausted:
+            # more offered work may still arrive inside the horizon
+            return self._finished
         return (
             self._finished
             or self.completed + self.dropped + self.shed >= self.n
@@ -474,6 +565,8 @@ class SimulatorSession:
                 self.tenant_shed[job.tenant] = (
                     self.tenant_shed.get(job.tenant, 0) + 1
                 )
+            if self._tap_decision is not None:
+                self._tap_decision("shed", now, job.job_id)
             return False
         self.queue.push(job)
         return True
@@ -492,10 +585,13 @@ class SimulatorSession:
             return False
         inf = float("inf")
         self.events += 1
-        t_arr = (
-            self.arrivals[self.next_arrival][0]
-            if self.next_arrival < len(self.arrivals) else inf
-        )
+        if self._stream is not None:
+            t_arr = self._stream.peek_time()
+        else:
+            t_arr = (
+                self.arrivals[self.next_arrival][0]
+                if self.next_arrival < len(self.arrivals) else inf
+            )
         t_req = self.requeues[0][0] if self.requeues else inf
         t_fin = self.running[0][0] if self.running else inf
         t_fault = self.next_fault if self.fault_injector is not None else inf
@@ -515,6 +611,8 @@ class SimulatorSession:
             finish, _, job, start = heapq.heappop(self.running)
             self.completed += 1
             self.completions.append((t, job.job_id))
+            if self._tap_decision is not None:
+                self._tap_decision("complete", t, job.job_id)
             self.busy_time += finish - start
             self.useful_time += job.service
             if job.tenant is not None:
@@ -534,6 +632,8 @@ class SimulatorSession:
                 _, job_id, job, start = self.running.pop(victim)
                 heapq.heapify(self.running)
                 self.failures += 1
+                if self._tap_decision is not None:
+                    self._tap_decision("fault", t, job_id)
                 lost = t - start
                 self.busy_time += lost
                 self.wasted_time += lost
@@ -547,6 +647,8 @@ class SimulatorSession:
                 )
                 if delay is None:
                     self.dropped += 1
+                    if self._tap_decision is not None:
+                        self._tap_decision("drop", t, job_id)
                 else:
                     self.retries += 1
                     self.requeue_seq += 1
@@ -555,12 +657,23 @@ class SimulatorSession:
                         replace(job, arrival=t + delay),
                     ))
         else:
-            while (
-                self.next_arrival < len(self.arrivals)
-                and self.arrivals[self.next_arrival][0] <= t
-            ):
-                self._enqueue(self.arrivals[self.next_arrival][2], t)
-                self.next_arrival += 1
+            if self._stream is not None:
+                while self._stream.peek_time() <= t:
+                    job = self._stream.pop()
+                    self.n += 1
+                    if self._tap_job is not None:
+                        self._tap_job(job)
+                    self._enqueue(job, t)
+            else:
+                while (
+                    self.next_arrival < len(self.arrivals)
+                    and self.arrivals[self.next_arrival][0] <= t
+                ):
+                    job = self.arrivals[self.next_arrival][2]
+                    if self._tap_job is not None:
+                        self._tap_job(job)
+                    self._enqueue(job, t)
+                    self.next_arrival += 1
             while self.requeues and self.requeues[0][0] <= t:
                 self._enqueue(heapq.heappop(self.requeues)[2], t)
         self._start_ready(t)
@@ -632,6 +745,12 @@ class SimulatorSession:
         are frozen dataclasses, so shallow container copies are full
         snapshots, and the whole dict is picklable for the durable
         layer."""
+        if self._stream is not None:
+            raise RuntimeError(
+                "streamed sessions are not checkpointable — the "
+                "generator's state cannot be snapshotted; capture the "
+                "stream to a trace and resume from the materialized jobs"
+            )
         return {
             "next_arrival": self.next_arrival,
             "requeues": list(self.requeues),

@@ -96,10 +96,12 @@ class FlightRecorder:
             "driver": driver_description,
             "n_jobs": len(jobs),
             "incident": incident,
+            # kept in the header for pre-trailer readers; the same
+            # fingerprint is sealed into the v2 trailer below
             "fingerprint": fingerprint,
         }
         trace = TrafficTrace.record(path, list(jobs), meta=meta,
-                                    sync=True)
+                                    sync=True, fingerprint=fingerprint)
         _metrics.counter("tenant.incidents_dumped").add()
         return trace
 
@@ -182,7 +184,9 @@ def verify_incident(path: Union[str, Path]):
             f"{path}: incident replay diverged from itself — "
             "nondeterministic driver state leaked between runs"
         )
-    recorded = trace.meta.get("fingerprint")
+    # prefer the sealed trailer (v2); fall back to the header copy
+    # older incident dumps carried
+    recorded = trace.fingerprint or trace.meta.get("fingerprint")
     if recorded is not None and first.fingerprint() != recorded:
         raise AssertionError(
             f"{path}: incident replay diverged from the recorded "

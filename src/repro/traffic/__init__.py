@@ -12,8 +12,20 @@ makes every experiment a recorded artifact: a
 whose header carries the complete generator + driver configuration,
 so any run replays bit-exactly via
 :func:`~repro.traffic.driver.replay_experiment`.
+
+Round 2 adds the live side: :class:`~repro.traffic.capture.CaptureTap`
+streams jobs/decisions out of an in-flight run into a WAL-framed
+trace incrementally and seals the run's fingerprint as a trailer
+(:func:`~repro.traffic.capture.capture_experiment`);
+``ArrivalProcess.stream()`` + ``UserPopulation.stream_jobs()`` feed
+horizon-bounded sessions without ever materializing the job list,
+bit-exact with the materialized path; and
+:func:`~repro.traffic.ab.ab_replay` replays one trace against N
+variant machine/policy configs, checks the identical-config replay
+against the sealed fingerprint, and emits a structured diff report.
 """
 
+from repro.traffic.ab import ABReport, ABVariant, ab_replay
 from repro.traffic.arrivals import (
     ArrivalProcess,
     DiurnalArrivals,
@@ -32,10 +44,17 @@ from repro.traffic.driver import (
     replay_experiment,
     verify_replay,
 )
+from repro.traffic.capture import CaptureTap, capture_experiment
 from repro.traffic.population import UserPopulation, UserProfile
-from repro.traffic.trace import TrafficTrace
+from repro.traffic.trace import TraceWriter, TrafficTrace
 
 __all__ = [
+    "ABReport",
+    "ABVariant",
+    "CaptureTap",
+    "TraceWriter",
+    "ab_replay",
+    "capture_experiment",
     "ArrivalProcess",
     "PoissonArrivals",
     "MMPPArrivals",

@@ -7,6 +7,21 @@ decisions and reasons, ``guard.*`` counters, completion order — are
 bit-identical, and that regenerating the job stream from the recorded
 generator parameters reproduces the trace.  Exits nonzero on any
 divergence; this is the CI ``traffic-smoke`` entry point.
+
+Two subcommands extend it (the bare flag form above is preserved):
+
+``python -m repro.traffic capture --out TRACE [--jobs N | --horizon T]``
+    Run one experiment with a live capture tap attached — the trace
+    grows on disk *during* the run and is sealed with the final
+    fingerprint.  ``--horizon`` (without ``--jobs``) captures from a
+    lazy generator-fed stream that never materializes the job list.
+
+``python -m repro.traffic ab TRACE [--variant NAME:k=v,...] ...``
+    Replay a captured trace under its recorded config (checking the
+    fingerprint against the sealed trailer — exits nonzero on
+    same-config divergence) and against each variant config,
+    printing the structured diff report.  ``--allow-torn`` accepts a
+    mid-capture-killed trace and replays its committed prefix.
 """
 
 from __future__ import annotations
@@ -72,7 +87,176 @@ def _replay_one(path: Path) -> int:
     return 0
 
 
+def _split_top_level(spec: str) -> list:
+    """Split on commas outside JSON braces/brackets (variant specs
+    like ``tight:admission={"max_queue":4},policy=sjf``)."""
+    parts, depth, cur = [], 0, []
+    for ch in spec:
+        if ch in "{[":
+            depth += 1
+        elif ch in "}]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        parts.append("".join(cur))
+    return parts
+
+
+def _parse_variant(spec: str):
+    """``NAME:key=val,...`` (or just ``key=val,...``) -> ABVariant."""
+    from repro.traffic.ab import ABVariant
+
+    name = None
+    body = spec
+    head, sep, rest = spec.partition(":")
+    if sep and "=" not in head:
+        name, body = head.strip(), rest
+    overrides = {}
+    for assign in _split_top_level(body):
+        key, sep, val = assign.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"bad variant assignment {assign!r} (want key=value)"
+            )
+        try:
+            overrides[key.strip()] = json.loads(val)
+        except json.JSONDecodeError:
+            overrides[key.strip()] = val.strip()
+    if not overrides:
+        raise SystemExit(f"variant {spec!r} has no overrides")
+    if name is None:
+        name = ",".join(f"{k}={overrides[k]}" for k in overrides)
+    return ABVariant(name=name, overrides=overrides)
+
+
+def capture_main(argv) -> int:
+    from repro.traffic.capture import capture_experiment
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.traffic capture",
+        description="record a trace from a live in-flight run",
+    )
+    ap.add_argument("--out", type=Path, required=True, metavar="TRACE")
+    ap.add_argument("--process", default="poisson",
+                    choices=["poisson", "mmpp", "diurnal"])
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="materialized batch capture of N jobs")
+    ap.add_argument("--horizon", type=float, default=None,
+                    help="streamed capture to this horizon (jobs "
+                         "pulled lazily, never materialized)")
+    ap.add_argument("--gpus", type=int, default=4)
+    ap.add_argument("--rate", type=float, default=0.5)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--policy", default="fcfs")
+    ap.add_argument("--chaos-mtbf", type=float, default=400.0)
+    ap.add_argument("--sync", action="store_true",
+                    help="fsync every frame (incident-recorder mode)")
+    ap.add_argument("--flush-every", type=int, default=64)
+    ap.add_argument("--no-decisions", action="store_true",
+                    help="capture only the job stream")
+    args = ap.parse_args(argv)
+    if (args.jobs is None) == (args.horizon is None):
+        raise SystemExit("pass exactly one of --jobs / --horizon")
+
+    population = UserPopulation(
+        n_users=50_000, seed=args.seed, mean_service=10.0,
+        long_fraction=0.1, best_effort_fraction=0.3,
+    )
+    driver = OpenLoopDriver(
+        n_gpus=args.gpus,
+        policy=args.policy,
+        admission=AdmissionSpec(
+            max_queue=4 * args.gpus, protect_priority=2,
+            breaker_failure_threshold=3, breaker_recovery_time=50.0,
+        ),
+        chaos=(
+            None if args.chaos_mtbf <= 0
+            else ChaosSpec(mtbf=args.chaos_mtbf, seed=args.seed)
+        ),
+        horizon=args.horizon,
+    )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    trace, report = capture_experiment(
+        args.out, _process(args.process, args.rate), population, driver,
+        n_jobs=args.jobs, arrival_seed=args.seed, sync=args.sync,
+        decisions=not args.no_decisions, flush_every=args.flush_every,
+    )
+    fp = report.fingerprint()
+    mode = "batch" if args.jobs is not None else "stream"
+    print(f"[traffic] captured {len(trace)} jobs ({mode}) -> "
+          f"{args.out}: completed={fp['completed']} shed={fp['shed']} "
+          f"failures={fp['failures']} sealed=True")
+    return 0
+
+
+def ab_main(argv) -> int:
+    from repro.traffic.ab import ABVariant, ab_replay
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.traffic ab",
+        description="A/B differential replay of one captured trace",
+    )
+    ap.add_argument("trace", type=Path)
+    ap.add_argument("--variant", action="append", default=[],
+                    metavar="NAME:k=v,...",
+                    help="driver-description overrides (repeatable); "
+                         "default: sjf policy + half the GPUs")
+    ap.add_argument("--backend", default="serial",
+                    help="repro.par backend for the variant fan-out")
+    ap.add_argument("--json", type=Path, default=None, metavar="OUT",
+                    help="also write the full report as JSON")
+    ap.add_argument("--allow-torn", action="store_true",
+                    help="replay the committed prefix of an unsealed "
+                         "(mid-capture-killed) trace")
+    args = ap.parse_args(argv)
+
+    variants = [_parse_variant(s) for s in args.variant]
+    try:
+        if not variants:
+            from repro.traffic.trace import TrafficTrace
+
+            base = TrafficTrace.load(
+                args.trace, strict=not args.allow_torn
+            ).meta.get("driver", {})
+            variants = [
+                ABVariant("sjf", {"policy": "sjf"}),
+                ABVariant("half_gpus",
+                          {"n_gpus": max(1, base.get("n_gpus", 2) // 2)}),
+            ]
+        report = ab_replay(args.trace, variants, backend=args.backend,
+                           strict=not args.allow_torn)
+    except ValueError as exc:
+        print(f"[traffic] ab: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if report.fingerprint_matched is True:
+        print("[traffic] baseline replay matches the sealed trailer "
+              "fingerprint")
+    elif report.fingerprint_matched is None:
+        print("[traffic] no sealed trailer (torn/v1 trace): baseline "
+              f"checked replay-vs-replay only "
+              f"(self_consistent={report.self_consistent})")
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(report.to_dict(), sort_keys=True, indent=2) + "\n"
+        )
+    if report.diverged:
+        print("[traffic] ab: SAME-CONFIG DIVERGENCE — replay does not "
+              "reproduce the recorded run", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "capture":
+        return capture_main(argv[1:])
+    if argv and argv[0] == "ab":
+        return ab_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.traffic",
         description="record + replay-verify open-loop traffic runs",

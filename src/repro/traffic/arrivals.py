@@ -23,7 +23,7 @@ verifiable against — regeneration.
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 
@@ -45,6 +45,21 @@ class ArrivalProcess:
             raise ValueError("need at least one arrival")
         return self.times(n, make_rng(seed))
 
+    def times_iter(self, rng: np.random.Generator) -> Iterator[float]:
+        """Unbounded arrival-time generator; bit-exact with
+        :meth:`times` — the first ``n`` yields equal ``times(n, rng)``
+        for the same generator state, because each subclass makes the
+        identical draws in the identical order (scalar ``Generator``
+        draws match block draws elementwise).  This is what lets a
+        horizon-bounded streamed session replay bit-exactly against
+        the materialized list a trace stores."""
+        raise NotImplementedError
+
+    def stream(self, seed: SeedLike = 0) -> Iterator[float]:
+        """Seed-or-generator wrapper around :meth:`times_iter`
+        (the lazy twin of :meth:`sample`)."""
+        return self.times_iter(make_rng(seed))
+
     def describe(self) -> dict:
         """JSON-able parameter record for trace headers."""
         raise NotImplementedError
@@ -62,6 +77,14 @@ class PoissonArrivals(ArrivalProcess):
 
     def times(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return np.cumsum(rng.exponential(1.0 / self.rate, n))
+
+    def times_iter(self, rng: np.random.Generator) -> Iterator[float]:
+        scale = 1.0 / self.rate
+        t = 0.0
+        while True:
+            # scalar draws + running sum == cumsum of the block draw
+            t += float(rng.exponential(scale))
+            yield t
 
     def describe(self) -> dict:
         return {"kind": self.kind, "rate": self.rate}
@@ -124,6 +147,28 @@ class MMPPArrivals(ArrivalProcess):
             state = 1 - state
         return out
 
+    def times_iter(self, rng: np.random.Generator) -> Iterator[float]:
+        # same draw sequence as times(): dwell, then gap-by-gap
+        # arrivals, with the first gap past seg_end handing over to
+        # the next state.  (times() stops pulling after its n-th
+        # output, so the first n yields here are draw-for-draw the
+        # same values.)
+        rates = (self.quiet_rate, self.burst_rate)
+        t = 0.0
+        state = 0  # start quiet
+        while True:
+            dwell = float(rng.exponential(self.mean_dwell[state]))
+            seg_end = t + dwell
+            rate = rates[state]
+            while True:
+                gap = float(rng.exponential(1.0 / rate))
+                if t + gap > seg_end:
+                    break
+                t += gap
+                yield t
+            t = seg_end
+            state = 1 - state
+
     def describe(self) -> dict:
         return {
             "kind": self.kind,
@@ -172,6 +217,14 @@ class DiurnalArrivals(ArrivalProcess):
                 out[k] = t
                 k += 1
         return out
+
+    def times_iter(self, rng: np.random.Generator) -> Iterator[float]:
+        peak = self.base_rate * self.peak_ratio
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / peak))
+            if rng.random() < self.rate_at(t) / peak:
+                yield t
 
     def describe(self) -> dict:
         return {

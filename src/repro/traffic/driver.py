@@ -43,7 +43,7 @@ from repro.traffic.arrivals import (
     process_from_description,
 )
 from repro.traffic.population import UserPopulation
-from repro.traffic.trace import TrafficTrace
+from repro.traffic.trace import TraceWriter, TrafficTrace
 
 #: policy registry for trace headers (name -> factory(n_gpus))
 _POLICIES = {
@@ -271,8 +271,34 @@ class OpenLoopDriver:
             tenancy=tenancy,
         )
 
-    def run(self, jobs) -> TrafficReport:
-        """Drive *jobs* (any iterable of :class:`Job`) to resolution."""
+    def run(self, jobs, tap=None) -> TrafficReport:
+        """Drive *jobs* (any iterable of :class:`Job`) to resolution.
+
+        *tap* (optional) is a capture observer — see
+        :class:`repro.traffic.capture.CaptureTap` — whose hooks the
+        session calls on every offered job and shed/completion/fault
+        decision.
+        """
+        return self._run(jobs=jobs, stream=None, tap=tap)
+
+    def run_stream(self, stream, tap=None) -> TrafficReport:
+        """Drive a lazy job *stream* (never materialized) to the
+        driver's horizon.
+
+        The stream — typically ``population.stream_jobs(
+        process.stream(seed))`` — may be unbounded; the session pulls
+        one lookahead job at a time and stops offering at the horizon,
+        bit-exactly matching :meth:`run` on the horizon-truncated
+        materialized list.
+        """
+        if self.horizon is None:
+            raise ValueError(
+                "run_stream needs a driver horizon — an unbounded "
+                "stream never resolves without one"
+            )
+        return self._run(jobs=None, stream=stream, tap=tap)
+
+    def _run(self, jobs, stream, tap) -> TrafficReport:
         if self.tenancy is not None:
             admission = self.tenancy.make()
         elif self.admission is not None:
@@ -285,7 +311,7 @@ class OpenLoopDriver:
             self.n_gpus, jobs, _POLICIES[self.policy](self.n_gpus),
             horizon=self.horizon, fault_injector=injector,
             retry_policy=self.retry_policy, engine=self.engine,
-            admission=admission,
+            admission=admission, stream=stream, tap=tap,
         )
         result = session.run_to_completion()
         guard_after = _guard_counter_snapshot()
@@ -342,7 +368,12 @@ def record_experiment(
 
     The trace header carries the full experiment description — arrival
     process, population, driver (admission + chaos + policy), seeds —
-    so :func:`replay_experiment` needs nothing but the file.
+    so :func:`replay_experiment` needs nothing but the file.  The
+    trailer is sealed with the run's fingerprint *after* the run
+    completes: a replay can then be checked against the original run
+    (not just against another replay), and an aborted run leaves an
+    unsealed prefix rather than an orphan trace that looks complete
+    but has no report behind it.
     """
     jobs = generate_jobs(process, population, n_jobs,
                          arrival_seed=arrival_seed)
@@ -353,8 +384,15 @@ def record_experiment(
         "n_jobs": n_jobs,
         "arrival_seed": arrival_seed,
     }
-    trace = TrafficTrace.record(path, jobs, meta=meta, sync=sync)
-    report = driver.run(jobs)
+    writer = TraceWriter(path, meta=meta, n_jobs=n_jobs, sync=sync)
+    try:
+        for job in jobs:
+            writer.append_job(job)
+        report = driver.run(jobs)
+        writer.seal(report.fingerprint())
+    finally:
+        writer.close()
+    trace = TrafficTrace(jobs, meta, fingerprint=report.fingerprint())
     _metrics.counter("traffic.experiments_recorded").add()
     return trace, report
 
@@ -373,11 +411,15 @@ def replay_experiment(
 def verify_replay(path: Union[str, Path]) -> TrafficReport:
     """Replay *path* twice and demand bit-identical fingerprints.
 
-    Also regenerates the job stream from the recorded generator
-    parameters and checks it matches the recorded jobs — the trace is
-    simultaneously a replay input and a cross-check on the generator.
-    Raises ``AssertionError`` on any divergence; returns the replay
-    report on success.
+    When the trace carries a sealed fingerprint trailer (format v2,
+    written by :func:`record_experiment` and the capture tap), the
+    replay is additionally checked against the *recorded run's*
+    fingerprint — replay-vs-record, the check the pre-trailer format
+    could never make.  Also regenerates the job stream from the
+    recorded generator parameters and checks it matches the recorded
+    jobs — the trace is simultaneously a replay input and a
+    cross-check on the generator.  Raises ``AssertionError`` on any
+    divergence; returns the replay report on success.
     """
     first, trace = replay_experiment(path)
     second, _ = replay_experiment(path)
@@ -386,12 +428,39 @@ def verify_replay(path: Union[str, Path]) -> TrafficReport:
             f"{path}: replay diverged from itself — nondeterministic "
             "driver state leaked between runs"
         )
+    if trace.fingerprint is not None \
+            and first.fingerprint() != trace.fingerprint:
+        raise AssertionError(
+            f"{path}: replay diverged from the recorded run — the "
+            "sealed trailer fingerprint does not match the replay"
+        )
     meta = trace.meta
-    regenerated = generate_jobs(
-        process_from_description(meta["process"]),
-        UserPopulation.from_description(meta["population"]),
-        meta["n_jobs"], arrival_seed=meta["arrival_seed"],
-    )
+    if meta.get("mode") == "stream":
+        # captured from an unbounded stream: regenerate lazily and
+        # compare the offered prefix
+        import itertools
+
+        population = UserPopulation.from_description(meta["population"])
+        stream = population.stream_jobs(
+            process_from_description(meta["process"]).stream(
+                meta["arrival_seed"]
+            )
+        )
+        regenerated = list(itertools.islice(stream, len(trace.jobs)))
+    else:
+        regenerated = generate_jobs(
+            process_from_description(meta["process"]),
+            UserPopulation.from_description(meta["population"]),
+            meta.get("n_jobs") or len(trace.jobs),
+            arrival_seed=meta["arrival_seed"],
+        )
+        horizon = meta["driver"].get("horizon")
+        if meta.get("mode") == "batch" and horizon is not None:
+            # a live batch capture records the *offered* jobs: the
+            # session never offers arrivals past the horizon
+            regenerated = [
+                j for j in regenerated if j.arrival <= horizon
+            ]
     if regenerated != trace.jobs:
         raise AssertionError(
             f"{path}: regenerated job stream differs from the recorded "
@@ -403,6 +472,23 @@ def verify_replay(path: Union[str, Path]) -> TrafficReport:
 # ---------------------------------------------------------------------------
 # MuMMI coupling: arrival-modulated campaign cycles
 # ---------------------------------------------------------------------------
+
+
+def _window_counts(arrivals, n_cycles: int, window: float) -> np.ndarray:
+    """Arrivals per half-open cycle window ``[k*window, (k+1)*window)``.
+
+    ``np.histogram(..., range=(0, horizon))`` treats the last bin as
+    *closed* on the right, so an arrival at exactly ``t == horizon``
+    was counted into the final cycle while the same arrival at an
+    interior boundary belongs to the *next* window — inconsistent
+    edge semantics that skewed the last cycle's offered load.  Every
+    window here is half-open; arrivals at or past the horizon fall
+    outside every cycle.
+    """
+    arr = np.asarray(arrivals, dtype=float)
+    idx = np.floor_divide(arr, window).astype(int)
+    valid = (arr >= 0.0) & (idx < n_cycles)
+    return np.bincount(idx[valid], minlength=n_cycles)
 
 
 def drive_campaign(
@@ -439,9 +525,7 @@ def drive_campaign(
         more = process.times(block, rng)
         offset = arrivals[-1] if arrivals else 0.0
         arrivals.extend((offset + t) for t in more.tolist())
-    counts = np.histogram(
-        np.asarray(arrivals), bins=n_cycles, range=(0.0, horizon)
-    )[0]
+    counts = _window_counts(arrivals, n_cycles, window)
     out: List[Dict[str, float]] = []
     nominal = campaign.jobs_per_cycle
     try:

@@ -178,6 +178,48 @@ class UserPopulation:
             tenant=self.tenant,
         )
 
+    def stream_jobs(self, times, job_id_base: int = 0):
+        """Lazy twin of :meth:`jobs_for`: one :class:`Job` per arrival
+        pulled from the (possibly unbounded) *times* iterable.
+
+        Makes the identical per-arrival draws in the identical order —
+        pick_user from the assignment stream, lazy profile, one
+        ``draw_services`` pull from the user's job stream — so the
+        first ``n`` jobs are bit-exact with ``jobs_for(sample(n))`` on
+        a freshly :meth:`reset` population (the streamed-vs-
+        materialized equivalence the capture tests gate).  Never
+        materializes the job list: a horizon-bounded
+        :class:`~repro.sched.simulator.SimulatorSession` consumes it
+        one lookahead job at a time.
+        """
+        k = 0
+        for t in times:
+            arrival = float(t)
+            uid = self.pick_user()
+            prof = self.profile(uid)
+            rng = self._user_rngs.get(uid)
+            if rng is None:
+                rng = self._user_stream(_NS_JOBS, uid)
+                self._user_rngs[uid] = rng
+            svc, is_long = draw_services(
+                rng, 1, self.mean_service * prof.mean_scale,
+                self.sigma, self.long_fraction,
+            )
+            service = float(svc[0])
+            yield Job(
+                job_id=job_id_base + k,
+                arrival=arrival,
+                service=service,
+                is_long=bool(is_long[0]),
+                priority=int(prof.priority),
+                deadline=(
+                    None if prof.best_effort
+                    else float(arrival + prof.slack * service)
+                ),
+                tenant=self.tenant,
+            )
+            k += 1
+
     @property
     def touched_users(self) -> int:
         """Users whose job stream has been materialized so far."""

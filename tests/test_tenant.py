@@ -550,11 +550,17 @@ class TestIncidentTraces:
         record_incident(path, bundle.jobs, _pileup_driver(bundle),
                         reason="drill")
         whole = path.read_bytes()
-        path.write_bytes(whole[: len(whole) - 37])  # tear mid-frame
+        # cut the sealed trailer plus part of the last job frame, so
+        # the committed prefix is strictly shorter than the job stream
+        from repro.durable.wal import read_records
+
+        frames = [8 + len(p) for p in read_records(path)]
+        path.write_bytes(whole[: 8 + sum(frames[:-2]) + 3])
         with pytest.raises(ValueError, match="torn"):
             TrafficTrace.load(path, strict=True)
         torn = TrafficTrace.load(path, strict=False)
         assert not torn.complete
+        assert torn.fingerprint is None
         assert 0 < len(torn.jobs) < len(bundle.jobs)
         assert torn.jobs == list(bundle.jobs)[: len(torn.jobs)]
         # lenient replay of the surviving prefix still works

@@ -3,8 +3,17 @@ simulated user population, trace record/replay, and the driver's
 bit-exact replay contract (shed reasons, guard counters, completion
 order) with chaos and admission shedding active."""
 
+import itertools
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.sched.simulator import Job
 from repro.traffic import (
@@ -181,16 +190,61 @@ class TestTrafficTrace:
         assert loaded.jobs == jobs
 
     def test_torn_tail_truncates(self, tmp_path):
+        from repro.durable.wal import read_records
+
         jobs = self._jobs()
         path = tmp_path / "t.trace"
         TrafficTrace.record(path, jobs)
         raw = path.read_bytes()
-        path.write_bytes(raw[:-7])  # tear the last frame
+        # tearing 7 bytes rips the sealed trailer: every job record
+        # survives, but the trace is an unsealed prefix
+        path.write_bytes(raw[:-7])
         with pytest.raises(ValueError, match="torn"):
             TrafficTrace.load(path)
         partial = TrafficTrace.load(path, strict=False)
         assert not partial.complete
+        assert partial.fingerprint is None
+        assert partial.jobs == jobs
+        # tear into the last job frame too: the committed prefix loses
+        # exactly that job
+        frames = [8 + len(p) for p in read_records(path)]
+        path.write_bytes(raw[: 8 + sum(frames[:-1]) + 3])
+        partial = TrafficTrace.load(path, strict=False)
+        assert not partial.complete
         assert len(partial) == len(jobs) - 1
+        assert partial.jobs == jobs[:-1]
+
+    def test_v1_format_compat(self, tmp_path):
+        # traces recorded before the trailer format (v1: header with
+        # n_jobs, job frames, no trailer) must keep loading, with the
+        # old completeness rule
+        import json as _json
+
+        from repro.durable.wal import WriteAheadLog
+        from repro.traffic.trace import _job_record
+
+        jobs = self._jobs()
+        path = tmp_path / "v1.trace"
+        with WriteAheadLog(path, sync=False) as wal:
+            header = {"format": "repro-traffic-trace", "version": 1,
+                      "n_jobs": len(jobs), "meta": {"note": "legacy"}}
+            wal.append(_json.dumps(header, sort_keys=True).encode())
+            for job in jobs:
+                wal.append(_json.dumps(_job_record(job),
+                                       sort_keys=True).encode())
+        loaded = TrafficTrace.load(path)
+        assert loaded.complete
+        assert loaded.version == 1
+        assert loaded.fingerprint is None
+        assert loaded.jobs == jobs
+        # v1 torn semantics: fewer surviving jobs than the header
+        # committed to
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])
+        with pytest.raises(ValueError, match="torn"):
+            TrafficTrace.load(path)
+        partial = TrafficTrace.load(path, strict=False)
+        assert not partial.complete
         assert partial.jobs == jobs[:-1]
 
     def test_rejects_non_trace(self, tmp_path):
@@ -209,7 +263,7 @@ class TestTrafficTrace:
         assert len(TrafficTrace.load(path)) == 10
 
 
-def _driver(n_gpus=4):
+def _driver(n_gpus=4, horizon=None):
     return OpenLoopDriver(
         n_gpus=n_gpus,
         policy="fcfs",
@@ -218,6 +272,7 @@ def _driver(n_gpus=4):
             breaker_failure_threshold=3, breaker_recovery_time=40.0,
         ),
         chaos=ChaosSpec(mtbf=250.0, seed=1),
+        horizon=horizon,
     )
 
 
@@ -332,3 +387,325 @@ class TestCli:
         assert "replay OK" in out
         assert (tmp_path / "poisson.trace").exists()
         assert (tmp_path / "mmpp.fingerprint.json").exists()
+
+
+# -------------------------------------------------------------------------
+# round 2: streamed generation ≡ materialized generation, bit for bit
+# -------------------------------------------------------------------------
+
+
+def _process_for(kind):
+    return {
+        "poisson": PoissonArrivals(rate=0.8),
+        "mmpp": MMPPArrivals(quiet_rate=0.3, burst_rate=2.5,
+                             mean_dwell=(15.0, 5.0)),
+        "diurnal": DiurnalArrivals(base_rate=0.7, peak_ratio=3.0,
+                                   period=120.0),
+    }[kind]
+
+
+class TestStreams:
+    """`ArrivalProcess.stream()` + `UserPopulation.stream_jobs()` must
+    be bit-exact with the materialized `sample()`/`jobs_for()` path —
+    that equivalence is what makes a streamed capture replayable
+    against a materialized trace at all."""
+
+    @given(
+        kind=st.sampled_from(["poisson", "mmpp", "diurnal"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stream_times_match_sample(self, kind, seed, n):
+        proc = _process_for(kind)
+        streamed = list(itertools.islice(proc.stream(seed), n))
+        assert streamed == proc.sample(n, seed=seed).tolist()
+
+    @given(
+        kind=st.sampled_from(["poisson", "mmpp"]),
+        seed=st.integers(min_value=0, max_value=999),
+        n=st.integers(min_value=1, max_value=80),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_stream_jobs_match_jobs_for(self, kind, seed, n):
+        proc = _process_for(kind)
+        times = proc.sample(n, seed=seed)
+        # fresh populations: job draws advance per-user RNG state, so
+        # the two paths must each start from the seeded origin
+        materialized = _population().jobs_for(times)
+        streamed = list(itertools.islice(
+            _population().stream_jobs(proc.stream(seed)), n
+        ))
+        assert streamed == materialized
+
+    def test_streamed_run_matches_materialized_truncation(self):
+        """A horizon-bounded streamed session must produce the same
+        fingerprint as a materialized run over the horizon-truncated
+        job list — chaos, admission, and the breaker all active."""
+        horizon = 300.0
+        proc = PoissonArrivals(rate=0.6)
+        streamed = _driver(horizon=horizon).run_stream(
+            _population().stream_jobs(proc.stream(7))
+        )
+        times = proc.sample(1000, seed=7)
+        jobs = _population().jobs_for(times[times <= horizon])
+        materialized = _driver(horizon=horizon).run(jobs)
+        assert streamed.fingerprint() == materialized.fingerprint()
+        assert streamed.result.completed > 0
+
+    def test_run_stream_requires_horizon(self):
+        with pytest.raises(ValueError):
+            _driver().run_stream(iter([]))
+
+    def test_streamed_session_not_checkpointable(self):
+        from repro.sched.policies import Fcfs
+        from repro.sched.simulator import SimulatorSession
+
+        pop = _population()
+        ses = SimulatorSession(
+            2, None, policy=Fcfs(), horizon=50.0,
+            stream=pop.stream_jobs(PoissonArrivals(rate=1.0).stream(0)),
+        )
+        with pytest.raises(RuntimeError, match="not checkpointable"):
+            ses.checkpoint_state()
+
+
+class TestWindowCounts:
+    """Satellite fix: campaign windowing uses half-open bins
+    ``[k*w, (k+1)*w)`` — an arrival exactly on an interior boundary
+    belongs to the *next* window, and one at/past the horizon is
+    excluded instead of being lumped into the last cycle."""
+
+    def test_half_open_bins(self):
+        from repro.traffic.driver import _window_counts
+
+        arrivals = np.array([0.0, 3.0, 9.999, 10.0, 15.0, 19.0, 20.0])
+        counts = _window_counts(arrivals, n_cycles=2, window=10.0)
+        # 20.0 == horizon is excluded; 10.0 lands in the second bin
+        assert counts.tolist() == [3, 3]
+
+    def test_past_horizon_excluded(self):
+        from repro.traffic.driver import _window_counts
+
+        arrivals = np.array([1.0, 25.0, 31.0])
+        counts = _window_counts(arrivals, n_cycles=3, window=10.0)
+        assert counts.tolist() == [1, 0, 1]
+
+    def test_boundary_regression_vs_histogram(self):
+        """np.histogram with range=(0, horizon) treats the last bin as
+        closed on the right, so an arrival at exactly t == horizon was
+        lumped into the final cycle — the exact bug the half-open
+        rewrite fixes."""
+        from repro.traffic.driver import _window_counts
+
+        arrivals = np.array([5.0, 10.0, 20.0])
+        old, _ = np.histogram(arrivals, bins=2, range=(0.0, 20.0))
+        assert old.tolist() == [1, 2]  # 20.0 double-dips the last bin
+        new = _window_counts(arrivals, n_cycles=2, window=10.0)
+        assert new.tolist() == [1, 1]
+
+
+# -------------------------------------------------------------------------
+# round 2: live capture — incremental WAL frames, sealed trailer,
+# SIGKILL mid-capture leaves a loadable committed prefix
+# -------------------------------------------------------------------------
+
+
+class TestCapture:
+    def test_batch_capture_sealed_and_replayable(self, tmp_path):
+        from repro.traffic import capture_experiment
+
+        path = tmp_path / "batch.trace"
+        trace, report = capture_experiment(
+            path, PoissonArrivals(rate=0.55), _population(), _driver(),
+            n_jobs=150,
+        )
+        assert trace.complete
+        assert trace.fingerprint == report.fingerprint()
+        assert trace.meta["mode"] == "batch"
+        # decision frames captured alongside the jobs
+        kinds = {d["d"] for d in trace.decisions}
+        assert "complete" in kinds
+        verify_replay(path)
+
+    def test_stream_capture_sealed_and_replayable(self, tmp_path):
+        from repro.traffic import capture_experiment
+
+        path = tmp_path / "stream.trace"
+        trace, report = capture_experiment(
+            path, PoissonArrivals(rate=0.6), _population(),
+            _driver(horizon=250.0),
+        )
+        assert trace.complete
+        assert trace.meta["mode"] == "stream"
+        assert trace.fingerprint == report.fingerprint()
+        # the streamed capture replays bit-exactly as a materialized
+        # trace — including regeneration from the header config
+        verify_replay(path)
+
+    def test_capture_load_is_non_destructive(self, tmp_path):
+        """Loading a torn capture must never truncate it on disk —
+        the committed prefix is crash evidence, not a scratch file."""
+        from repro.traffic import capture_experiment
+
+        path = tmp_path / "torn.trace"
+        capture_experiment(path, PoissonArrivals(rate=0.55),
+                           _population(), _driver(), n_jobs=60)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-11])  # tear the trailer frame
+        before = path.read_bytes()
+        with pytest.raises(ValueError, match="torn trace"):
+            TrafficTrace.load(path)
+        partial = TrafficTrace.load(path, strict=False)
+        assert not partial.complete and partial.fingerprint is None
+        assert path.read_bytes() == before
+
+    def test_sigkill_mid_capture_leaves_loadable_prefix(self, tmp_path):
+        """Kill a live capture with SIGKILL; the committed prefix must
+        load under strict=False and replay deterministically."""
+        path = tmp_path / "killed.trace"
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get(
+            "PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.traffic", "capture",
+             "--out", str(path), "--horizon", "200000", "--rate", "2.0",
+             "--gpus", "2", "--flush-every", "1"],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if path.exists() and path.stat().st_size > 20_000:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("capture subprocess produced no frames")
+        finally:
+            proc.kill()
+            proc.wait()
+        with pytest.raises(ValueError, match="torn trace"):
+            TrafficTrace.load(path)
+        partial = TrafficTrace.load(path, strict=False)
+        assert not partial.complete
+        assert partial.fingerprint is None
+        assert len(partial.jobs) > 0
+        # the prefix replays deterministically under its own config
+        from repro.traffic.driver import OpenLoopDriver
+
+        driver_desc = partial.meta["driver"]
+        a = OpenLoopDriver.from_description(driver_desc).run(partial.jobs)
+        b = OpenLoopDriver.from_description(driver_desc).run(partial.jobs)
+        assert a.fingerprint() == b.fingerprint()
+
+
+# -------------------------------------------------------------------------
+# round 2: A/B differential replay
+# -------------------------------------------------------------------------
+
+
+class TestAbReplay:
+    def _record(self, tmp_path):
+        path = tmp_path / "ab.trace"
+        record_experiment(path, PoissonArrivals(rate=0.55),
+                          _population(), _driver(), n_jobs=220)
+        return path
+
+    def test_same_config_identical_fingerprint(self, tmp_path):
+        from repro.traffic import ABVariant, ab_replay
+
+        path = self._record(tmp_path)
+        report = ab_replay(path, [ABVariant("same", {})])
+        assert report.fingerprint_matched is True
+        assert report.self_consistent and not report.diverged
+        same = report.variants[0]
+        assert all(same["deltas"][k] == 0 for k in
+                   ("completed", "shed", "dropped", "failures"))
+        assert same["deltas"]["p99_wait"] == 0.0
+        assert same["deltas"]["p50_turnaround"] == 0.0
+
+    def test_fifo_vs_priority_diff_has_expected_sign(self, tmp_path):
+        """SJF finishes short jobs early (p50 turnaround drops, fewer
+        sheds) but starves the long tail: p99 wait must go *up*
+        relative to the FIFO baseline."""
+        from repro.traffic import ABVariant, ab_replay
+
+        path = self._record(tmp_path)
+        report = ab_replay(path, [
+            ABVariant("sjf", {"policy": "sjf"}),
+            ABVariant("half_gpus", {"n_gpus": 2}),
+        ])
+        assert not report.diverged
+        sjf, half = report.variants
+        assert sjf["deltas"]["p99_wait"] > 0
+        assert sjf["deltas"]["p50_turnaround"] < 0
+        assert sjf["deltas"]["shed_rate"] < 0
+        # halving the machine sheds more and completes less
+        assert half["deltas"]["shed_rate"] > 0
+        assert half["deltas"]["completed"] < 0
+        rendered = report.render()
+        assert "baseline" in rendered and "sjf" in rendered
+
+    def test_unknown_override_raises(self, tmp_path):
+        from repro.traffic import ABVariant, ab_replay
+
+        path = self._record(tmp_path)
+        with pytest.raises(ValueError, match="unknown driver override"):
+            ab_replay(path, [ABVariant("typo", {"polcy": "sjf"})])
+
+    def test_report_round_trips_to_json(self, tmp_path):
+        from repro.traffic import ABVariant, ab_replay
+
+        path = self._record(tmp_path)
+        report = ab_replay(path, [ABVariant("sjf", {"policy": "sjf"})])
+        blob = json.loads(json.dumps(report.to_dict()))
+        assert blob["fingerprint_matched"] is True
+        assert blob["variants"][0]["name"] == "sjf"
+
+
+class TestCaptureCli:
+    def test_capture_then_ab_subcommands(self, tmp_path, capsys):
+        from repro.traffic.__main__ import main
+
+        path = tmp_path / "live.trace"
+        rc = main(["capture", "--out", str(path), "--jobs", "120",
+                   "--rate", "0.6"])
+        assert rc == 0
+        assert "sealed" in capsys.readouterr().out
+        out_json = tmp_path / "ab.json"
+        rc = main(["ab", str(path),
+                   "--variant", "sjf:policy=sjf",
+                   "--variant", "big:n_gpus=8",
+                   "--json", str(out_json)])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "A/B replay" in captured
+        blob = json.loads(out_json.read_text())
+        assert blob["fingerprint_matched"] is True
+        assert {v["name"] for v in blob["variants"]} == {"sjf", "big"}
+
+    def test_ab_default_variants_and_streamed_capture(
+            self, tmp_path, capsys):
+        from repro.traffic.__main__ import main
+
+        path = tmp_path / "stream.trace"
+        rc = main(["capture", "--out", str(path), "--horizon", "250",
+                   "--rate", "0.6"])
+        assert rc == 0
+        rc = main(["ab", str(path)])
+        assert rc == 0
+        assert "matches the sealed trailer" in capsys.readouterr().out
+
+    def test_ab_exits_2_on_torn_trace_without_allow_torn(
+            self, tmp_path, capsys):
+        from repro.traffic.__main__ import main
+
+        path = tmp_path / "torn.trace"
+        rc = main(["capture", "--out", str(path), "--jobs", "60"])
+        assert rc == 0
+        capsys.readouterr()
+        path.write_bytes(path.read_bytes()[:-11])
+        assert main(["ab", str(path)]) == 2
+        assert main(["ab", str(path), "--allow-torn"]) == 0
